@@ -1,0 +1,56 @@
+// Ablation: §1's strawman — aggregate every byte to one central site
+// before querying. The point the paper opens with: centralization
+// cannot fit the lag between recurring queries (and saturates the hub's
+// downlink), which is why in-place processing plus selective movement
+// wins.
+#include "bench_common.h"
+
+namespace {
+
+using namespace bohr;
+using namespace bohr::bench;
+
+struct Row {
+  std::string scheme;
+  double qct_seconds;
+  double moved_gb;
+  double movement_seconds;
+  bool fits_lag;
+};
+std::vector<Row> g_rows;
+
+void BM_AblationCentralized(benchmark::State& state) {
+  const auto cfg = bench_config(workload::WorkloadKind::BigData);
+  for (auto _ : state) {
+    g_rows.clear();
+    const auto run = core::run_workload(
+        cfg, {core::Strategy::Centralized, core::Strategy::IridiumC,
+              core::Strategy::Bohr});
+    for (const auto s : {core::Strategy::Centralized,
+                         core::Strategy::IridiumC, core::Strategy::Bohr}) {
+      const auto& o = run.outcome(s);
+      g_rows.push_back(Row{core::to_string(s), o.avg_qct_seconds,
+                           o.prep.bytes_moved / 1e9,
+                           o.prep.movement_seconds,
+                           o.prep.movement_within_lag});
+    }
+  }
+  state.counters["centralized_move_s"] = g_rows[0].movement_seconds;
+}
+BENCHMARK(BM_AblationCentralized)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, [] {
+    ResultTable table({"scheme", "avg QCT (s)", "moved (GB)",
+                       "movement time (s)", "fits 60s lag?"});
+    for (const auto& row : g_rows) {
+      table.add_row({row.scheme, TablePrinter::num(row.qct_seconds, 2),
+                     TablePrinter::num(row.moved_gb, 1),
+                     TablePrinter::num(row.movement_seconds, 1),
+                     row.fits_lag ? "yes" : "NO"});
+    }
+    table.print("Ablation: centralized aggregation strawman (Section 1)");
+  });
+}

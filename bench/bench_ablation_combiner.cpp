@@ -1,0 +1,61 @@
+// Ablation: the combiner is the mechanism Bohr's entire benefit rides on
+// (§1) — without map-side combining, similar data cannot be merged and
+// similarity-aware placement loses its purpose. Compare Bohr with the
+// combiner on vs off (and Iridium-C as reference).
+#include "bench_common.h"
+
+namespace {
+
+using namespace bohr;
+using namespace bohr::bench;
+
+struct Row {
+  std::string variant;
+  double qct_seconds;
+  double wan_gb;
+};
+std::vector<Row> g_rows;
+
+void BM_AblationCombiner(benchmark::State& state) {
+  for (auto _ : state) {
+    g_rows.clear();
+    {
+      auto cfg = bench_config(workload::WorkloadKind::BigData);
+      const auto run = core::run_workload(
+          cfg, {core::Strategy::IridiumC, core::Strategy::Bohr});
+      g_rows.push_back(
+          Row{"Iridium-C (combiner on)",
+              run.outcome(core::Strategy::IridiumC).avg_qct_seconds,
+              run.outcome(core::Strategy::IridiumC).wan_shuffle_bytes / 1e9});
+      g_rows.push_back(
+          Row{"Bohr (combiner on)",
+              run.outcome(core::Strategy::Bohr).avg_qct_seconds,
+              run.outcome(core::Strategy::Bohr).wan_shuffle_bytes / 1e9});
+    }
+    {
+      auto cfg = bench_config(workload::WorkloadKind::BigData);
+      cfg.job.machine.combiner_enabled = false;
+      const auto run = core::run_workload(cfg, {core::Strategy::Bohr});
+      g_rows.push_back(
+          Row{"Bohr (combiner OFF)",
+              run.outcome(core::Strategy::Bohr).avg_qct_seconds,
+              run.outcome(core::Strategy::Bohr).wan_shuffle_bytes / 1e9});
+    }
+  }
+  state.counters["bohr_on_qct"] = g_rows[1].qct_seconds;
+  state.counters["bohr_off_qct"] = g_rows[2].qct_seconds;
+}
+BENCHMARK(BM_AblationCombiner)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, [] {
+    ResultTable table({"variant", "avg QCT (s)", "WAN shuffle (GB)"});
+    for (const auto& row : g_rows) {
+      table.add_row({row.variant, TablePrinter::num(row.qct_seconds, 2),
+                     TablePrinter::num(row.wan_gb, 2)});
+    }
+    table.print("Ablation: map-side combiner on/off");
+  });
+}

@@ -1,0 +1,81 @@
+// Ablation: how much does the alternating refinement of the joint LP
+// (DESIGN.md §6) buy over (a) Iridium's sequential heuristic and (b) a
+// single x-step round? Reports predicted shuffle time and moved bytes.
+#include "bench_common.h"
+
+#include "core/placement.h"
+
+namespace {
+
+using namespace bohr;
+using namespace bohr::bench;
+
+struct Row {
+  std::string variant;
+  double predicted_t;
+  double moved_gb;
+  double lp_seconds;
+};
+std::vector<Row> g_rows;
+
+core::PlacementProblem make_problem() {
+  core::PlacementProblem p;
+  p.topology = net::make_paper_topology(250e6);
+  p.lag_seconds = 30.0;
+  Rng rng(4242);
+  for (std::size_t a = 0; a < 24; ++a) {
+    core::DatasetPlacementInput d;
+    d.dataset_id = a;
+    d.reduction_ratio = rng.uniform(0.05, 0.3);
+    d.query_count = static_cast<std::size_t>(rng.range(2, 10));
+    for (std::size_t i = 0; i < 10; ++i) {
+      d.input_bytes.push_back(rng.uniform(0.5e9, 3e9));
+      d.self_similarity.push_back(rng.uniform(0.2, 0.8));
+    }
+    p.datasets.push_back(std::move(d));
+  }
+  return p;
+}
+
+void BM_AblationLp(benchmark::State& state) {
+  const auto problem = make_problem();
+  for (auto _ : state) {
+    g_rows.clear();
+    {
+      const auto d = core::iridium_placement(problem);
+      g_rows.push_back(Row{"Iridium heuristic", d.predicted_shuffle_seconds,
+                           d.moved_bytes_total() / 1e9, d.lp_seconds});
+    }
+    {
+      core::JointLpOptions opts;
+      opts.max_rounds = 1;
+      const auto d = core::joint_lp_placement(problem, opts);
+      g_rows.push_back(Row{"Joint LP (1 round)", d.predicted_shuffle_seconds,
+                           d.moved_bytes_total() / 1e9, d.lp_seconds});
+    }
+    {
+      core::JointLpOptions opts;
+      opts.max_rounds = 8;
+      const auto d = core::joint_lp_placement(problem, opts);
+      g_rows.push_back(Row{"Joint LP (8 rounds)", d.predicted_shuffle_seconds,
+                           d.moved_bytes_total() / 1e9, d.lp_seconds});
+    }
+  }
+  state.counters["joint8_t"] = g_rows.back().predicted_t;
+}
+BENCHMARK(BM_AblationLp)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, [] {
+    ResultTable table({"placement variant", "predicted shuffle t (s)",
+                       "moved (GB)", "solve time (s)"});
+    for (const auto& row : g_rows) {
+      table.add_row({row.variant, TablePrinter::num(row.predicted_t, 3),
+                     TablePrinter::num(row.moved_gb, 2),
+                     TablePrinter::num(row.lp_seconds, 4)});
+    }
+    table.print("Ablation: joint-LP alternation vs heuristic placement");
+  });
+}

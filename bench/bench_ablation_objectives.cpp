@@ -1,0 +1,54 @@
+// Ablation: optimization objective — WAN bytes (Geode/WANalytics) vs
+// completion time (Iridium, Bohr). The §9 argument in one table: the
+// byte-minimizing scheme ships the fewest bytes yet delivers worse QCT,
+// because all shuffle funnels through one hub's links.
+#include "bench_common.h"
+
+namespace {
+
+using namespace bohr;
+using namespace bohr::bench;
+
+struct Row {
+  std::string scheme;
+  double qct;
+  double wan_gb;
+  double reduction_pct;
+};
+std::vector<Row> g_rows;
+
+void BM_Objectives(benchmark::State& state) {
+  const auto cfg = bench_config(workload::WorkloadKind::BigData);
+  const std::vector<core::Strategy> schemes{
+      core::Strategy::Geode, core::Strategy::Iridium,
+      core::Strategy::IridiumC, core::Strategy::Bohr};
+  for (auto _ : state) {
+    g_rows.clear();
+    const auto run = core::run_workload(cfg, schemes);
+    for (const auto s : schemes) {
+      const auto& o = run.outcome(s);
+      g_rows.push_back(Row{core::to_string(s), o.avg_qct_seconds,
+                           o.wan_shuffle_bytes / 1e9,
+                           run.mean_data_reduction_percent(s)});
+    }
+  }
+  state.counters["geode_wan_gb"] = g_rows[0].wan_gb;
+  state.counters["geode_qct"] = g_rows[0].qct;
+}
+BENCHMARK(BM_Objectives)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, [] {
+    ResultTable table(
+        {"scheme", "avg QCT (s)", "WAN shuffle (GB)", "data reduction (%)"});
+    for (const auto& row : g_rows) {
+      table.add_row({row.scheme, TablePrinter::num(row.qct, 2),
+                     TablePrinter::num(row.wan_gb, 1),
+                     TablePrinter::num(row.reduction_pct, 2)});
+    }
+    table.print(
+        "Ablation: objective — minimize WAN bytes (Geode) vs minimize QCT");
+  });
+}

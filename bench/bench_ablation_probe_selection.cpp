@@ -1,0 +1,57 @@
+// Ablation: §4.2 composes probes from the TOP-k clusters by size. How
+// much does that ranking matter versus sampling k random clusters?
+#include "bench_common.h"
+
+namespace {
+
+using namespace bohr;
+using namespace bohr::bench;
+
+struct Row {
+  std::string variant;
+  double reduction_pct;
+  double qct_seconds;
+};
+std::vector<Row> g_rows;
+
+void BM_AblationProbeSelection(benchmark::State& state) {
+  for (auto _ : state) {
+    g_rows.clear();
+    {
+      auto cfg = bench_config(workload::WorkloadKind::BigData);
+      const auto run = core::run_workload(cfg, {core::Strategy::Bohr});
+      g_rows.push_back(
+          Row{"top-k clusters (paper)",
+              run.mean_data_reduction_percent(core::Strategy::Bohr),
+              run.outcome(core::Strategy::Bohr).avg_qct_seconds});
+    }
+    {
+      auto cfg = bench_config(workload::WorkloadKind::BigData);
+      cfg.random_probe_records = true;
+      const auto run = core::run_workload(cfg, {core::Strategy::Bohr});
+      g_rows.push_back(
+          Row{"random clusters",
+              run.mean_data_reduction_percent(core::Strategy::Bohr),
+              run.outcome(core::Strategy::Bohr).avg_qct_seconds});
+    }
+  }
+  state.counters["topk_reduction"] = g_rows[0].reduction_pct;
+  state.counters["random_reduction"] = g_rows[1].reduction_pct;
+}
+BENCHMARK(BM_AblationProbeSelection)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, [] {
+    ResultTable table({"probe composition", "mean data reduction (%)",
+                       "avg QCT (s)"});
+    for (const auto& row : g_rows) {
+      table.add_row({row.variant, TablePrinter::num(row.reduction_pct, 2),
+                     TablePrinter::num(row.qct_seconds, 2)});
+    }
+    table.print("Ablation: probe record selection (top-k vs random)");
+  });
+}

@@ -1,0 +1,57 @@
+// Ablation: stragglers and speculative execution (the §9 related-work
+// layer — Mantri/Dolly/GRASS — which is orthogonal to Bohr's WAN-level
+// optimization). Shows that Bohr's advantage over Iridium-C survives
+// local stragglers, and what speculation recovers.
+#include "bench_common.h"
+
+namespace {
+
+using namespace bohr;
+using namespace bohr::bench;
+
+struct Row {
+  std::string variant;
+  double iridium_c_qct;
+  double bohr_qct;
+};
+std::vector<Row> g_rows;
+
+Row run_variant(const std::string& label, double straggler_p,
+                bool speculation) {
+  auto cfg = bench_config(workload::WorkloadKind::BigData);
+  cfg.job.machine.straggler_probability = straggler_p;
+  cfg.job.machine.straggler_slowdown = 6.0;
+  cfg.job.machine.speculative_execution = speculation;
+  const auto run = core::run_workload(
+      cfg, {core::Strategy::IridiumC, core::Strategy::Bohr});
+  return Row{label,
+             run.outcome(core::Strategy::IridiumC).avg_qct_seconds,
+             run.outcome(core::Strategy::Bohr).avg_qct_seconds};
+}
+
+void BM_AblationStragglers(benchmark::State& state) {
+  for (auto _ : state) {
+    g_rows.clear();
+    g_rows.push_back(run_variant("no stragglers", 0.0, false));
+    g_rows.push_back(run_variant("10% stragglers (6x)", 0.10, false));
+    g_rows.push_back(run_variant("10% stragglers + speculation", 0.10, true));
+    g_rows.push_back(run_variant("30% stragglers (6x)", 0.30, false));
+    g_rows.push_back(run_variant("30% stragglers + speculation", 0.30, true));
+  }
+  state.counters["bohr_clean_qct"] = g_rows[0].bohr_qct;
+  state.counters["bohr_worst_qct"] = g_rows[3].bohr_qct;
+}
+BENCHMARK(BM_AblationStragglers)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, [] {
+    ResultTable table({"variant", "Iridium-C QCT (s)", "Bohr QCT (s)"});
+    for (const auto& row : g_rows) {
+      table.add_row({row.variant, TablePrinter::num(row.iridium_c_qct, 2),
+                     TablePrinter::num(row.bohr_qct, 2)});
+    }
+    table.print("Ablation: stragglers and speculative execution");
+  });
+}

@@ -1,0 +1,164 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bohr::bench {
+
+namespace {
+
+std::size_t env_datasets() {
+  if (const char* env = std::getenv("BOHR_BENCH_DATASETS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return 12;
+}
+
+}  // namespace
+
+core::ExperimentConfig bench_config(workload::WorkloadKind kind,
+                                    workload::InitialPlacement placement) {
+  core::ExperimentConfig cfg;
+  cfg.workload = kind;
+  cfg.n_datasets = env_datasets();
+  cfg.generator.sites = 10;
+  cfg.generator.rows_per_site = 480;
+  // 40GB/site per workload (the paper's setting), split across datasets.
+  cfg.generator.gb_per_site = 40.0 / static_cast<double>(cfg.n_datasets);
+  cfg.generator.placement = placement;
+  cfg.base_bandwidth = 125e6;
+  cfg.lag_seconds = 60.0;
+  cfg.probe_k = 30;
+  cfg.job.partition_records = 24;
+  cfg.job.machine.executors = 4;
+  cfg.seed = 20181204;  // CoNEXT'18 presentation day
+  return cfg;
+}
+
+const std::vector<core::Strategy>& all_strategies() {
+  static const std::vector<core::Strategy> kAll{
+      core::Strategy::Iridium,   core::Strategy::IridiumC,
+      core::Strategy::BohrSim,   core::Strategy::BohrJoint,
+      core::Strategy::BohrRdd,   core::Strategy::Bohr,
+  };
+  return kAll;
+}
+
+const std::vector<core::Strategy>& headline_strategies() {
+  static const std::vector<core::Strategy> kHeadline{
+      core::Strategy::Iridium, core::Strategy::IridiumC,
+      core::Strategy::Bohr};
+  return kHeadline;
+}
+
+const std::vector<core::Strategy>& component_strategies() {
+  static const std::vector<core::Strategy> kComponents{
+      core::Strategy::IridiumC, core::Strategy::BohrSim,
+      core::Strategy::BohrJoint, core::Strategy::BohrRdd};
+  return kComponents;
+}
+
+void ResultTable::print(const std::string& title) const {
+  std::printf("\n=== %s ===\n%s\nCSV:\n%s\n", title.c_str(),
+              table_.to_string().c_str(), table_.to_csv().c_str());
+}
+
+int run_bench_main(int argc, char** argv,
+                   const std::function<void()>& epilogue) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (epilogue) epilogue();
+  return 0;
+}
+
+}  // namespace bohr::bench
+
+namespace bohr::bench {
+
+std::vector<LabeledRun> run_three_workloads(
+    workload::InitialPlacement placement,
+    const std::vector<core::Strategy>& strategies) {
+  std::vector<LabeledRun> runs;
+  runs.push_back({"big-data", core::run_workload(
+                                  bench_config(workload::WorkloadKind::BigData,
+                                               placement),
+                                  strategies)});
+  runs.push_back({"TPC-DS", core::run_workload(
+                                bench_config(workload::WorkloadKind::TpcDs,
+                                             placement),
+                                strategies)});
+  runs.push_back(
+      {"Facebook", core::run_workload(
+                       bench_config(workload::WorkloadKind::Facebook,
+                                    placement),
+                       strategies)});
+  return runs;
+}
+
+std::vector<std::string> strategy_headers(
+    std::string first, const std::vector<core::Strategy>& strategies) {
+  std::vector<std::string> headers{std::move(first)};
+  for (const auto s : strategies) headers.push_back(core::to_string(s));
+  return headers;
+}
+
+void fill_qct_table(const std::vector<LabeledRun>& runs,
+                    const std::vector<core::Strategy>& strategies,
+                    ResultTable& table) {
+  using engine::QueryKind;
+  // Big-data splits into its three query kinds (paper's first 3 bars).
+  const core::WorkloadRun& bigdata = runs.at(0).run;
+  const struct {
+    QueryKind kind;
+    const char* label;
+  } kBigDataRows[] = {{QueryKind::Scan, "Big data (scan)"},
+                      {QueryKind::Udf, "Big data (UDF)"},
+                      {QueryKind::Aggregation, "Big data (aggr)"}};
+  for (const auto& row : kBigDataRows) {
+    std::vector<std::string> cells{row.label};
+    for (const auto s : strategies) {
+      const auto& by_kind = bigdata.outcome(s).qct_by_kind;
+      const auto it = by_kind.find(row.kind);
+      cells.push_back(TablePrinter::num(
+          it == by_kind.end() ? 0.0 : it->second, 2));
+    }
+    table.add_row(std::move(cells));
+  }
+  for (std::size_t w = 1; w < runs.size(); ++w) {
+    std::vector<std::string> cells{runs[w].label};
+    for (const auto s : strategies) {
+      cells.push_back(
+          TablePrinter::num(runs[w].run.outcome(s).avg_qct_seconds, 2));
+    }
+    table.add_row(std::move(cells));
+  }
+}
+
+void fill_reduction_table(const core::WorkloadRun& run,
+                          const std::vector<core::Strategy>& strategies,
+                          ResultTable& table) {
+  const net::WanTopology topo = run.config.make_topology();
+  std::vector<std::vector<double>> per_strategy;
+  per_strategy.reserve(strategies.size());
+  for (const auto s : strategies) {
+    per_strategy.push_back(run.data_reduction_percent(s));
+  }
+  for (net::SiteId i = 0; i < topo.site_count(); ++i) {
+    std::vector<std::string> cells{topo.site(i).name};
+    for (std::size_t s = 0; s < strategies.size(); ++s) {
+      cells.push_back(TablePrinter::num(per_strategy[s][i], 2));
+    }
+    table.add_row(std::move(cells));
+  }
+  std::vector<std::string> mean_row{"MEAN"};
+  for (const auto s : strategies) {
+    mean_row.push_back(
+        TablePrinter::num(run.mean_data_reduction_percent(s), 2));
+  }
+  table.add_row(std::move(mean_row));
+}
+
+}  // namespace bohr::bench

@@ -1,0 +1,31 @@
+// Figure 10: component microbenchmark — QCT of Bohr-Sim / Bohr-Joint /
+// Bohr-RDD against the Iridium-C baseline across the workloads.
+//
+// Paper's shape: Bohr-Sim ~12-33% faster than Iridium-C; Bohr-Joint adds
+// a further 15-20%; Bohr-RDD adds ~10% over Bohr-Sim.
+#include "bench_common.h"
+
+namespace {
+
+using namespace bohr;
+using namespace bohr::bench;
+
+std::vector<LabeledRun> g_runs;
+
+void BM_Fig10(benchmark::State& state) {
+  for (auto _ : state) {
+    g_runs = run_three_workloads(workload::InitialPlacement::Random,
+                                 component_strategies());
+  }
+}
+BENCHMARK(BM_Fig10)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, [] {
+    ResultTable table(strategy_headers("workload", component_strategies()));
+    fill_qct_table(g_runs, component_strategies(), table);
+    table.print("Figure 10: component benefit in QCT (seconds)");
+  });
+}

@@ -1,0 +1,38 @@
+// Figure 11: component microbenchmark — per-site data reduction of
+// Bohr-Sim / Bohr-Joint / Bohr-RDD vs Iridium-C (big-data workload).
+//
+// Paper's shape: Bohr-Sim clearly above Iridium-C (which can go negative
+// at some sites); Bohr-Joint ~15-20% above Bohr-Sim; Bohr-RDD ~= Bohr-Sim
+// (RDD clustering does not change shuffle volume).
+#include "bench_common.h"
+
+namespace {
+
+using namespace bohr;
+using namespace bohr::bench;
+
+core::WorkloadRun g_run;
+
+void BM_Fig11(benchmark::State& state) {
+  for (auto _ : state) {
+    g_run = core::run_workload(
+        bench_config(workload::WorkloadKind::BigData,
+                     workload::InitialPlacement::Random),
+        component_strategies());
+  }
+  state.counters["bohr_sim_mean_pct"] =
+      g_run.mean_data_reduction_percent(core::Strategy::BohrSim);
+  state.counters["bohr_joint_mean_pct"] =
+      g_run.mean_data_reduction_percent(core::Strategy::BohrJoint);
+}
+BENCHMARK(BM_Fig11)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, [] {
+    ResultTable table(strategy_headers("site", component_strategies()));
+    fill_reduction_table(g_run, component_strategies(), table);
+    table.print("Figure 11: component benefit in data reduction (%)");
+  });
+}

@@ -1,0 +1,66 @@
+// Figure 12: effect of the probe size k on Bohr's data reduction ratio,
+// for big-data (UDF), TPC-DS, and Facebook workloads.
+//
+// Paper's shape: reduction grows with k and saturates around k = 30;
+// k = 100 adds little.
+#include "bench_common.h"
+
+namespace {
+
+using namespace bohr;
+using namespace bohr::bench;
+
+constexpr std::size_t kProbeSizes[] = {10, 15, 20, 25, 30, 100};
+
+struct KSweepRow {
+  std::size_t k;
+  double bigdata_pct;
+  double tpcds_pct;
+  double facebook_pct;
+};
+std::vector<KSweepRow> g_rows;
+
+double reduction_for(workload::WorkloadKind kind, std::size_t k) {
+  auto cfg = bench_config(kind);
+  cfg.probe_k = k;
+  const auto run = core::run_workload(cfg, {core::Strategy::Bohr});
+  return run.mean_data_reduction_percent(core::Strategy::Bohr);
+}
+
+void BM_Fig12(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  KSweepRow row{k, 0, 0, 0};
+  for (auto _ : state) {
+    row.bigdata_pct = reduction_for(workload::WorkloadKind::BigData, k);
+    row.tpcds_pct = reduction_for(workload::WorkloadKind::TpcDs, k);
+    row.facebook_pct = reduction_for(workload::WorkloadKind::Facebook, k);
+  }
+  state.counters["bigdata_pct"] = row.bigdata_pct;
+  g_rows.push_back(row);
+}
+BENCHMARK(BM_Fig12)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1)
+    ->Arg(2)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(15)
+    ->Arg(20)
+    ->Arg(25)
+    ->Arg(30)
+    ->Arg(100);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, [] {
+    ResultTable table({"k", "Bigdata(UDF)", "TPC-DS", "Facebook"});
+    for (const auto& row : g_rows) {
+      table.add_row({std::to_string(row.k),
+                     TablePrinter::num(row.bigdata_pct, 2),
+                     TablePrinter::num(row.tpcds_pct, 2),
+                     TablePrinter::num(row.facebook_pct, 2)});
+    }
+    table.print("Figure 12: probe size k vs data reduction (%)");
+  });
+}

@@ -1,0 +1,70 @@
+// Figure 13: effect of the probe size k on Bohr's QCT.
+//
+// Paper's shape: QCT shrinks as k grows (better similarity information)
+// and flattens beyond k = 30 — hence k = 30 as Bohr's default.
+#include "bench_common.h"
+
+namespace {
+
+using namespace bohr;
+using namespace bohr::bench;
+
+struct KSweepRow {
+  std::size_t k;
+  double bigdata_udf_qct;
+  double tpcds_qct;
+  double facebook_qct;
+};
+std::vector<KSweepRow> g_rows;
+
+double qct_for(workload::WorkloadKind kind, std::size_t k,
+               engine::QueryKind query_kind) {
+  auto cfg = bench_config(kind);
+  cfg.probe_k = k;
+  const auto run = core::run_workload(cfg, {core::Strategy::Bohr});
+  const auto& by_kind = run.outcome(core::Strategy::Bohr).qct_by_kind;
+  const auto it = by_kind.find(query_kind);
+  return it == by_kind.end()
+             ? run.outcome(core::Strategy::Bohr).avg_qct_seconds
+             : it->second;
+}
+
+void BM_Fig13(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  KSweepRow row{k, 0, 0, 0};
+  for (auto _ : state) {
+    row.bigdata_udf_qct =
+        qct_for(workload::WorkloadKind::BigData, k, engine::QueryKind::Udf);
+    row.tpcds_qct =
+        qct_for(workload::WorkloadKind::TpcDs, k, engine::QueryKind::OlapSql);
+    row.facebook_qct = qct_for(workload::WorkloadKind::Facebook, k,
+                               engine::QueryKind::TraceJob);
+  }
+  g_rows.push_back(row);
+}
+BENCHMARK(BM_Fig13)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1)
+    ->Arg(2)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(15)
+    ->Arg(20)
+    ->Arg(25)
+    ->Arg(30)
+    ->Arg(100);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, [] {
+    ResultTable table({"k", "Bigdata(UDF)", "TPC-DS", "Facebook"});
+    for (const auto& row : g_rows) {
+      table.add_row({std::to_string(row.k),
+                     TablePrinter::num(row.bigdata_udf_qct, 2),
+                     TablePrinter::num(row.tpcds_qct, 2),
+                     TablePrinter::num(row.facebook_qct, 2)});
+    }
+    table.print("Figure 13: probe size k vs QCT (seconds)");
+  });
+}

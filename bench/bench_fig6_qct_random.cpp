@@ -1,0 +1,38 @@
+// Figure 6: query completion time comparison with RANDOM initial data
+// placement — Iridium vs Iridium-C vs Bohr over big data (scan/UDF/aggr),
+// TPC-DS, and Facebook workloads.
+//
+// Paper's shape: Iridium-C slightly beats Iridium (5-20%); Bohr beats
+// Iridium-C by 25-52% depending on the workload.
+#include "bench_common.h"
+
+namespace {
+
+using namespace bohr;
+using namespace bohr::bench;
+
+std::vector<LabeledRun> g_runs;
+
+void BM_Fig6(benchmark::State& state) {
+  for (auto _ : state) {
+    g_runs = run_three_workloads(workload::InitialPlacement::Random,
+                                 headline_strategies());
+  }
+  if (!g_runs.empty()) {
+    state.counters["bohr_qct_s"] =
+        g_runs[0].run.outcome(core::Strategy::Bohr).avg_qct_seconds;
+    state.counters["iridium_c_qct_s"] =
+        g_runs[0].run.outcome(core::Strategy::IridiumC).avg_qct_seconds;
+  }
+}
+BENCHMARK(BM_Fig6)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, [] {
+    ResultTable table(strategy_headers("workload", headline_strategies()));
+    fill_qct_table(g_runs, headline_strategies(), table);
+    table.print("Figure 6: QCT (seconds), random initial placement");
+  });
+}

@@ -1,0 +1,31 @@
+// Figure 7: query completion time comparison with LOCALITY-AWARE initial
+// data placement (input clustered by region/store/date onto sites).
+//
+// Paper's shape: all systems gain roughly 5% over random placement; the
+// Bohr > Iridium-C > Iridium ordering is unchanged.
+#include "bench_common.h"
+
+namespace {
+
+using namespace bohr;
+using namespace bohr::bench;
+
+std::vector<LabeledRun> g_runs;
+
+void BM_Fig7(benchmark::State& state) {
+  for (auto _ : state) {
+    g_runs = run_three_workloads(workload::InitialPlacement::LocalityAware,
+                                 headline_strategies());
+  }
+}
+BENCHMARK(BM_Fig7)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, [] {
+    ResultTable table(strategy_headers("workload", headline_strategies()));
+    fill_qct_table(g_runs, headline_strategies(), table);
+    table.print("Figure 7: QCT (seconds), locality-aware initial placement");
+  });
+}

@@ -1,0 +1,39 @@
+// Figure 8: per-site intermediate data reduction (%) over vanilla Spark,
+// random initial placement, big-data workload.
+//
+// Paper's shape: Bohr ~30% at every site; Iridium-C mid-single-digits to
+// ~12%; Iridium near zero and NEGATIVE at some sites (similarity-agnostic
+// movement ships data that cannot combine).
+#include "bench_common.h"
+
+namespace {
+
+using namespace bohr;
+using namespace bohr::bench;
+
+core::WorkloadRun g_run;
+
+void BM_Fig8(benchmark::State& state) {
+  for (auto _ : state) {
+    g_run = core::run_workload(
+        bench_config(workload::WorkloadKind::BigData,
+                     workload::InitialPlacement::Random),
+        headline_strategies());
+  }
+  state.counters["bohr_mean_reduction_pct"] =
+      g_run.mean_data_reduction_percent(core::Strategy::Bohr);
+  state.counters["iridium_mean_reduction_pct"] =
+      g_run.mean_data_reduction_percent(core::Strategy::Iridium);
+}
+BENCHMARK(BM_Fig8)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, [] {
+    ResultTable table(strategy_headers("site", headline_strategies()));
+    fill_reduction_table(g_run, headline_strategies(), table);
+    table.print(
+        "Figure 8: data reduction (%) per site, random initial placement");
+  });
+}

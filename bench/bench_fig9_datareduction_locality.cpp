@@ -1,0 +1,36 @@
+// Figure 9: per-site intermediate data reduction (%) over vanilla Spark,
+// LOCALITY-AWARE initial placement, big-data workload.
+//
+// Paper's shape: Bohr's reduction is almost unchanged vs Figure 8, while
+// Iridium and Iridium-C improve somewhat.
+#include "bench_common.h"
+
+namespace {
+
+using namespace bohr;
+using namespace bohr::bench;
+
+core::WorkloadRun g_run;
+
+void BM_Fig9(benchmark::State& state) {
+  for (auto _ : state) {
+    g_run = core::run_workload(
+        bench_config(workload::WorkloadKind::BigData,
+                     workload::InitialPlacement::LocalityAware),
+        headline_strategies());
+  }
+  state.counters["bohr_mean_reduction_pct"] =
+      g_run.mean_data_reduction_percent(core::Strategy::Bohr);
+}
+BENCHMARK(BM_Fig9)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, [] {
+    ResultTable table(strategy_headers("site", headline_strategies()));
+    fill_reduction_table(g_run, headline_strategies(), table);
+    table.print(
+        "Figure 9: data reduction (%) per site, locality-aware placement");
+  });
+}

@@ -1,0 +1,62 @@
+// Sensitivity: WAN bandwidth. Sweeping the base-tier uplink shows the
+// shuffle-dominated regime the paper targets (slow WAN: Bohr's savings
+// matter most) fading into a compute-bound regime (fast WAN: everyone
+// converges).
+#include "bench_common.h"
+
+namespace {
+
+using namespace bohr;
+using namespace bohr::bench;
+
+struct Row {
+  double base_mbps;
+  double iridium_qct;
+  double iridium_c_qct;
+  double bohr_qct;
+  double bohr_gain_pct;  // vs Iridium-C
+};
+std::vector<Row> g_rows;
+
+void BM_Bandwidth(benchmark::State& state) {
+  const double base = static_cast<double>(state.range(0)) * 1e6;
+  auto cfg = bench_config(workload::WorkloadKind::BigData);
+  cfg.base_bandwidth = base;
+  Row row{base / 1e6, 0, 0, 0, 0};
+  for (auto _ : state) {
+    const auto run = core::run_workload(cfg, headline_strategies());
+    row.iridium_qct = run.outcome(core::Strategy::Iridium).avg_qct_seconds;
+    row.iridium_c_qct =
+        run.outcome(core::Strategy::IridiumC).avg_qct_seconds;
+    row.bohr_qct = run.outcome(core::Strategy::Bohr).avg_qct_seconds;
+    row.bohr_gain_pct =
+        100.0 * (1.0 - row.bohr_qct / row.iridium_c_qct);
+  }
+  g_rows.push_back(row);
+}
+BENCHMARK(BM_Bandwidth)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1)
+    ->Arg(50)
+    ->Arg(125)
+    ->Arg(250)
+    ->Arg(500)
+    ->Arg(1000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, [] {
+    ResultTable table({"base uplink (MB/s)", "Iridium QCT (s)",
+                       "Iridium-C QCT (s)", "Bohr QCT (s)",
+                       "Bohr gain vs Iridium-C (%)"});
+    for (const auto& row : g_rows) {
+      table.add_row({TablePrinter::num(row.base_mbps, 0),
+                     TablePrinter::num(row.iridium_qct, 2),
+                     TablePrinter::num(row.iridium_c_qct, 2),
+                     TablePrinter::num(row.bohr_qct, 2),
+                     TablePrinter::num(row.bohr_gain_pct, 1)});
+    }
+    table.print("Sensitivity: base WAN bandwidth");
+  });
+}

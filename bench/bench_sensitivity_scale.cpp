@@ -1,0 +1,63 @@
+// Sensitivity: how QCT, data reduction, and LP solve time scale with the
+// number of datasets sharing the placement (the paper runs 300; the
+// bench default is 12 — this sweep shows nothing qualitative changes in
+// between and that the LP stays cheap).
+#include "bench_common.h"
+
+namespace {
+
+using namespace bohr;
+using namespace bohr::bench;
+
+struct Row {
+  std::size_t datasets;
+  double iridium_c_qct;
+  double bohr_qct;
+  double bohr_reduction;
+  double lp_seconds;
+};
+std::vector<Row> g_rows;
+
+void BM_Scale(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto cfg = bench_config(workload::WorkloadKind::BigData);
+  cfg.n_datasets = n;
+  cfg.generator.gb_per_site = 40.0 / static_cast<double>(n);
+  Row row{n, 0, 0, 0, 0};
+  for (auto _ : state) {
+    const auto run = core::run_workload(
+        cfg, {core::Strategy::IridiumC, core::Strategy::Bohr});
+    row.iridium_c_qct = run.outcome(core::Strategy::IridiumC).avg_qct_seconds;
+    row.bohr_qct = run.outcome(core::Strategy::Bohr).avg_qct_seconds;
+    row.bohr_reduction = run.mean_data_reduction_percent(core::Strategy::Bohr);
+    row.lp_seconds =
+        run.outcome(core::Strategy::Bohr).prep.decision.lp_seconds;
+  }
+  state.counters["lp_s"] = row.lp_seconds;
+  g_rows.push_back(row);
+}
+BENCHMARK(BM_Scale)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(12)
+    ->Arg(18)
+    ->Arg(24);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, [] {
+    ResultTable table({"datasets", "Iridium-C QCT (s)", "Bohr QCT (s)",
+                       "Bohr reduction (%)", "LP time (s)"});
+    for (const auto& row : g_rows) {
+      table.add_row({std::to_string(row.datasets),
+                     TablePrinter::num(row.iridium_c_qct, 2),
+                     TablePrinter::num(row.bohr_qct, 2),
+                     TablePrinter::num(row.bohr_reduction, 2),
+                     TablePrinter::num(row.lp_seconds, 4)});
+    }
+    table.print("Sensitivity: dataset count (40GB/site total, split evenly)");
+  });
+}

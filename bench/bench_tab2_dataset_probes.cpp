@@ -1,0 +1,92 @@
+// Table 2: dataset attributes and their impact on probing — four sample
+// datasets of different sizes share one probe budget of k = 30 records,
+// allocated mainly by dataset size; similarity-checking time follows the
+// allocation.
+#include "bench_common.h"
+
+#include "common/timer.h"
+#include "core/similarity_service.h"
+#include "similarity/probe.h"
+#include "workload/query_mix.h"
+
+namespace {
+
+using namespace bohr;
+using namespace bohr::bench;
+
+struct SampleDataset {
+  std::size_t id;
+  workload::WorkloadKind kind;
+  double size_gb;  // paper's sample sizes
+};
+
+// Mirrors the paper's four sample datasets (0.87 / 4.32 / 3.21 / 0.57 GB).
+constexpr SampleDataset kSamples[] = {
+    {1, workload::WorkloadKind::BigData, 0.87},
+    {3, workload::WorkloadKind::TpcDs, 4.32},
+    {7, workload::WorkloadKind::Facebook, 3.21},
+    {10, workload::WorkloadKind::BigData, 0.57},
+};
+
+struct Row {
+  std::size_t id;
+  std::size_t dims;
+  double size_gb;
+  std::size_t probe_records;
+  double checking_seconds;
+};
+std::vector<Row> g_rows;
+
+core::DatasetState make_sample(const SampleDataset& sample) {
+  workload::GeneratorConfig gen;
+  gen.sites = 10;
+  gen.gb_per_site = sample.size_gb / 10.0;
+  // Rows scale with the dataset size so checking time does too.
+  gen.rows_per_site =
+      static_cast<std::size_t>(120.0 * sample.size_gb) + 40;
+  gen.seed = sample.id;
+  auto bundle = workload::generate_dataset(sample.kind, sample.id, gen);
+  Rng rng(sample.id);
+  auto mix = workload::sample_query_mix(bundle, rng);
+  return core::DatasetState(std::move(bundle), std::move(mix), true);
+}
+
+void BM_Tab2(benchmark::State& state) {
+  for (auto _ : state) {
+    g_rows.clear();
+    // Allocate the shared k = 30 budget by dataset size (§8.4).
+    std::vector<double> sizes;
+    for (const auto& s : kSamples) sizes.push_back(s.size_gb);
+    const auto alloc = similarity::allocate_probe_budget(sizes, 30);
+
+    for (std::size_t d = 0; d < std::size(kSamples); ++d) {
+      core::DatasetState ds = make_sample(kSamples[d]);
+      core::SimilarityOptions options;
+      options.probe_k = std::max<std::size_t>(alloc[d], 1);
+      const WallTimer timer;
+      const auto sim = core::check_similarity(ds, options);
+      g_rows.push_back(Row{kSamples[d].id,
+                           ds.bundle().cube_spec.dimensions.size(),
+                           kSamples[d].size_gb, alloc[d],
+                           timer.elapsed_seconds()});
+      benchmark::DoNotOptimize(sim.probe_bytes);
+    }
+  }
+}
+BENCHMARK(BM_Tab2)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, [] {
+    ResultTable table({"dataset id", "# dimensions", "size (GB)",
+                       "# records in probe", "checking time (s)"});
+    for (const auto& row : g_rows) {
+      table.add_row({std::to_string(row.id), std::to_string(row.dims),
+                     TablePrinter::num(row.size_gb, 2),
+                     std::to_string(row.probe_records),
+                     TablePrinter::num(row.checking_seconds, 4)});
+    }
+    table.print("Table 2: dataset attributes and probing impact (k=30 total)");
+  });
+}

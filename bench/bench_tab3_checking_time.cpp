@@ -1,0 +1,71 @@
+// Table 3: data similarity checking time in pre-processing as the probe
+// size k grows — the full probe exchange over every dataset of the
+// big-data workload.
+//
+// Paper's shape: monotone growth with k; even k = 100 stays cheap enough
+// to hide entirely in the pre-processing lag.
+#include "bench_common.h"
+
+#include "core/similarity_service.h"
+#include "workload/query_mix.h"
+
+namespace {
+
+using namespace bohr;
+using namespace bohr::bench;
+
+struct Row {
+  std::size_t k;
+  double seconds;
+};
+std::vector<Row> g_rows;
+
+void BM_Tab3(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto cfg = bench_config(workload::WorkloadKind::BigData);
+
+  // Build the controller-side states once (pre-processing is offline).
+  std::vector<core::DatasetState> states;
+  Rng mix_rng(3);
+  for (std::size_t a = 0; a < cfg.n_datasets; ++a) {
+    auto bundle = workload::generate_dataset(cfg.workload, a, cfg.generator);
+    auto mix = workload::sample_query_mix(bundle, mix_rng);
+    states.emplace_back(std::move(bundle), std::move(mix), true);
+  }
+
+  double seconds = 0.0;
+  for (auto _ : state) {
+    seconds = 0.0;
+    for (const auto& ds : states) {
+      core::SimilarityOptions options;
+      options.probe_k = k;
+      const auto sim = core::check_similarity(ds, options);
+      seconds += sim.checking_seconds;
+      benchmark::DoNotOptimize(sim.pair.size());
+    }
+  }
+  state.counters["checking_s"] = seconds;
+  g_rows.push_back(Row{k, seconds});
+}
+BENCHMARK(BM_Tab3)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->Arg(10)
+    ->Arg(15)
+    ->Arg(20)
+    ->Arg(25)
+    ->Arg(30)
+    ->Arg(100);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, [] {
+    ResultTable table({"# records per probe", "similarity checking (s)"});
+    for (const auto& row : g_rows) {
+      table.add_row({std::to_string(row.k),
+                     TablePrinter::num(row.seconds, 4)});
+    }
+    table.print("Table 3: similarity checking time vs probe size");
+  });
+}

@@ -1,0 +1,92 @@
+// Table 4: overhead of runtime RDD similarity checking as the number of
+// executors per node grows (TPC-DS workload, k = 30).
+//
+// Paper's shape: checking time grows with executor count (bigger k-means
+// problem); QCT improves with parallelism up to a point, then the
+// checking overhead eats the gain (their best case: 6 executors).
+#include "bench_common.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+#include "core/controller.h"
+#include "workload/query_mix.h"
+
+namespace {
+
+using namespace bohr;
+using namespace bohr::bench;
+
+struct Row {
+  std::size_t executors;
+  double rdd_check_seconds;  // mean per query across sites with data
+  double qct_seconds;
+};
+std::vector<Row> g_rows;
+
+void BM_Tab4(benchmark::State& state) {
+  const auto executors = static_cast<std::size_t>(state.range(0));
+  auto cfg = bench_config(workload::WorkloadKind::TpcDs);
+  cfg.job.machine.executors = executors;
+
+  Row row{executors, 0.0, 0.0};
+  for (auto _ : state) {
+    const auto run = core::run_workload(cfg, {core::Strategy::Bohr});
+    row.qct_seconds = run.outcome(core::Strategy::Bohr).avg_qct_seconds;
+  }
+  // Recompute the per-query RDD-checking cost via a direct controller run
+  // (run_workload aggregates QCT only).
+  {
+    const auto topo = cfg.make_topology();
+    std::vector<core::DatasetState> states;
+    Rng mix_rng(bohr::hash_combine(cfg.seed, 0xA11CE));
+    workload::GeneratorConfig gen = cfg.generator;
+    gen.seed = bohr::hash_combine(cfg.seed, gen.seed);
+    for (std::size_t a = 0; a < cfg.n_datasets; ++a) {
+      auto bundle = workload::generate_dataset(cfg.workload, a, gen);
+      auto mix = workload::sample_query_mix(bundle, mix_rng);
+      states.emplace_back(std::move(bundle), std::move(mix), true);
+    }
+    core::ControllerOptions options;
+    options.strategy = core::Strategy::Bohr;
+    options.similarity.probe_k = cfg.probe_k;
+    options.lag_seconds = cfg.lag_seconds;
+    options.job = cfg.job;
+    options.seed = cfg.seed;
+    core::Controller controller(topo, std::move(states), options);
+    RunningStats check;
+    for (const auto& exec : controller.run_all_queries()) {
+      double worst = 0.0;
+      for (const auto& site : exec.result.sites) {
+        worst = std::max(worst, site.rdd_check_seconds);
+      }
+      check.add(worst);
+    }
+    row.rdd_check_seconds = check.mean();
+  }
+  state.counters["rdd_check_s"] = row.rdd_check_seconds;
+  state.counters["qct_s"] = row.qct_seconds;
+  g_rows.push_back(row);
+}
+BENCHMARK(BM_Tab4)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(6)
+    ->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, [] {
+    ResultTable table(
+        {"# executors in a node", "RDD similarity checking (s)", "QCT (s)"});
+    for (const auto& row : g_rows) {
+      table.add_row({std::to_string(row.executors),
+                     TablePrinter::num(row.rdd_check_seconds, 4),
+                     TablePrinter::num(row.qct_seconds, 2)});
+    }
+    table.print("Table 4: RDD similarity checking overhead vs executors");
+  });
+}

@@ -1,0 +1,55 @@
+// Table 6: per-node storage overhead comparison (GB). Each node holds
+// 40GB of raw input per workload; Iridium-C adds OLAP cubes; Bohr adds
+// cubes plus similarity metadata. Note the paper's punchline: cube
+// systems need LESS data at query time than Iridium, because queries
+// read only the cubes (+ metadata) while raw data can go to cold storage.
+#include "bench_common.h"
+
+namespace {
+
+using namespace bohr;
+using namespace bohr::bench;
+
+struct Row {
+  core::Strategy strategy;
+  core::StorageReport report;
+};
+std::vector<Row> g_rows;
+
+void BM_Tab6(benchmark::State& state) {
+  const auto cfg = bench_config(workload::WorkloadKind::BigData);
+  for (auto _ : state) {
+    g_rows.clear();
+    for (const auto s : headline_strategies()) {
+      g_rows.push_back(Row{s, core::compute_storage(cfg, s)});
+    }
+  }
+  for (const auto& row : g_rows) {
+    if (row.strategy == core::Strategy::Bohr) {
+      state.counters["bohr_storage_gb"] = row.report.storage_per_node_gb;
+    }
+  }
+}
+BENCHMARK(BM_Tab6)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, [] {
+    ResultTable table({"scheme", "storage per node (GB)",
+                       "needed by queries (GB)", "OLAP cubes (GB)",
+                       "similarity metadata (GB)"});
+    for (const auto& row : g_rows) {
+      const auto& r = row.report;
+      table.add_row({core::to_string(row.strategy),
+                     TablePrinter::num(r.storage_per_node_gb, 2),
+                     TablePrinter::num(r.needed_by_queries_gb, 2),
+                     r.olap_cubes_gb > 0 ? TablePrinter::num(r.olap_cubes_gb, 2)
+                                         : std::string("-"),
+                     r.similarity_metadata_gb > 0
+                         ? TablePrinter::num(r.similarity_metadata_gb, 2)
+                         : std::string("-")});
+    }
+    table.print("Table 6: per-node storage overhead (GB, 40GB raw input)");
+  });
+}

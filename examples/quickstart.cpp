@@ -1,0 +1,53 @@
+// Quickstart: the minimal end-to-end Bohr flow.
+//
+//   1. Describe the WAN (the paper's ten EC2 regions).
+//   2. Generate a geo-distributed dataset and its recurring query mix.
+//   3. Hand everything to the Bohr controller: it builds OLAP cubes,
+//      exchanges probes, solves the joint placement LP, moves data in the
+//      lag before the next query, and executes the queries.
+//   4. Compare against the Iridium-C baseline.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/experiment.h"
+
+int main() {
+  using namespace bohr;
+
+  // Experiment setup: 12 datasets of the AMPLab-style big-data workload
+  // totalling 40GB per site, 60s between recurring queries, base-tier
+  // WAN uplink of 125 MB/s (the paper's three bandwidth tiers).
+  core::ExperimentConfig config;
+  config.workload = workload::WorkloadKind::BigData;
+  config.n_datasets = 12;
+  config.generator.sites = 10;
+  config.generator.rows_per_site = 480;
+  config.generator.gb_per_site = 40.0 / 12;
+  config.base_bandwidth = 125e6;
+  config.lag_seconds = 60.0;
+  config.probe_k = 30;
+  config.seed = 42;
+
+  std::printf("Running Iridium-C and Bohr on the %s workload...\n\n",
+              to_string(config.workload).c_str());
+  const core::WorkloadRun run = core::run_workload(
+      config, {core::Strategy::IridiumC, core::Strategy::Bohr});
+
+  for (const core::Strategy s :
+       {core::Strategy::IridiumC, core::Strategy::Bohr}) {
+    const core::StrategyOutcome& o = run.outcome(s);
+    std::printf("%-10s  avg QCT %6.2f s   data reduction %6.2f %%   "
+                "moved %7.2f GB in %.1f s\n",
+                core::to_string(s).c_str(), o.avg_qct_seconds,
+                run.mean_data_reduction_percent(s),
+                o.prep.bytes_moved / 1e9, o.prep.movement_seconds);
+  }
+
+  const double iridium_c =
+      run.outcome(core::Strategy::IridiumC).avg_qct_seconds;
+  const double bohr = run.outcome(core::Strategy::Bohr).avg_qct_seconds;
+  std::printf("\nBohr is %.1f%% faster than Iridium-C on this run.\n",
+              100.0 * (1.0 - bohr / iridium_c));
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Retail business intelligence on highly dynamic data (§8.6): a TPC-DS
+// style star schema where each store's daily sales extract arrives as a
+// batch between recurring queries. Bohr buffers new rows, brings the
+// dimension cube the next query needs up to date first (§4.1), and
+// re-runs similarity checking plus the placement LP every few queries.
+//
+// Run: ./build/examples/retail_analytics
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "workload/dynamic.h"
+
+int main() {
+  using namespace bohr;
+
+  core::ExperimentConfig config;
+  config.workload = workload::WorkloadKind::TpcDs;
+  config.n_datasets = 12;
+  config.generator.sites = 10;
+  config.generator.rows_per_site = 480;
+  config.generator.gb_per_site = 40.0 / 12;
+  config.generator.placement = workload::InitialPlacement::LocalityAware;
+  config.base_bandwidth = 125e6;
+  config.lag_seconds = 60.0;
+  config.seed = 2018;
+
+  std::printf(
+      "Retail analytics: %zu store_sales datasets, locality-aware initial\n"
+      "placement (each site ingests its own stores' extracts).\n\n",
+      config.n_datasets);
+
+  // Static comparison first: how much does Bohr help this workload?
+  const core::WorkloadRun run = core::run_workload(
+      config, {core::Strategy::IridiumC, core::Strategy::Bohr});
+  std::printf("Static data:   Iridium-C %.2f s   Bohr %.2f s   "
+              "(reduction %.1f%% vs %.1f%%)\n",
+              run.outcome(core::Strategy::IridiumC).avg_qct_seconds,
+              run.outcome(core::Strategy::Bohr).avg_qct_seconds,
+              run.mean_data_reduction_percent(core::Strategy::IridiumC),
+              run.mean_data_reduction_percent(core::Strategy::Bohr));
+
+  // Dynamic setting: 25% of data initially, the rest in nightly batches;
+  // re-plan (probes + LP + movement) every 5 queries.
+  core::ExperimentConfig dyn_config = config;
+  dyn_config.n_datasets = 4;  // one query per batch; keep the run snappy
+  dyn_config.generator.gb_per_site = 40.0 / 4;
+  const core::DynamicRunResult dynamic = core::run_dynamic_experiment(
+      dyn_config, /*n_batches=*/15, /*initial_fraction=*/0.25,
+      /*replan_every=*/5);
+  std::printf("Dynamic data:  normal %.2f s   dynamic %.2f s   "
+              "(%zu queries, %zu re-plans)\n",
+              dynamic.normal_avg_qct, dynamic.dynamic_avg_qct,
+              dynamic.queries_run, dynamic.replans);
+  std::printf("\nDynamic/normal QCT ratio: %.2fx — pre-processing of new "
+              "batches hides\nin the query lag, as in the paper's Table 7.\n",
+              dynamic.dynamic_avg_qct / dynamic.normal_avg_qct);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines'
+// Expects/Ensures (I.6, I.8). Violations throw, so tests can assert on them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bohr {
+
+/// Thrown when a precondition or invariant check fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace bohr
+
+#define BOHR_EXPECTS(cond)                                                \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::bohr::detail::contract_fail("precondition", #cond, __FILE__,      \
+                                    __LINE__);                            \
+  } while (false)
+
+#define BOHR_ENSURES(cond)                                                 \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::bohr::detail::contract_fail("postcondition", #cond, __FILE__,      \
+                                    __LINE__);                             \
+  } while (false)
+
+#define BOHR_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::bohr::detail::contract_fail("invariant", #cond, __FILE__,         \
+                                    __LINE__);                            \
+  } while (false)

@@ -1,0 +1,44 @@
+// Streaming and batch statistics used by the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bohr {
+
+/// Welford's online mean/variance accumulator — numerically stable,
+/// single pass.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator (parallel Welford / Chan et al.).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Returns the p-th percentile (p in [0,100]) using linear interpolation
+/// between closest ranks. Copies and sorts; intended for result reporting,
+/// not hot paths. Returns 0 for empty input.
+double percentile(std::vector<double> values, double p);
+
+/// Arithmetic mean; 0 for empty input.
+double mean_of(const std::vector<double>& values);
+
+}  // namespace bohr

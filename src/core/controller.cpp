@@ -1,0 +1,228 @@
+#include "core/controller.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "engine/partitioner.h"
+
+namespace bohr::core {
+
+Controller::Controller(net::WanTopology topology,
+                       std::vector<DatasetState> datasets,
+                       ControllerOptions options)
+    : topology_(std::move(topology)),
+      datasets_(std::move(datasets)),
+      options_(options),
+      rng_(options.seed) {
+  BOHR_EXPECTS(!datasets_.empty());
+  const StrategyTraits traits = traits_of(options_.strategy);
+  for (const auto& d : datasets_) {
+    BOHR_EXPECTS(d.site_count() == topology_.site_count());
+    BOHR_EXPECTS(d.has_cubes() == traits.cubes);
+    total_queries_ += d.mix().total_queries();
+  }
+  BOHR_EXPECTS(total_queries_ > 0);
+}
+
+engine::QuerySpec Controller::query_spec_for(const DatasetState& dataset,
+                                             std::size_t type_spec) const {
+  const auto& qt = dataset.bundle().query_types[type_spec];
+  engine::QuerySpec spec = engine::default_spec_for(qt.kind);
+  spec.dataset = dataset.dataset_id();
+  spec.query_type = dataset.cube_query_type(type_spec);
+  spec.intermediate_bytes_per_record = intermediate_record_bytes(dataset, spec);
+  return spec;
+}
+
+double Controller::intermediate_record_bytes(
+    const DatasetState& dataset, const engine::QuerySpec& spec) const {
+  // One synthetic row stands for bytes_per_row/physical_record_bytes real
+  // records; intermediate sizes scale by the same representation factor.
+  const double representation =
+      dataset.bundle().bytes_per_row / options_.physical_record_bytes;
+  return spec.intermediate_bytes_per_record * representation;
+}
+
+double Controller::profiled_reduction_ratio(
+    const DatasetState& dataset) const {
+  // R^a = map-output bytes per input byte, before combining, averaged
+  // over the dataset's query mix.
+  const auto weights = dataset.mix().weights();
+  double r = 0.0;
+  double total_w = 0.0;
+  for (std::size_t t = 0; t < dataset.bundle().query_types.size(); ++t) {
+    if (weights[t] <= 0.0) continue;
+    const engine::QuerySpec spec =
+        engine::default_spec_for(dataset.bundle().query_types[t].kind);
+    r += weights[t] * spec.selectivity * spec.intermediate_bytes_per_record /
+         options_.physical_record_bytes;
+    total_w += weights[t];
+  }
+  return total_w > 0.0 ? r / total_w : 0.0;
+}
+
+PlacementProblem Controller::build_placement_problem() const {
+  const StrategyTraits traits = traits_of(options_.strategy);
+  PlacementProblem problem;
+  problem.topology = topology_;
+  problem.lag_seconds = options_.lag_seconds;
+  problem.datasets.reserve(datasets_.size());
+  for (std::size_t a = 0; a < datasets_.size(); ++a) {
+    const DatasetState& d = datasets_[a];
+    DatasetPlacementInput input;
+    input.dataset_id = d.dataset_id();
+    input.reduction_ratio = profiled_reduction_ratio(d);
+    input.query_count = d.mix().total_queries();
+    input.input_bytes.resize(d.site_count());
+    input.self_similarity.assign(d.site_count(), 0.0);
+    for (std::size_t i = 0; i < d.site_count(); ++i) {
+      input.input_bytes[i] = d.input_bytes_at(i);
+    }
+    if (traits.cubes && !similarity_.empty()) {
+      input.self_similarity = similarity_[a].self;
+      // §4.3: only the joint formulation consumes the probe-measured
+      // pair similarities (Bohr-Sim keeps Iridium's heuristic amounts
+      // and uses similarity solely to pick WHICH records move, §8.1).
+      if (traits.joint_lp) {
+        input.pair_similarity = similarity_[a].pair;
+      }
+    } else if (traits.cubes) {
+      // Cubes exist but no probe round ran: read self-similarity locally.
+      const auto weights = d.cube_type_weights();
+      for (std::size_t i = 0; i < d.site_count(); ++i) {
+        input.self_similarity[i] =
+            similarity::self_similarity(d.cubes_at(i), weights);
+      }
+    }
+    // Plain Iridium has no cubes; it profiles the effective per-site
+    // ratio from previous runs. Approximate with the dataset-wide
+    // combine-free ratio (similarity-agnostic, as in [27]).
+    problem.datasets.push_back(std::move(input));
+  }
+  return problem;
+}
+
+const PrepareReport& Controller::prepare() {
+  if (prepared_) return *prepared_;
+  const StrategyTraits traits = traits_of(options_.strategy);
+  PrepareReport report;
+
+  // 1. Similarity checking (§4) for cube-backed similarity strategies.
+  if (traits.similarity_movement) {
+    similarity_.reserve(datasets_.size());
+    for (const auto& d : datasets_) {
+      DatasetSimilarity sim = check_similarity(d, options_.similarity);
+      report.similarity_seconds += sim.checking_seconds;
+      report.probe_bytes += sim.probe_bytes;
+      similarity_.push_back(std::move(sim));
+    }
+  }
+
+  // 2. Placement: joint LP (§5), the Iridium heuristic, or §1's
+  // ship-everything strawman.
+  const PlacementProblem problem = build_placement_problem();
+  if (centralizes(options_.strategy)) {
+    report.decision = centralized_placement(problem);
+  } else if (minimizes_bandwidth(options_.strategy)) {
+    report.decision = geode_placement(problem);
+  } else if (traits.joint_lp) {
+    report.decision = joint_lp_placement(problem);
+  } else {
+    report.decision = iridium_placement(problem);
+  }
+
+  // 3. Movement in the lag before the next query (§3). All datasets
+  // move concurrently and share the WAN, so their flows are simulated
+  // together.
+  std::vector<net::Flow> all_flows;
+  for (std::size_t a = 0; a < datasets_.size(); ++a) {
+    const DatasetSimilarity* sim =
+        similarity_.empty() ? nullptr : &similarity_[a];
+    MovementReport moved = apply_movement(
+        datasets_[a], report.decision.move_bytes[a], sim,
+        traits.similarity_movement, topology_, options_.lag_seconds, rng_);
+    report.bytes_moved += moved.bytes_moved;
+    report.rows_moved += moved.rows_moved;
+    all_flows.insert(all_flows.end(), moved.flows.begin(), moved.flows.end());
+  }
+  if (!all_flows.empty()) {
+    for (const auto& r : net::simulate_flows(topology_, all_flows)) {
+      report.movement_seconds =
+          std::max(report.movement_seconds, r.finish_time);
+    }
+  }
+  report.movement_within_lag =
+      report.movement_seconds <= options_.lag_seconds + 1e-9;
+
+  prepared_ = std::move(report);
+  return *prepared_;
+}
+
+std::vector<double> Controller::vanilla_reduce_fractions(
+    const DatasetState& dataset) const {
+  // Vanilla Spark runs reduce tasks where the data is.
+  std::vector<double> r(dataset.site_count(), 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < dataset.site_count(); ++i) {
+    r[i] = dataset.input_bytes_at(i);
+    total += r[i];
+  }
+  if (total <= 0.0) {
+    std::fill(r.begin(), r.end(), 1.0 / static_cast<double>(r.size()));
+    return r;
+  }
+  for (auto& ri : r) ri /= total;
+  return r;
+}
+
+std::vector<QueryExecution> Controller::run_all_queries() {
+  const PrepareReport& prep = prepare();
+  const StrategyTraits traits = traits_of(options_.strategy);
+
+  engine::JobConfig job = options_.job;
+  job.partition_policy = traits.cubes ? engine::PartitionPolicy::CubeSorted
+                                      : engine::PartitionPolicy::ArrivalOrder;
+  job.executor_assignment = traits.rdd_similarity
+                                ? engine::ExecutorAssignment::SimilarityKMeans
+                                : engine::ExecutorAssignment::RoundRobin;
+  // §8.5: LP solving time is included in QCT, amortized across the
+  // recurring queries the one placement serves.
+  job.controller_overhead_seconds =
+      prep.decision.lp_seconds / static_cast<double>(total_queries_);
+
+  std::vector<QueryExecution> executions;
+  for (std::size_t a = 0; a < datasets_.size(); ++a) {
+    DatasetState& d = datasets_[a];
+    for (std::size_t t = 0; t < d.bundle().query_types.size(); ++t) {
+      const std::size_t recurrences = d.mix().counts[t];
+      if (recurrences == 0) continue;
+      const engine::QuerySpec spec = query_spec_for(d, t);
+      const std::uint64_t salt =
+          hash_combine(d.dataset_id(), hash_combine(t, 0xABCD));
+
+      std::vector<engine::RecordStream> inputs(d.site_count());
+      for (std::size_t i = 0; i < d.site_count(); ++i) {
+        inputs[i] = d.map_rows(i, t, spec.selectivity, salt);
+      }
+
+      engine::JobConfig dataset_job = job;
+      dataset_job.machine.record_scale = std::max(
+          1.0, d.bundle().bytes_per_row / options_.physical_record_bytes);
+
+      QueryExecution exec;
+      exec.dataset_id = d.dataset_id();
+      exec.query_type_spec = t;
+      exec.kind = spec.kind;
+      exec.recurrences = recurrences;
+      exec.result = engine::run_job(topology_, inputs,
+                                    prep.decision.reduce_fractions, spec,
+                                    dataset_job, rng_);
+      executions.push_back(std::move(exec));
+    }
+  }
+  return executions;
+}
+
+}  // namespace bohr::core

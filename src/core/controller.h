@@ -1,0 +1,99 @@
+// The Bohr controller (§3): pre-processing, similarity checking, data and
+// task placement, movement, and query execution for one of the six
+// schemes of §8.1.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/movement.h"
+
+#include "net/transfer.h"
+#include "core/placement.h"
+#include "core/similarity_service.h"
+#include "core/state.h"
+#include "core/strategy.h"
+#include "engine/job_runner.h"
+
+namespace bohr::core {
+
+struct ControllerOptions {
+  Strategy strategy = Strategy::Bohr;
+  SimilarityOptions similarity;
+  /// T — lag between recurring query arrivals (movement budget).
+  double lag_seconds = 30.0;
+  engine::JobConfig job;
+  /// Physical bytes of one raw input record; converts the workload's
+  /// logical bytes_per_row into intermediate-record sizes.
+  double physical_record_bytes = 256.0;
+  std::uint64_t seed = 7;
+};
+
+/// What prepare() did before queries arrive.
+struct PrepareReport {
+  double similarity_seconds = 0.0;  ///< probe build + evaluate (wall clock)
+  double probe_bytes = 0.0;
+  PlacementDecision decision;
+  double movement_seconds = 0.0;  ///< simulated WAN time of data movement
+  double bytes_moved = 0.0;
+  std::size_t rows_moved = 0;
+  bool movement_within_lag = true;
+};
+
+/// Result of one recurring query type over one dataset.
+struct QueryExecution {
+  std::size_t dataset_id = 0;
+  std::size_t query_type_spec = 0;
+  engine::QueryKind kind = engine::QueryKind::Aggregation;
+  std::size_t recurrences = 0;  ///< how many queries of this type recur
+  engine::JobResult result;
+};
+
+class Controller {
+ public:
+  Controller(net::WanTopology topology, std::vector<DatasetState> datasets,
+             ControllerOptions options);
+
+  /// Runs everything that happens in the lag before queries arrive:
+  /// similarity checking (if the strategy uses it), placement (heuristic
+  /// or joint LP), and data movement. Idempotent per controller.
+  const PrepareReport& prepare();
+
+  /// Executes every dataset's query mix once per query type; recurrences
+  /// are recorded so averages weight by query count.
+  std::vector<QueryExecution> run_all_queries();
+
+  const net::WanTopology& topology() const { return topology_; }
+  const std::vector<DatasetState>& datasets() const { return datasets_; }
+  const ControllerOptions& options() const { return options_; }
+  const std::vector<DatasetSimilarity>& similarity() const {
+    return similarity_;
+  }
+
+  /// Profiled R^a: map-output bytes / input bytes for a dataset, averaged
+  /// over its query mix (the paper profiles this from prior runs).
+  double profiled_reduction_ratio(const DatasetState& dataset) const;
+
+  /// Intermediate record size on the wire for a query over a dataset.
+  double intermediate_record_bytes(const DatasetState& dataset,
+                                   const engine::QuerySpec& spec) const;
+
+  /// Builds the placement-problem inputs from current dataset state.
+  PlacementProblem build_placement_problem() const;
+
+ private:
+  engine::QuerySpec query_spec_for(const DatasetState& dataset,
+                                   std::size_t type_spec) const;
+  std::vector<double> vanilla_reduce_fractions(
+      const DatasetState& dataset) const;
+
+  net::WanTopology topology_;
+  std::vector<DatasetState> datasets_;
+  ControllerOptions options_;
+  std::vector<DatasetSimilarity> similarity_;  // per dataset (if computed)
+  std::optional<PrepareReport> prepared_;
+  std::size_t total_queries_ = 0;
+  Rng rng_;
+};
+
+}  // namespace bohr::core

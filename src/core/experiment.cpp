@@ -1,0 +1,398 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "common/stats.h"
+#include "workload/dynamic.h"
+
+namespace bohr::core {
+
+net::WanTopology ExperimentConfig::make_topology() const {
+  return net::make_paper_topology(base_bandwidth, downlink_multiplier);
+}
+
+namespace {
+
+/// Generates the shared inputs: bundles and query mixes are identical
+/// across schemes so comparisons are apples-to-apples.
+struct SharedInputs {
+  std::vector<workload::DatasetBundle> bundles;
+  std::vector<workload::DatasetQueryMix> mixes;
+};
+
+SharedInputs make_inputs(const ExperimentConfig& config) {
+  SharedInputs inputs;
+  Rng mix_rng(hash_combine(config.seed, 0xA11CE));
+  workload::GeneratorConfig gen = config.generator;
+  gen.seed = hash_combine(config.seed, gen.seed);
+  for (std::size_t a = 0; a < config.n_datasets; ++a) {
+    inputs.bundles.push_back(
+        workload::generate_dataset(config.workload, a, gen));
+    inputs.mixes.push_back(
+        workload::sample_query_mix(inputs.bundles.back(), mix_rng));
+  }
+  return inputs;
+}
+
+std::vector<DatasetState> make_states(const SharedInputs& inputs,
+                                      bool with_cubes) {
+  std::vector<DatasetState> states;
+  states.reserve(inputs.bundles.size());
+  for (std::size_t a = 0; a < inputs.bundles.size(); ++a) {
+    states.emplace_back(inputs.bundles[a], inputs.mixes[a], with_cubes);
+  }
+  return states;
+}
+
+ControllerOptions make_controller_options(const ExperimentConfig& config,
+                                          Strategy strategy) {
+  ControllerOptions options;
+  options.strategy = strategy;
+  options.similarity.probe_k = config.probe_k;
+  options.similarity.random_probe_records = config.random_probe_records;
+  options.lag_seconds = config.lag_seconds;
+  options.job = config.job;
+  options.physical_record_bytes = config.physical_record_bytes;
+  options.seed = hash_combine(config.seed, static_cast<int>(strategy));
+  return options;
+}
+
+/// In-place vanilla Spark: no cubes, no movement, arrival-order
+/// partitions, data-proportional reduce tasks. Returns per-site
+/// intermediate bytes aggregated over the query mix (recurrence-weighted).
+std::vector<double> vanilla_baseline(const ExperimentConfig& config,
+                                     const SharedInputs& inputs,
+                                     const net::WanTopology& topo) {
+  std::vector<double> site_bytes(topo.site_count(), 0.0);
+  Rng rng(hash_combine(config.seed, 0x5A1AD));
+  std::vector<DatasetState> states = make_states(inputs, /*with_cubes=*/false);
+  for (auto& d : states) {
+    for (std::size_t t = 0; t < d.bundle().query_types.size(); ++t) {
+      const std::size_t recurrences = d.mix().counts[t];
+      if (recurrences == 0) continue;
+      engine::QuerySpec spec =
+          engine::default_spec_for(d.bundle().query_types[t].kind);
+      const double rep_bytes =
+          spec.intermediate_bytes_per_record *
+          (d.bundle().bytes_per_row / config.physical_record_bytes);
+      const std::uint64_t salt =
+          hash_combine(d.dataset_id(), hash_combine(t, 0xABCD));
+      for (std::size_t i = 0; i < d.site_count(); ++i) {
+        const engine::RecordStream input =
+            d.map_rows(i, t, spec.selectivity, salt);
+        const auto partitions =
+            engine::make_partitions(input, config.job.partition_records,
+                                    engine::PartitionPolicy::ArrivalOrder);
+        engine::MachineConfig machine = config.job.machine;
+        machine.record_scale = std::max(
+            1.0, d.bundle().bytes_per_row / config.physical_record_bytes);
+        engine::LocalStageResult local = engine::run_local_stage(
+            partitions, machine, engine::ExecutorAssignment::RoundRobin,
+            spec.op, spec.compute_multiplier, config.job.dimsum, rng);
+        site_bytes[i] += static_cast<double>(local.shuffle_input.size()) *
+                         rep_bytes * static_cast<double>(recurrences);
+      }
+    }
+  }
+  return site_bytes;
+}
+
+}  // namespace
+
+const StrategyOutcome& WorkloadRun::outcome(Strategy s) const {
+  for (const auto& o : outcomes) {
+    if (o.strategy == s) return o;
+  }
+  throw ContractViolation("strategy not present in this run");
+}
+
+std::vector<double> WorkloadRun::data_reduction_percent(Strategy s) const {
+  const StrategyOutcome& o = outcome(s);
+  std::vector<double> out(vanilla_site_shuffle_bytes.size(), 0.0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (vanilla_site_shuffle_bytes[i] <= 0.0) continue;
+    out[i] = 100.0 *
+             (1.0 - o.site_shuffle_bytes[i] / vanilla_site_shuffle_bytes[i]);
+  }
+  return out;
+}
+
+double WorkloadRun::mean_data_reduction_percent(Strategy s) const {
+  return mean_of(data_reduction_percent(s));
+}
+
+WorkloadRun run_workload(const ExperimentConfig& config,
+                         const std::vector<Strategy>& strategies) {
+  BOHR_EXPECTS(!strategies.empty());
+  WorkloadRun run;
+  run.config = config;
+  const net::WanTopology topo = config.make_topology();
+  const SharedInputs inputs = make_inputs(config);
+  run.vanilla_site_shuffle_bytes = vanilla_baseline(config, inputs, topo);
+
+  for (const Strategy strategy : strategies) {
+    const StrategyTraits traits = traits_of(strategy);
+    Controller controller(topo, make_states(inputs, traits.cubes),
+                          make_controller_options(config, strategy));
+    StrategyOutcome outcome;
+    outcome.strategy = strategy;
+    outcome.prep = controller.prepare();
+    outcome.site_shuffle_bytes.assign(topo.site_count(), 0.0);
+
+    RunningStats qct_all;
+    std::map<engine::QueryKind, RunningStats> qct_kind;
+    for (const QueryExecution& exec : controller.run_all_queries()) {
+      for (std::size_t rep = 0; rep < exec.recurrences; ++rep) {
+        qct_all.add(exec.result.qct_seconds);
+        qct_kind[exec.kind].add(exec.result.qct_seconds);
+      }
+      for (std::size_t i = 0; i < topo.site_count(); ++i) {
+        outcome.site_shuffle_bytes[i] +=
+            exec.result.sites[i].shuffle_bytes *
+            static_cast<double>(exec.recurrences);
+      }
+      outcome.wan_shuffle_bytes += exec.result.wan_shuffle_bytes *
+                                   static_cast<double>(exec.recurrences);
+    }
+    outcome.avg_qct_seconds = qct_all.mean();
+    for (const auto& [kind, stats] : qct_kind) {
+      outcome.qct_by_kind[kind] = stats.mean();
+    }
+    run.outcomes.push_back(std::move(outcome));
+  }
+  return run;
+}
+
+std::vector<RepeatedOutcome> run_workload_repeated(
+    const ExperimentConfig& config, const std::vector<Strategy>& strategies,
+    std::size_t n_runs) {
+  BOHR_EXPECTS(n_runs >= 1);
+  std::vector<RunningStats> qct(strategies.size());
+  std::vector<RunningStats> reduction(strategies.size());
+  for (std::size_t run_idx = 0; run_idx < n_runs; ++run_idx) {
+    ExperimentConfig cfg = config;
+    cfg.seed = hash_combine(config.seed, 0xF00D + run_idx);
+    const WorkloadRun run = run_workload(cfg, strategies);
+    for (std::size_t s = 0; s < strategies.size(); ++s) {
+      qct[s].add(run.outcome(strategies[s]).avg_qct_seconds);
+      reduction[s].add(run.mean_data_reduction_percent(strategies[s]));
+    }
+  }
+  std::vector<RepeatedOutcome> out;
+  out.reserve(strategies.size());
+  for (std::size_t s = 0; s < strategies.size(); ++s) {
+    out.push_back(RepeatedOutcome{strategies[s], qct[s].mean(),
+                                  qct[s].stddev(), reduction[s].mean(),
+                                  reduction[s].stddev()});
+  }
+  return out;
+}
+
+StorageReport compute_storage(const ExperimentConfig& config, Strategy s) {
+  const StrategyTraits traits = traits_of(s);
+  const net::WanTopology topo = config.make_topology();
+  const SharedInputs inputs = make_inputs(config);
+  std::vector<DatasetState> states = make_states(inputs, traits.cubes);
+
+  StorageReport report;
+  const auto n = static_cast<double>(topo.site_count());
+  double raw_bytes = 0.0;
+  double cube_bytes = 0.0;
+  double probe_bytes = 0.0;
+  for (const auto& d : states) {
+    raw_bytes += d.total_input_bytes();
+    if (!traits.cubes) continue;
+    for (std::size_t i = 0; i < d.site_count(); ++i) {
+      const std::size_t rows = d.rows_at(i).size();
+      if (rows == 0) continue;
+      // Logical cube footprint: one encoded entry per distinct cell at
+      // full record width (base cube + dimension cubes).
+      const double per_row = d.bundle().bytes_per_row;
+      const auto& cubes = d.cubes_at(i);
+      const double cell_ratio_base =
+          static_cast<double>(cubes.base_cube().cell_count()) /
+          static_cast<double>(rows);
+      double cell_ratio_dims = 0.0;
+      for (std::size_t qt = 0; qt < cubes.query_type_count(); ++qt) {
+        cell_ratio_dims +=
+            static_cast<double>(cubes.dimension_cube(qt).cell_count()) /
+            static_cast<double>(rows);
+      }
+      cube_bytes += static_cast<double>(rows) * per_row *
+                    (0.30 * cell_ratio_base + 0.12 * cell_ratio_dims);
+    }
+    if (traits.similarity_movement) {
+      // Similarity metadata: cluster index + probe cache, ~2% of raw
+      // (matches the paper's 0.82GB on 40GB).
+      probe_bytes += d.total_input_bytes() * 0.02;
+    }
+  }
+  const double gb = 1e9;
+  report.raw_gb_per_node = raw_bytes / n / gb;
+  report.olap_cubes_gb = cube_bytes / n / gb;
+  report.similarity_metadata_gb = probe_bytes / n / gb;
+  // Iridium keeps raw data (plus ~6% shuffle spill); cube systems keep
+  // raw + cubes (+ metadata).
+  report.storage_per_node_gb =
+      report.raw_gb_per_node * 1.058 + report.olap_cubes_gb +
+      report.similarity_metadata_gb;
+  if (!traits.cubes) {
+    // Queries read the raw data (plus spill).
+    report.needed_by_queries_gb = report.raw_gb_per_node * 1.038;
+  } else {
+    // Queries touch only cubes (+ metadata), inflated ~7% by the cost of
+    // performing OLAP operations (§8.5).
+    report.needed_by_queries_gb =
+        (report.olap_cubes_gb + report.similarity_metadata_gb) * 1.065;
+  }
+  return report;
+}
+
+DynamicRunResult run_dynamic_experiment(const ExperimentConfig& config,
+                                        std::size_t n_batches,
+                                        double initial_fraction,
+                                        std::size_t replan_every) {
+  BOHR_EXPECTS(n_batches >= 1);
+  BOHR_EXPECTS(replan_every >= 1);
+  DynamicRunResult result;
+  const net::WanTopology topo = config.make_topology();
+  const SharedInputs inputs = make_inputs(config);
+
+  // ---- Normal setting: all data present from the start -----------------
+  {
+    Controller controller(topo, make_states(inputs, /*with_cubes=*/true),
+                          make_controller_options(config, Strategy::Bohr));
+    RunningStats qct;
+    for (const QueryExecution& exec : controller.run_all_queries()) {
+      for (std::size_t rep = 0; rep < exec.recurrences; ++rep) {
+        qct.add(exec.result.qct_seconds);
+      }
+    }
+    result.normal_avg_qct = qct.mean();
+  }
+
+  // ---- Dynamic setting --------------------------------------------------
+  // Initial fraction loaded; remaining data arrives in batches between
+  // queries; every `replan_every` queries the controller re-runs
+  // similarity checking + the LP and re-executes movement (§8.6).
+  std::vector<workload::DynamicFeed> feeds;
+  feeds.reserve(inputs.bundles.size());
+  for (const auto& bundle : inputs.bundles) {
+    feeds.push_back(
+        workload::split_dynamic(bundle, initial_fraction, n_batches));
+  }
+  // States start with only the initial rows.
+  std::vector<DatasetState> states;
+  for (std::size_t a = 0; a < inputs.bundles.size(); ++a) {
+    workload::DatasetBundle initial = inputs.bundles[a];
+    initial.site_rows = feeds[a].initial;
+    states.emplace_back(std::move(initial), inputs.mixes[a],
+                        /*with_cubes=*/true);
+  }
+
+  const ControllerOptions options =
+      make_controller_options(config, Strategy::Bohr);
+  Rng rng(options.seed);
+  engine::JobConfig job = config.job;
+  job.partition_policy = engine::PartitionPolicy::CubeSorted;
+  job.executor_assignment = engine::ExecutorAssignment::SimilarityKMeans;
+  job.machine.record_scale = std::max(
+      1.0, (config.generator.gb_per_site * 1e9 /
+            static_cast<double>(config.generator.rows_per_site)) /
+               config.physical_record_bytes);
+
+  auto plan_and_move = [&](std::vector<DatasetState>& ds) {
+    PlacementProblem problem;
+    problem.topology = topo;
+    problem.lag_seconds = config.lag_seconds;
+    std::vector<DatasetSimilarity> sims;
+    for (auto& d : ds) {
+      sims.push_back(check_similarity(d, SimilarityOptions{config.probe_k}));
+      DatasetPlacementInput input;
+      input.dataset_id = d.dataset_id();
+      input.query_count = d.mix().total_queries();
+      input.self_similarity = sims.back().self;
+      input.pair_similarity = sims.back().pair;
+      input.input_bytes.resize(d.site_count());
+      for (std::size_t i = 0; i < d.site_count(); ++i) {
+        input.input_bytes[i] = d.input_bytes_at(i);
+      }
+      // R from the query kinds' profiles.
+      double r = 0.0;
+      const auto weights = d.mix().weights();
+      for (std::size_t t = 0; t < d.bundle().query_types.size(); ++t) {
+        const auto spec =
+            engine::default_spec_for(d.bundle().query_types[t].kind);
+        r += weights[t] * spec.selectivity *
+             spec.intermediate_bytes_per_record / config.physical_record_bytes;
+      }
+      input.reduction_ratio = r;
+      problem.datasets.push_back(std::move(input));
+    }
+    PlacementDecision decision = joint_lp_placement(problem);
+    for (std::size_t a = 0; a < ds.size(); ++a) {
+      apply_movement(ds[a], decision.move_bytes[a], &sims[a],
+                     /*similarity_aware=*/true, topo, config.lag_seconds, rng);
+    }
+    ++result.replans;
+    return decision;
+  };
+
+  PlacementDecision decision = plan_and_move(states);
+  RunningStats qct;
+  std::size_t queries_since_replan = 0;
+  for (std::size_t b = 0; b < n_batches; ++b) {
+    // New batch arrives (buffered while the previous query runs, §4.1).
+    for (std::size_t a = 0; a < states.size(); ++a) {
+      for (std::size_t i = 0; i < states[a].site_count(); ++i) {
+        states[a].append_rows(i, feeds[a].batches[b][i], /*buffer_only=*/true);
+      }
+    }
+    // Next query: round-robin over datasets and their query types.
+    DatasetState& d = states[b % states.size()];
+    std::size_t t = b % d.bundle().query_types.size();
+    // Prefer a type with queries in the mix.
+    for (std::size_t probe = 0; probe < d.bundle().query_types.size();
+         ++probe) {
+      if (d.mix().counts[t] > 0) break;
+      t = (t + 1) % d.bundle().query_types.size();
+    }
+    // Flush the dimension cube this query needs first (§4.1), lazily
+    // catching the others up in the background.
+    for (auto& ds : states) {
+      for (std::size_t i = 0; i < ds.site_count(); ++i) {
+        ds.cubes_at(i).flush_for(ds.cube_query_type(t % ds.bundle().query_types.size()));
+        ds.cubes_at(i).flush_background();
+      }
+    }
+
+    engine::QuerySpec spec =
+        engine::default_spec_for(d.bundle().query_types[t].kind);
+    spec.dataset = d.dataset_id();
+    spec.query_type = d.cube_query_type(t);
+    spec.intermediate_bytes_per_record *=
+        d.bundle().bytes_per_row / config.physical_record_bytes;
+    const std::uint64_t salt =
+        hash_combine(d.dataset_id(), hash_combine(t, 0xABCD));
+    std::vector<engine::RecordStream> site_inputs(d.site_count());
+    for (std::size_t i = 0; i < d.site_count(); ++i) {
+      site_inputs[i] = d.map_rows(i, t, spec.selectivity, salt);
+    }
+    const engine::JobResult res = engine::run_job(
+        topo, site_inputs, decision.reduce_fractions, spec, job, rng);
+    qct.add(res.qct_seconds);
+    ++result.queries_run;
+
+    if (++queries_since_replan >= replan_every) {
+      decision = plan_and_move(states);
+      queries_since_replan = 0;
+    }
+  }
+  result.dynamic_avg_qct = qct.mean();
+  return result;
+}
+
+}  // namespace bohr::core

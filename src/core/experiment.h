@@ -1,0 +1,107 @@
+// Experiment harness: runs the six schemes over the three workloads and
+// aggregates the exact quantities the paper's tables and figures report.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/controller.h"
+#include "workload/dataset.h"
+
+namespace bohr::core {
+
+struct ExperimentConfig {
+  workload::WorkloadKind workload = workload::WorkloadKind::BigData;
+  std::size_t n_datasets = 12;
+  workload::GeneratorConfig generator;
+  /// Base-tier WAN bandwidth (bytes/sec); tiers scale it per §8.1.
+  double base_bandwidth = 250e6;
+  /// Downlink/uplink ratio: access downlinks are typically less
+  /// contended than uplinks.
+  double downlink_multiplier = 2.0;
+  double lag_seconds = 30.0;
+  std::size_t probe_k = 30;
+  /// Ablation: sample probe records randomly instead of top-by-cluster.
+  bool random_probe_records = false;
+  engine::JobConfig job;
+  double physical_record_bytes = 256.0;
+  std::uint64_t seed = 1;
+
+  net::WanTopology make_topology() const;
+};
+
+/// Aggregated measurements for one scheme on one workload.
+struct StrategyOutcome {
+  Strategy strategy = Strategy::Bohr;
+  /// Mean QCT over all queries (weighted by recurrence counts).
+  double avg_qct_seconds = 0.0;
+  /// Mean QCT split by query kind (scan / UDF / aggregation / ...).
+  std::map<engine::QueryKind, double> qct_by_kind;
+  /// Per-site intermediate shuffle bytes summed over the query mix.
+  std::vector<double> site_shuffle_bytes;
+  /// WAN bytes actually shuffled (after reduce placement).
+  double wan_shuffle_bytes = 0.0;
+  PrepareReport prep;
+};
+
+/// One full workload comparison (one column group of Fig 6/7 plus the
+/// data for Fig 8/9/10/11).
+struct WorkloadRun {
+  ExperimentConfig config;
+  /// Per-site intermediate bytes for in-place vanilla Spark — the
+  /// data-reduction baseline.
+  std::vector<double> vanilla_site_shuffle_bytes;
+  std::vector<StrategyOutcome> outcomes;
+
+  const StrategyOutcome& outcome(Strategy s) const;
+
+  /// Fig 8-style per-site reduction (%) of a scheme vs vanilla Spark.
+  std::vector<double> data_reduction_percent(Strategy s) const;
+
+  /// Mean per-site reduction (%) of a scheme.
+  double mean_data_reduction_percent(Strategy s) const;
+};
+
+/// Runs `strategies` on the configured workload. All schemes see the
+/// same generated data and the same query mixes.
+WorkloadRun run_workload(const ExperimentConfig& config,
+                         const std::vector<Strategy>& strategies);
+
+/// Mean / stddev over repeated runs with different seeds (the paper
+/// repeats each experiment 5 times, §8.1).
+struct RepeatedOutcome {
+  Strategy strategy = Strategy::Bohr;
+  double mean_qct_seconds = 0.0;
+  double stddev_qct_seconds = 0.0;
+  double mean_reduction_percent = 0.0;
+  double stddev_reduction_percent = 0.0;
+};
+
+/// Runs the comparison `n_runs` times with derived seeds and aggregates.
+std::vector<RepeatedOutcome> run_workload_repeated(
+    const ExperimentConfig& config, const std::vector<Strategy>& strategies,
+    std::size_t n_runs = 5);
+
+/// Table 6: per-node storage accounting for a scheme.
+struct StorageReport {
+  double raw_gb_per_node = 0.0;
+  double storage_per_node_gb = 0.0;     ///< everything the scheme stores
+  double needed_by_queries_gb = 0.0;    ///< what query execution touches
+  double olap_cubes_gb = 0.0;
+  double similarity_metadata_gb = 0.0;
+};
+StorageReport compute_storage(const ExperimentConfig& config, Strategy s);
+
+/// Table 7: highly-dynamic datasets (§8.6).
+struct DynamicRunResult {
+  double normal_avg_qct = 0.0;   ///< all data present up front
+  double dynamic_avg_qct = 0.0;  ///< 25% initial + batches, re-plan per 5
+  std::size_t queries_run = 0;
+  std::size_t replans = 0;
+};
+DynamicRunResult run_dynamic_experiment(const ExperimentConfig& config,
+                                        std::size_t n_batches = 15,
+                                        double initial_fraction = 0.25,
+                                        std::size_t replan_every = 5);
+
+}  // namespace bohr::core

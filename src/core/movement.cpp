@@ -1,0 +1,148 @@
+#include "core/movement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "net/transfer.h"
+
+namespace bohr::core {
+
+std::vector<std::size_t> select_rows_for_move(
+    const DatasetState& state, std::size_t src, std::size_t dst,
+    std::size_t max_rows, const DatasetSimilarity* similarity,
+    bool similarity_aware, std::vector<bool>& taken, Rng& rng) {
+  const auto& rows = state.rows_at(src);
+  BOHR_EXPECTS(taken.size() == rows.size());
+  std::vector<std::size_t> available;
+  available.reserve(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (!taken[i]) available.push_back(i);
+  }
+  const std::size_t want = std::min(max_rows, available.size());
+  std::vector<std::size_t> chosen;
+  if (want == 0) return chosen;
+  chosen.reserve(want);
+
+  if (similarity_aware && similarity != nullptr) {
+    const auto& matched = similarity->matched_keys[src][dst];
+    // The dimension cube clusters identical records (§4.1), so movement
+    // operates on whole clusters. Ordering:
+    //   1. probe-matched clusters, largest first — every record merges
+    //      into an existing cell at the receiver (Fig 1c);
+    //   2. the rest in random order — the probe is the only cross-site
+    //      similarity information Bohr has (§4.2), so once the matched
+    //      clusters are exhausted the remainder is unguided. (This is
+    //      what makes the probe size k matter, Figs 12/13.)
+    // Group each row under the matched probe cluster it belongs to (its
+    // projected key under whichever query type the probe record used).
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> by_cluster;
+    std::vector<std::size_t> unguided;
+    for (const std::size_t i : available) {
+      std::uint64_t hit_key = 0;
+      bool hit = false;
+      for (std::size_t t = 0; t < state.bundle().query_types.size(); ++t) {
+        const std::uint64_t key = state.key_of(rows[i], t);
+        if (matched.contains(key)) {
+          hit_key = key;
+          hit = true;
+          break;
+        }
+      }
+      if (hit) {
+        by_cluster[hit_key].push_back(i);
+      } else {
+        unguided.push_back(i);
+      }
+    }
+    std::vector<const std::vector<std::size_t>*> matched_order;
+    matched_order.reserve(by_cluster.size());
+    for (const auto& [key, members] : by_cluster) {
+      matched_order.push_back(&members);
+    }
+    std::sort(matched_order.begin(), matched_order.end(),
+              [](const auto* a, const auto* b) {
+                if (a->size() != b->size()) return a->size() > b->size();
+                return a->front() < b->front();
+              });
+    for (const auto* members : matched_order) {
+      for (const std::size_t i : *members) {
+        if (chosen.size() >= want) break;
+        chosen.push_back(i);
+      }
+      if (chosen.size() >= want) break;
+    }
+    rng.shuffle(unguided);
+    for (const std::size_t i : unguided) {
+      if (chosen.size() >= want) break;
+      chosen.push_back(i);
+    }
+  } else {
+    // Similarity-agnostic: uniform random selection (prior work).
+    rng.shuffle(available);
+    chosen.assign(available.begin(),
+                  available.begin() + static_cast<std::ptrdiff_t>(want));
+  }
+  for (const std::size_t i : chosen) taken[i] = true;
+  return chosen;
+}
+
+MovementReport apply_movement(
+    DatasetState& state, const std::vector<std::vector<double>>& move_bytes,
+    const DatasetSimilarity* similarity, bool similarity_aware,
+    const net::WanTopology& topology, double lag_seconds, Rng& rng) {
+  const std::size_t n = state.site_count();
+  BOHR_EXPECTS(move_bytes.size() == n);
+  BOHR_EXPECTS(lag_seconds > 0.0);
+
+  MovementReport report;
+  std::vector<net::Flow> flows;
+
+  // Plan all sources first (indices into each source's current rows),
+  // then apply, so one source's removals don't invalidate another's plan.
+  std::vector<std::vector<DatasetState::MoveTarget>> plan(n);
+  for (std::size_t src = 0; src < n; ++src) {
+    std::vector<bool> taken(state.rows_at(src).size(), false);
+    // Serve destinations in decreasing byte order so the best-matched
+    // clusters go where the LP wants the most data.
+    std::vector<std::size_t> dsts;
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      if (dst != src && move_bytes[src][dst] > 0.0) dsts.push_back(dst);
+    }
+    std::sort(dsts.begin(), dsts.end(), [&](std::size_t a, std::size_t b) {
+      return move_bytes[src][a] > move_bytes[src][b];
+    });
+    for (const std::size_t dst : dsts) {
+      const auto want = static_cast<std::size_t>(
+          std::llround(move_bytes[src][dst] / state.bundle().bytes_per_row));
+      if (want == 0) continue;
+      std::vector<std::size_t> indices = select_rows_for_move(
+          state, src, dst, want, similarity, similarity_aware, taken, rng);
+      if (indices.empty()) continue;
+      const double bytes = static_cast<double>(indices.size()) *
+                           state.bundle().bytes_per_row;
+      report.rows_moved += indices.size();
+      report.bytes_moved += bytes;
+      flows.push_back(net::Flow{src, dst, bytes, 0.0});
+      plan[src].push_back(DatasetState::MoveTarget{dst, std::move(indices)});
+    }
+  }
+
+  for (std::size_t src = 0; src < n; ++src) {
+    if (!plan[src].empty()) state.move_rows_multi(src, std::move(plan[src]));
+  }
+
+  if (!flows.empty()) {
+    const auto results = net::simulate_flows(topology, flows);
+    for (const auto& r : results) {
+      report.movement_seconds = std::max(report.movement_seconds,
+                                         r.finish_time);
+    }
+  }
+  report.within_lag = report.movement_seconds <= lag_seconds + 1e-9;
+  report.flows = std::move(flows);
+  return report;
+}
+
+}  // namespace bohr::core

@@ -1,0 +1,50 @@
+// Executing a placement decision: picking the concrete rows that leave
+// each site (similarity-aware or not) and accounting for the WAN cost of
+// moving them within the lag T.
+#pragma once
+
+#include <vector>
+
+#include "core/similarity_service.h"
+#include "core/state.h"
+#include "net/transfer.h"
+
+namespace bohr::core {
+
+struct MovementReport {
+  double bytes_moved = 0.0;
+  std::size_t rows_moved = 0;
+  /// Simulated time for THIS dataset's flows alone (max-min shared WAN).
+  /// Movement of multiple datasets shares the WAN: collect the `flows`
+  /// of every dataset and simulate them together for the real figure.
+  double movement_seconds = 0.0;
+  /// Whether this dataset's movement alone fit into the lag.
+  bool within_lag = true;
+  /// The WAN flows this movement issued (for joint simulation).
+  std::vector<net::Flow> flows;
+};
+
+/// Selects the rows dataset `state` moves from `src` for `dst`.
+/// Similarity-aware selection takes rows from probe-matched clusters
+/// first (largest clusters first — they combine best at the receiver);
+/// similarity-agnostic selection picks uniformly at random (prior work's
+/// behaviour, §1). Returns row indices into state.rows_at(src); at most
+/// `max_rows` and never more rows than the site holds. `taken` marks
+/// indices already promised to other destinations and is updated.
+std::vector<std::size_t> select_rows_for_move(
+    const DatasetState& state, std::size_t src, std::size_t dst,
+    std::size_t max_rows, const DatasetSimilarity* similarity,
+    bool similarity_aware, std::vector<bool>& taken, Rng& rng);
+
+/// Applies one dataset's movement matrix (move_bytes[src][dst]) to its
+/// state and returns what was moved. Movement happens "in the lag": the
+/// report says whether the simulated transfer finished within
+/// `lag_seconds`.
+MovementReport apply_movement(DatasetState& state,
+                              const std::vector<std::vector<double>>& move_bytes,
+                              const DatasetSimilarity* similarity,
+                              bool similarity_aware,
+                              const net::WanTopology& topology,
+                              double lag_seconds, Rng& rng);
+
+}  // namespace bohr::core

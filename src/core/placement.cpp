@@ -1,0 +1,605 @@
+#include "core/placement.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "lp/problem.h"
+#include <cstdio>
+
+namespace bohr::core {
+
+namespace {
+
+std::vector<std::vector<std::vector<double>>> zero_moves(
+    const PlacementProblem& problem) {
+  const std::size_t n = problem.topology.site_count();
+  return std::vector<std::vector<std::vector<double>>>(
+      problem.datasets.size(),
+      std::vector<std::vector<double>>(n, std::vector<double>(n, 0.0)));
+}
+
+void validate_problem(const PlacementProblem& problem) {
+  const std::size_t n = problem.topology.site_count();
+  BOHR_EXPECTS(n > 1);
+  BOHR_EXPECTS(problem.lag_seconds > 0.0);
+  for (const auto& d : problem.datasets) {
+    BOHR_EXPECTS(d.input_bytes.size() == n);
+    BOHR_EXPECTS(d.self_similarity.size() == n);
+    BOHR_EXPECTS(d.reduction_ratio >= 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      BOHR_EXPECTS(d.input_bytes[i] >= 0.0);
+      BOHR_EXPECTS(d.self_similarity[i] >= 0.0 &&
+                   d.self_similarity[i] <= 1.0);
+    }
+  }
+}
+
+}  // namespace
+
+double PlacementDecision::moved_bytes_total() const {
+  double total = 0.0;
+  for (const auto& per_dataset : move_bytes) {
+    for (const auto& row : per_dataset) {
+      for (const double x : row) total += x;
+    }
+  }
+  return total;
+}
+
+std::vector<double> predicted_shuffle_bytes(
+    const DatasetPlacementInput& dataset,
+    const std::vector<std::vector<double>>& move_bytes) {
+  const std::size_t n = dataset.input_bytes.size();
+  BOHR_EXPECTS(move_bytes.size() == n);
+  const bool has_pair = !dataset.pair_similarity.empty();
+  if (has_pair) BOHR_EXPECTS(dataset.pair_similarity.size() == n);
+  std::vector<double> f(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double resident = dataset.input_bytes[i];
+    double arriving_effective = 0.0;  // in-flow bytes weighted by (1 - S_ki)
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      resident -= move_bytes[i][j];
+      const double mergability = has_pair ? dataset.pair_similarity[j][i]
+                                          : dataset.self_similarity[i];
+      arriving_effective += move_bytes[j][i] * (1.0 - mergability);
+    }
+    resident = std::max(resident, 0.0);
+    f[i] = (resident * (1.0 - dataset.self_similarity[i]) +
+            arriving_effective) *
+           dataset.reduction_ratio;
+  }
+  return f;
+}
+
+double predicted_shuffle_seconds(const PlacementProblem& problem,
+                                 const PlacementDecision& decision) {
+  const std::size_t n = problem.topology.site_count();
+  // F_i = sum_a f^a_i; the (3)-(4) terms.
+  std::vector<double> f_total(n, 0.0);
+  for (std::size_t a = 0; a < problem.datasets.size(); ++a) {
+    const auto f = predicted_shuffle_bytes(problem.datasets[a],
+                                           decision.move_bytes[a]);
+    for (std::size_t i = 0; i < n; ++i) f_total[i] += f[i];
+  }
+  double all_sites = 0.0;
+  for (const double fi : f_total) all_sites += fi;
+  double t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double up = (1.0 - decision.reduce_fractions[i]) * f_total[i] /
+                      problem.topology.uplink(i);
+    const double down = decision.reduce_fractions[i] *
+                        (all_sites - f_total[i]) /
+                        problem.topology.downlink(i);
+    t = std::max(t, std::max(up, down));
+  }
+  return t;
+}
+
+TaskPlacementResult solve_task_placement(
+    const PlacementProblem& problem,
+    const std::vector<std::vector<std::vector<double>>>& move_bytes) {
+  validate_problem(problem);
+  const std::size_t n = problem.topology.site_count();
+  BOHR_EXPECTS(move_bytes.size() == problem.datasets.size());
+
+  std::vector<double> f_total(n, 0.0);
+  for (std::size_t a = 0; a < problem.datasets.size(); ++a) {
+    const auto f = predicted_shuffle_bytes(problem.datasets[a], move_bytes[a]);
+    for (std::size_t i = 0; i < n; ++i) f_total[i] += f[i];
+  }
+  double all_sites = 0.0;
+  for (const double fi : f_total) all_sites += fi;
+
+  TaskPlacementResult result;
+  if (all_sites <= 0.0) {
+    result.reduce_fractions.assign(n, 1.0 / static_cast<double>(n));
+    result.optimal = true;
+    return result;
+  }
+
+  lp::LpProblem p;
+  const lp::VarId t = p.add_variable("t", 1.0);
+  std::vector<lp::VarId> r(n);
+  for (std::size_t i = 0; i < n; ++i) r[i] = p.add_variable("r", 0.0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double up_coeff = f_total[i] / problem.topology.uplink(i);
+    // (1 - r_i) F_i / U_i <= t  <=>  -up*r_i - t <= -up.
+    p.add_constraint({{r[i], -up_coeff}, {t, -1.0}}, lp::Relation::LessEq,
+                     -up_coeff, "upload");
+    const double down_coeff =
+        (all_sites - f_total[i]) / problem.topology.downlink(i);
+    // r_i * G_i / D_i <= t.
+    p.add_constraint({{r[i], down_coeff}, {t, -1.0}}, lp::Relation::LessEq,
+                     0.0, "download");
+  }
+  std::vector<lp::Term> sum_r;
+  for (std::size_t i = 0; i < n; ++i) sum_r.push_back({r[i], 1.0});
+  p.add_constraint(std::move(sum_r), lp::Relation::Equal, 1.0, "sum_r");
+
+  const lp::LpSolution sol = lp::solve(p);
+  result.optimal = sol.optimal();
+  result.iterations = sol.iterations;
+  if (!result.optimal) {
+    result.reduce_fractions.assign(n, 1.0 / static_cast<double>(n));
+    return result;
+  }
+  result.objective = sol.value(t);
+  result.reduce_fractions.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.reduce_fractions[i] = std::max(0.0, sol.value(r[i]));
+  }
+  // Normalize tiny numerical drift so the engine sees sum == 1.
+  double total = 0.0;
+  for (const double ri : result.reduce_fractions) total += ri;
+  BOHR_CHECK(total > 0.0);
+  for (auto& ri : result.reduce_fractions) ri /= total;
+  return result;
+}
+
+namespace {
+
+/// Tie-break score for the greedy: total upload seconds across sites.
+/// With symmetric inputs many sites bind at the same t, so a single move
+/// cannot lower t — but it can lower this aggregate, and enough such
+/// moves break the plateau (mirrors Iridium's per-query evaluation).
+double upload_load_score(const PlacementProblem& problem,
+                         const PlacementDecision& decision) {
+  const std::size_t n = problem.topology.site_count();
+  double score = 0.0;
+  for (std::size_t a = 0; a < problem.datasets.size(); ++a) {
+    const auto f = predicted_shuffle_bytes(problem.datasets[a],
+                                           decision.move_bytes[a]);
+    for (std::size_t i = 0; i < n; ++i) {
+      score += (1.0 - decision.reduce_fractions[i]) * f[i] /
+               problem.topology.uplink(i);
+    }
+  }
+  return score;
+}
+
+}  // namespace
+
+PlacementDecision geode_placement(const PlacementProblem& problem) {
+  validate_problem(problem);
+  const std::size_t n = problem.topology.site_count();
+  PlacementDecision decision;
+  decision.move_bytes = zero_moves(problem);
+  // f_i with no movement; reduce where most intermediate data lives.
+  std::vector<double> f_total(n, 0.0);
+  for (const auto& d : problem.datasets) {
+    const auto f = predicted_shuffle_bytes(
+        d, std::vector<std::vector<double>>(n, std::vector<double>(n, 0.0)));
+    for (std::size_t i = 0; i < n; ++i) f_total[i] += f[i];
+  }
+  std::size_t hub = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (f_total[i] > f_total[hub]) hub = i;
+  }
+  decision.reduce_fractions.assign(n, 0.0);
+  decision.reduce_fractions[hub] = 1.0;
+  decision.predicted_shuffle_seconds =
+      predicted_shuffle_seconds(problem, decision);
+  return decision;
+}
+
+PlacementDecision centralized_placement(const PlacementProblem& problem) {
+  validate_problem(problem);
+  const std::size_t n = problem.topology.site_count();
+  // Hub: the site that can ingest fastest.
+  net::SiteId hub = 0;
+  for (net::SiteId i = 1; i < n; ++i) {
+    if (problem.topology.downlink(i) > problem.topology.downlink(hub)) {
+      hub = i;
+    }
+  }
+  PlacementDecision decision;
+  decision.move_bytes = zero_moves(problem);
+  for (std::size_t a = 0; a < problem.datasets.size(); ++a) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i != hub) {
+        decision.move_bytes[a][i][hub] = problem.datasets[a].input_bytes[i];
+      }
+    }
+  }
+  decision.reduce_fractions.assign(n, 0.0);
+  decision.reduce_fractions[hub] = 1.0;
+  decision.predicted_shuffle_seconds =
+      predicted_shuffle_seconds(problem, decision);
+  return decision;
+}
+
+PlacementDecision iridium_placement(const PlacementProblem& problem) {
+  validate_problem(problem);
+  const std::size_t n = problem.topology.site_count();
+  PlacementDecision decision;
+  decision.move_bytes = zero_moves(problem);
+
+  TaskPlacementResult task = solve_task_placement(problem, decision.move_bytes);
+  decision.reduce_fractions = task.reduce_fractions;
+  double current_t = predicted_shuffle_seconds(problem, decision);
+  double current_score = upload_load_score(problem, decision);
+
+  // Movement budgets from constraints (5)-(6).
+  std::vector<double> out_budget(n);
+  std::vector<double> in_budget(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out_budget[i] = problem.lag_seconds * problem.topology.uplink(i);
+    in_budget[i] = problem.lag_seconds * problem.topology.downlink(i);
+  }
+
+  // Rank datasets by Iridium's "high value" heuristic: datasets accessed
+  // by more queries whose movement promises larger intermediate savings.
+  std::vector<std::size_t> order(problem.datasets.size());
+  for (std::size_t a = 0; a < order.size(); ++a) order[a] = a;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const auto value = [&](std::size_t d) {
+      const auto& ds = problem.datasets[d];
+      double max_i = 0.0;
+      for (const double bytes : ds.input_bytes) max_i = std::max(max_i, bytes);
+      return static_cast<double>(ds.query_count) * max_i * ds.reduction_ratio;
+    };
+    return value(a) > value(b);
+  });
+
+  for (const std::size_t a : order) {
+    const auto& ds = problem.datasets[a];
+    // Move chunks of this dataset out of the current bottleneck site as
+    // long as predicted shuffle time keeps improving.
+    for (int step = 0; step < 64; ++step) {
+      // Bottleneck: the site whose upload term binds.
+      std::vector<double> f_total(n, 0.0);
+      for (std::size_t d = 0; d < problem.datasets.size(); ++d) {
+        const auto f = predicted_shuffle_bytes(problem.datasets[d],
+                                               decision.move_bytes[d]);
+        for (std::size_t i = 0; i < n; ++i) f_total[i] += f[i];
+      }
+      std::size_t bottleneck = 0;
+      double worst = -1.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double up = (1.0 - decision.reduce_fractions[i]) * f_total[i] /
+                          problem.topology.uplink(i);
+        if (up > worst) {
+          worst = up;
+          bottleneck = i;
+        }
+      }
+      double remaining = ds.input_bytes[bottleneck];
+      for (std::size_t j = 0; j < n; ++j) {
+        remaining -= decision.move_bytes[a][bottleneck][j];
+      }
+      const double chunk = 0.1 * ds.input_bytes[bottleneck];
+      if (chunk <= 0.0 || remaining < chunk) break;
+
+      // Try every destination; keep the best improvement. Accept a move
+      // that holds t but lowers the aggregate upload load (plateau
+      // crossing).
+      double best_t = current_t;
+      double best_score = current_score;
+      std::size_t best_j = n;
+      PlacementDecision best_decision;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == bottleneck) continue;
+        if (out_budget[bottleneck] < chunk || in_budget[j] < chunk) continue;
+        PlacementDecision trial = decision;
+        trial.move_bytes[a][bottleneck][j] += chunk;
+        const TaskPlacementResult trial_task =
+            solve_task_placement(problem, trial.move_bytes);
+        trial.reduce_fractions = trial_task.reduce_fractions;
+        const double trial_t = predicted_shuffle_seconds(problem, trial);
+        const double trial_score = upload_load_score(problem, trial);
+        const bool improves_t = trial_t < best_t - 1e-9;
+        const bool holds_t_improves_score =
+            trial_t < best_t + 1e-9 && trial_score < best_score - 1e-9;
+        if (improves_t || holds_t_improves_score) {
+          best_t = trial_t;
+          best_score = trial_score;
+          best_j = j;
+          best_decision = std::move(trial);
+        }
+      }
+      if (best_j == n) break;  // no improving move for this dataset
+      out_budget[bottleneck] -= chunk;
+      in_budget[best_j] -= chunk;
+      decision = std::move(best_decision);
+      current_t = best_t;
+      current_score = best_score;
+    }
+  }
+  decision.predicted_shuffle_seconds = current_t;
+  return decision;
+}
+
+namespace {
+
+/// The x-step of the alternation: minimize t over {x, t} for fixed r.
+struct XStepResult {
+  std::vector<std::vector<std::vector<double>>> move_bytes;
+  double objective = 0.0;
+  bool optimal = false;
+  std::size_t iterations = 0;
+};
+
+XStepResult solve_x_step(const PlacementProblem& problem,
+                         const std::vector<double>& r) {
+  const std::size_t n = problem.topology.site_count();
+  const std::size_t n_datasets = problem.datasets.size();
+
+  // Normalize data volumes so constraint coefficients are O(1): raw
+  // per-byte coefficients (~1e-10) would drown in the simplex pricing
+  // tolerance and every x column would spuriously price as optimal.
+  double unit = 1.0;
+  for (const auto& d : problem.datasets) {
+    for (const double bytes : d.input_bytes) unit = std::max(unit, bytes);
+  }
+
+  lp::LpProblem p;
+  const lp::VarId t = p.add_variable("t", 1.0);
+
+  // Per-dataset per-site shuffle coefficient for resident data, and the
+  // coefficient for data arriving k -> i (probe-informed when available).
+  const auto rho_of = [&](std::size_t a, std::size_t i) {
+    return problem.datasets[a].reduction_ratio *
+           (1.0 - problem.datasets[a].self_similarity[i]);
+  };
+  const auto rho_in = [&](std::size_t a, std::size_t from, std::size_t to) {
+    const auto& d = problem.datasets[a];
+    const double mergability = d.pair_similarity.empty()
+                                   ? d.self_similarity[to]
+                                   : d.pair_similarity[from][to];
+    return d.reduction_ratio * (1.0 - mergability);
+  };
+
+  // The minimax objective alone is degenerate: when the binding
+  // constraint at the fixed r is a download term, no x improves t and the
+  // alternation stalls at x = 0. A tiny secondary objective — the sum of
+  // per-site upload-time proxies f_i/U_i — steers bytes toward fast
+  // uplinks at equal t, which the following r-step then converts into a
+  // strictly better t. Epsilon keeps it subordinate to t.
+  constexpr double kSecondaryEpsilon = 1e-3;
+  const double upload_norm = [&] {
+    double total = 0.0;
+    for (std::size_t a = 0; a < n_datasets; ++a) {
+      for (std::size_t i = 0; i < n; ++i) {
+        total += rho_of(a, i) * problem.datasets[a].input_bytes[i] /
+                 problem.topology.uplink(i);
+      }
+    }
+    return total > 0.0 ? total : 1.0;
+  }();
+
+  // x[a][i][j], j != i. Index helper keeps a flat variable table.
+  std::vector<std::vector<std::vector<lp::VarId>>> x(
+      n_datasets,
+      std::vector<std::vector<lp::VarId>>(n, std::vector<lp::VarId>(n, 0)));
+  for (std::size_t a = 0; a < n_datasets; ++a) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        // d(sum_k f_k/U_k)/dx_ij = rho_in(i->j)/U_j - rho_i/U_i.
+        const double secondary =
+            kSecondaryEpsilon / upload_norm * unit *
+            (rho_in(a, i, j) / problem.topology.uplink(j) -
+             rho_of(a, i) / problem.topology.uplink(i));
+        x[a][i][j] = p.add_variable("x", secondary);
+      }
+    }
+  }
+
+  // Per-dataset per-site shuffle coefficient: rho = R (1 - S_i).
+  const auto rho = [&](std::size_t a, std::size_t i) {
+    return problem.datasets[a].reduction_ratio *
+           (1.0 - problem.datasets[a].self_similarity[i]);
+  };
+
+  // Constraint (3): sum_a (1-r_i) f^a_i(x) / U_i <= t.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double scale_i = (1.0 - r[i]) / problem.topology.uplink(i);
+    std::vector<lp::Term> terms{{t, -1.0}};
+    double rhs = 0.0;
+    for (std::size_t a = 0; a < n_datasets; ++a) {
+      const double c = scale_i * rho(a, i);
+      rhs -= c * problem.datasets[a].input_bytes[i];
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        terms.push_back({x[a][i][j], -c * unit});
+        terms.push_back({x[a][j][i], scale_i * rho_in(a, j, i) * unit});
+      }
+    }
+    p.add_constraint(std::move(terms), lp::Relation::LessEq, rhs, "up");
+  }
+
+  // Constraint (4): sum_a r_i * sum_{j != i} f^a_j(x) / D_i <= t.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double scale_i = r[i] / problem.topology.downlink(i);
+    std::vector<lp::Term> terms{{t, -1.0}};
+    double rhs = 0.0;
+    for (std::size_t a = 0; a < n_datasets; ++a) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double c = scale_i * rho(a, j);
+        rhs -= c * problem.datasets[a].input_bytes[j];
+        for (std::size_t m = 0; m < n; ++m) {
+          if (m == j) continue;
+          terms.push_back({x[a][j][m], -c * unit});
+          terms.push_back({x[a][m][j], scale_i * rho_in(a, m, j) * unit});
+        }
+      }
+    }
+    p.add_constraint(std::move(terms), lp::Relation::LessEq, rhs, "down");
+  }
+
+  // Constraints (5)-(6): movement must finish within the lag T.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<lp::Term> out_terms;
+    std::vector<lp::Term> in_terms;
+    for (std::size_t a = 0; a < n_datasets; ++a) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        out_terms.push_back({x[a][i][j], 1.0});
+        in_terms.push_back({x[a][j][i], 1.0});
+      }
+    }
+    p.add_constraint(std::move(out_terms), lp::Relation::LessEq,
+                     problem.lag_seconds * problem.topology.uplink(i) / unit,
+                     "move_out");
+    p.add_constraint(std::move(in_terms), lp::Relation::LessEq,
+                     problem.lag_seconds * problem.topology.downlink(i) / unit,
+                     "move_in");
+  }
+
+  // A site cannot ship more of a dataset than it stores.
+  for (std::size_t a = 0; a < n_datasets; ++a) {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<lp::Term> terms;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j != i) terms.push_back({x[a][i][j], 1.0});
+      }
+      p.add_constraint(std::move(terms), lp::Relation::LessEq,
+                       problem.datasets[a].input_bytes[i] / unit, "supply");
+    }
+  }
+
+  const lp::LpSolution sol = lp::solve(p);
+  XStepResult result;
+  result.optimal = sol.optimal();
+  result.iterations = sol.iterations;
+  if (!result.optimal) return result;
+  result.objective = sol.value(t);
+  result.move_bytes.assign(
+      n_datasets,
+      std::vector<std::vector<double>>(n, std::vector<double>(n, 0.0)));
+  for (std::size_t a = 0; a < n_datasets; ++a) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i != j) {
+          result.move_bytes[a][i][j] =
+              std::max(0.0, sol.value(x[a][i][j]) * unit);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+namespace {
+
+/// One alternation run from a given r seed. Monotone in t per round.
+PlacementDecision alternate_from(const PlacementProblem& problem,
+                                 std::vector<double> r_seed,
+                                 const JointLpOptions& options,
+                                 std::size_t& lp_iterations) {
+  PlacementDecision decision;
+  decision.move_bytes = zero_moves(problem);
+  decision.reduce_fractions = std::move(r_seed);
+  double best_t = predicted_shuffle_seconds(problem, decision);
+
+  for (std::size_t round = 0; round < options.max_rounds; ++round) {
+    // x-step for fixed r.
+    XStepResult x_step = solve_x_step(problem, decision.reduce_fractions);
+    lp_iterations += x_step.iterations;
+    if (!x_step.optimal) break;
+
+    // r-step for the new x.
+    TaskPlacementResult r_step =
+        solve_task_placement(problem, x_step.move_bytes);
+    lp_iterations += r_step.iterations;
+    if (!r_step.optimal) break;
+
+    PlacementDecision candidate;
+    candidate.move_bytes = std::move(x_step.move_bytes);
+    candidate.reduce_fractions = r_step.reduce_fractions;
+    const double t = predicted_shuffle_seconds(problem, candidate);
+#ifdef BOHR_DEBUG_ALTERNATION
+    std::fprintf(stderr,
+                 "[joint] round=%zu x_obj=%.4f r_obj=%.4f cand_t=%.4f "
+                 "best_t=%.4f moved=%.3e\n",
+                 round, x_step.objective, r_step.objective, t, best_t,
+                 candidate.moved_bytes_total());
+#endif
+    if (t < best_t - options.convergence_epsilon) {
+      decision.move_bytes = std::move(candidate.move_bytes);
+      decision.reduce_fractions = std::move(candidate.reduce_fractions);
+      best_t = t;
+    } else {
+      break;  // converged (alternation is monotone)
+    }
+  }
+  decision.predicted_shuffle_seconds = best_t;
+  return decision;
+}
+
+}  // namespace
+
+PlacementDecision joint_lp_placement(const PlacementProblem& problem,
+                                     const JointLpOptions& options) {
+  validate_problem(problem);
+  BOHR_EXPECTS(options.max_rounds >= 1);
+  const WallTimer timer;
+  const std::size_t n = problem.topology.site_count();
+  std::size_t lp_iterations = 0;
+
+  // The bilinear problem has poor fixed points: e.g. when a download term
+  // binds at the seed r, no x can lower t and the alternation stalls at
+  // x = 0. Multi-start from structurally different r seeds and keep the
+  // best run (each run is itself monotone).
+  std::vector<std::vector<double>> seeds;
+  {
+    // Seed 1: task-placement optimum for unmoved data (Iridium's r).
+    TaskPlacementResult task =
+        solve_task_placement(problem, zero_moves(problem));
+    lp_iterations += task.iterations;
+    seeds.push_back(std::move(task.reduce_fractions));
+    // Seed 2: uplink-proportional (reduce where the pipes are fat).
+    std::vector<double> uplink_r(n);
+    const double total_up = problem.topology.total_uplink();
+    for (std::size_t i = 0; i < n; ++i) {
+      uplink_r[i] = problem.topology.uplink(i) / total_up;
+    }
+    seeds.push_back(std::move(uplink_r));
+    // Seed 3: uniform.
+    seeds.emplace_back(n, 1.0 / static_cast<double>(n));
+  }
+
+  PlacementDecision best;
+  bool have_best = false;
+  for (auto& seed : seeds) {
+    PlacementDecision run =
+        alternate_from(problem, std::move(seed), options, lp_iterations);
+    if (!have_best ||
+        run.predicted_shuffle_seconds < best.predicted_shuffle_seconds) {
+      best = std::move(run);
+      have_best = true;
+    }
+  }
+  best.lp_iterations = lp_iterations;
+  best.lp_seconds = timer.elapsed_seconds();
+  return best;
+}
+
+}  // namespace bohr::core

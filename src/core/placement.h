@@ -1,0 +1,114 @@
+// Data and reduce-task placement (§5): the shared problem description,
+// Iridium's heuristic baseline, and Bohr's joint LP via alternating
+// linear programs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lp/simplex.h"
+#include "net/topology.h"
+
+namespace bohr::core {
+
+/// Per-dataset inputs of the placement problem (Table 1 notation).
+struct DatasetPlacementInput {
+  std::size_t dataset_id = 0;
+  std::vector<double> input_bytes;  ///< I^a_i
+  double reduction_ratio = 1.0;     ///< R^a (map output bytes / input bytes)
+  std::vector<double> self_similarity;  ///< S^a_i (zeros when unknown)
+  /// S^a_{k,i} — probe-measured similarity of site k's data at site i
+  /// (§4.3: the LP uses similarity information). When filled, data moved
+  /// k -> i is predicted to combine at rate S_{k,i}; when empty, Eq. (1)'s
+  /// optimistic assumption applies (arriving data combines like local
+  /// data, 1 - S_i) — which is what the similarity-agnostic baselines
+  /// implicitly assume, and why their movement can backfire (Fig 8).
+  std::vector<std::vector<double>> pair_similarity;
+  /// Number of recurring queries on this dataset (Iridium's "high value"
+  /// heuristic weighs datasets by access count).
+  std::size_t query_count = 1;
+};
+
+struct PlacementProblem {
+  net::WanTopology topology;
+  std::vector<DatasetPlacementInput> datasets;
+  /// T — the lag between recurring query arrivals, which bounds movement.
+  double lag_seconds = 30.0;
+};
+
+struct PlacementDecision {
+  /// move_bytes[a][i][j] — bytes of dataset a moved i -> j before the
+  /// next query (x^a_{i,j}).
+  std::vector<std::vector<std::vector<double>>> move_bytes;
+  /// r_i — fraction of reduce tasks at site i; sums to 1.
+  std::vector<double> reduce_fractions;
+  /// Predicted shuffle time (the LP objective t).
+  double predicted_shuffle_seconds = 0.0;
+  /// Wall-clock LP solving time (Table 5) — 0 for the pure heuristic.
+  double lp_seconds = 0.0;
+  std::size_t lp_iterations = 0;
+
+  double moved_bytes_total() const;
+};
+
+/// Predicted per-site shuffle bytes after movement. With empty
+/// pair_similarity this is exactly Eq. (1):
+///   f^a_i = (I_i - sum_j x_ij + sum_k x_ki) * R * (1 - S_i);
+/// with pair similarity the in-flow term uses (1 - S_{k,i}) instead.
+std::vector<double> predicted_shuffle_bytes(
+    const DatasetPlacementInput& dataset,
+    const std::vector<std::vector<double>>& move_bytes);
+
+/// Predicted shuffle completion time for a decision (max over the upload
+/// and download constraints (3)-(4) of §5).
+double predicted_shuffle_seconds(const PlacementProblem& problem,
+                                 const PlacementDecision& decision);
+
+/// Reduce-task placement for FIXED data: the LP over {r, t} only — this
+/// is Iridium's separate task-placement step, also reused as the r-step
+/// of the alternating joint LP.
+struct TaskPlacementResult {
+  std::vector<double> reduce_fractions;
+  double objective = 0.0;
+  bool optimal = false;
+  std::size_t iterations = 0;
+};
+TaskPlacementResult solve_task_placement(
+    const PlacementProblem& problem,
+    const std::vector<std::vector<std::vector<double>>>& move_bytes);
+
+/// §1's strawman baseline: ship every byte to the best-connected hub
+/// site before the query and run every reduce task there. Ignores the
+/// lag budget T on purpose — showing that it cannot fit the lag (and
+/// congests the hub's downlink) is exactly the paper's argument against
+/// centralized aggregation.
+PlacementDecision centralized_placement(const PlacementProblem& problem);
+
+/// Geode/WANalytics-style baseline [32, 33]: minimize total WAN BYTES
+/// rather than completion time. Under the shuffle model that means: move
+/// nothing (movement itself costs WAN bytes and combining recovers only
+/// R(1-S) < 1 of them) and put every reduce task at the site holding the
+/// most intermediate data, so the largest share of shuffle stays local.
+/// The paper's §9 point: this minimizes bytes but NOT QCT — the chosen
+/// hub's links serialize the transfer.
+PlacementDecision geode_placement(const PlacementProblem& problem);
+
+/// Iridium [27]: solve task placement, then greedily move chunks of
+/// high-value datasets out of the bottleneck site, re-solving r after
+/// each move, until no move improves predicted shuffle time or the lag
+/// budget T is exhausted. Datasets are handled sequentially by value.
+PlacementDecision iridium_placement(const PlacementProblem& problem);
+
+struct JointLpOptions {
+  std::size_t max_rounds = 8;
+  double convergence_epsilon = 1e-4;
+};
+
+/// Bohr (§5): the joint formulation. Constraints (3)-(4) are bilinear in
+/// (r, x); we solve faithfully by alternating LPs — fix r, solve the LP
+/// in (x, t); fix x, solve the LP in (r, t) — which is monotone in t and
+/// converges in a handful of rounds (see DESIGN.md §6).
+PlacementDecision joint_lp_placement(const PlacementProblem& problem,
+                                     const JointLpOptions& options = {});
+
+}  // namespace bohr::core

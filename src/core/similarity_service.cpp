@@ -1,0 +1,64 @@
+#include "core/similarity_service.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "similarity/probe.h"
+
+namespace bohr::core {
+
+DatasetSimilarity check_similarity(const DatasetState& dataset,
+                                   const SimilarityOptions& options) {
+  BOHR_EXPECTS(dataset.has_cubes());
+  BOHR_EXPECTS(options.probe_k > 0);
+  const std::size_t n = dataset.site_count();
+
+  DatasetSimilarity result;
+  result.self.assign(n, 0.0);
+  result.pair.assign(n, std::vector<double>(n, 0.0));
+  result.matched_keys.assign(
+      n, std::vector<std::unordered_set<std::uint64_t>>(n));
+
+  const WallTimer timer;
+  const auto weights = dataset.cube_type_weights();
+
+  // Self-similarity straight from each site's dimension cubes.
+  for (std::size_t i = 0; i < n; ++i) {
+    result.self[i] = similarity::self_similarity(dataset.cubes_at(i), weights);
+    result.pair[i][i] = result.self[i];
+  }
+
+  // Probe exchange: every site builds one probe; every other site scores
+  // it. (The paper sends probes from the bottleneck site; building them
+  // everywhere lets the joint LP consider moving data out of any site.
+  // Probes are tiny — k records — so the extra traffic is negligible.)
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dataset.rows_at(i).empty()) continue;
+    const similarity::Probe probe =
+        options.random_probe_records
+            ? similarity::build_probe_random(dataset.dataset_id(),
+                                             dataset.cubes_at(i), weights,
+                                             options.probe_k,
+                                             options.seed ^ i)
+            : similarity::build_probe(dataset.dataset_id(),
+                                      dataset.cubes_at(i), weights,
+                                      options.probe_k);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      result.probe_bytes += static_cast<double>(probe.wire_bytes());
+      const similarity::ProbeEvaluation eval =
+          similarity::evaluate_probe(probe, dataset.cubes_at(j));
+      result.pair[i][j] = eval.similarity;
+      // Translate matched probe clusters into engine keys for movement.
+      for (std::size_t r = 0; r < probe.records.size(); ++r) {
+        if (!eval.matched[r]) continue;
+        result.matched_keys[i][j].insert(engine_key(probe.records[r].coords));
+      }
+    }
+  }
+  result.checking_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace bohr::core

@@ -1,0 +1,44 @@
+// Cross-site similarity checking for one dataset (§4): builds probes at
+// every potential sender, evaluates them at every receiver, and reports
+// the similarity inputs of the placement LP plus the matched-cluster sets
+// that guide which records move.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/state.h"
+
+namespace bohr::core {
+
+struct DatasetSimilarity {
+  /// S^a_i — self-similarity (combiner effectiveness) per site.
+  std::vector<double> self;
+  /// S^a_{i,j} — probe similarity of site i's data evaluated at site j.
+  /// pair[i][j]; diagonal = self[i].
+  std::vector<std::vector<double>> pair;
+  /// matched_keys[i][j] — engine keys of site i's probe clusters that
+  /// site j reported as present (movement-priority sets, <= k entries).
+  std::vector<std::vector<std::unordered_set<std::uint64_t>>> matched_keys;
+  /// Wall-clock cost of probe construction + evaluation (Tables 2/3).
+  double checking_seconds = 0.0;
+  /// Total probe traffic on the WAN.
+  double probe_bytes = 0.0;
+};
+
+struct SimilarityOptions {
+  /// Records per probe (k of §4.2; Figures 12/13 sweep it).
+  std::size_t probe_k = 30;
+  /// Ablation: sample probe records uniformly instead of by cluster size.
+  bool random_probe_records = false;
+  std::uint64_t seed = 77;
+};
+
+/// Runs the full probe exchange for a dataset. Requires cubes.
+/// The dominant (highest-weight) query type keys the matched sets, since
+/// movement happens once per dataset while queries of all types share it.
+DatasetSimilarity check_similarity(const DatasetState& dataset,
+                                   const SimilarityOptions& options);
+
+}  // namespace bohr::core

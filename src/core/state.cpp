@@ -1,0 +1,217 @@
+#include "core/state.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace bohr::core {
+
+std::uint64_t engine_key(const olap::CellCoords& projected_coords) {
+  std::uint64_t h = 0x5EEDBEEFULL;
+  for (const olap::MemberId m : projected_coords) h = hash_combine(h, m);
+  return h;
+}
+
+DatasetState::DatasetState(workload::DatasetBundle bundle,
+                           workload::DatasetQueryMix mix, bool with_cubes)
+    : bundle_(std::move(bundle)), mix_(std::move(mix)) {
+  BOHR_EXPECTS(!bundle_.site_rows.empty());
+  BOHR_EXPECTS(mix_.counts.size() == bundle_.query_types.size());
+  if (with_cubes) {
+    const olap::CubeBuilder builder(bundle_.cube_spec);
+    cubes_.reserve(site_count());
+    for (std::size_t s = 0; s < site_count(); ++s) {
+      cubes_.emplace_back(builder);
+    }
+    for (const auto& qt : bundle_.query_types) {
+      // Registration is idempotent per attribute subset; every site must
+      // register the same subsets in the same order so ids agree.
+      olap::QueryTypeId id = 0;
+      for (std::size_t s = 0; s < site_count(); ++s) {
+        id = cubes_[s].register_query_type(qt.dim_positions);
+      }
+      spec_to_cube_type_.push_back(id);
+    }
+    for (std::size_t s = 0; s < site_count(); ++s) {
+      cubes_[s].add_rows(bundle_.site_rows[s]);
+    }
+  } else {
+    // Without cubes the spec->type mapping is positional.
+    for (std::size_t t = 0; t < bundle_.query_types.size(); ++t) {
+      spec_to_cube_type_.push_back(t);
+    }
+  }
+}
+
+const std::vector<olap::Row>& DatasetState::rows_at(std::size_t site) const {
+  BOHR_EXPECTS(site < site_count());
+  return bundle_.site_rows[site];
+}
+
+double DatasetState::input_bytes_at(std::size_t site) const {
+  return static_cast<double>(rows_at(site).size()) * bundle_.bytes_per_row;
+}
+
+double DatasetState::total_input_bytes() const { return bundle_.total_bytes(); }
+
+olap::QueryTypeId DatasetState::cube_query_type(std::size_t t) const {
+  BOHR_EXPECTS(t < spec_to_cube_type_.size());
+  return spec_to_cube_type_[t];
+}
+
+const olap::DatasetCubes& DatasetState::cubes_at(std::size_t site) const {
+  BOHR_EXPECTS(has_cubes());
+  BOHR_EXPECTS(site < cubes_.size());
+  return cubes_[site];
+}
+
+olap::DatasetCubes& DatasetState::cubes_at(std::size_t site) {
+  BOHR_EXPECTS(has_cubes());
+  BOHR_EXPECTS(site < cubes_.size());
+  return cubes_[site];
+}
+
+std::vector<similarity::QueryTypeWeight> DatasetState::cube_type_weights()
+    const {
+  // Merge spec weights that map to the same registered cube type.
+  std::vector<similarity::QueryTypeWeight> out;
+  const std::vector<double> weights = mix_.weights();
+  for (std::size_t t = 0; t < bundle_.query_types.size(); ++t) {
+    const olap::QueryTypeId id = spec_to_cube_type_[t];
+    auto it = std::find_if(out.begin(), out.end(), [id](const auto& w) {
+      return w.query_type == id;
+    });
+    if (it == out.end()) {
+      out.push_back(similarity::QueryTypeWeight{id, weights[t]});
+    } else {
+      it->weight += weights[t];
+    }
+  }
+  // Probe building requires a positive total; fall back to uniform when
+  // the sampled mix left every type at zero weight (cannot happen with
+  // >=1 query, but keep the invariant locally checkable).
+  double total = 0.0;
+  for (const auto& w : out) total += w.weight;
+  if (total <= 0.0) {
+    for (auto& w : out) w.weight = 1.0;
+  }
+  return out;
+}
+
+std::uint64_t DatasetState::key_of(const olap::Row& row, std::size_t t) const {
+  BOHR_EXPECTS(t < bundle_.query_types.size());
+  const olap::CubeBuilder builder(bundle_.cube_spec);
+  const olap::CellCoords full = builder.coords_for(row);
+  olap::CellCoords projected;
+  projected.reserve(bundle_.query_types[t].dim_positions.size());
+  for (const std::size_t p : bundle_.query_types[t].dim_positions) {
+    projected.push_back(full[p]);
+  }
+  return engine_key(projected);
+}
+
+engine::RecordStream DatasetState::map_rows(std::size_t site, std::size_t t,
+                                            double selectivity,
+                                            std::uint64_t query_salt) const {
+  BOHR_EXPECTS(site < site_count());
+  BOHR_EXPECTS(t < bundle_.query_types.size());
+  BOHR_EXPECTS(selectivity > 0.0 && selectivity <= 1.0);
+  const olap::CubeBuilder builder(bundle_.cube_spec);
+  const auto& positions = bundle_.query_types[t].dim_positions;
+  engine::RecordStream out;
+  out.reserve(rows_at(site).size());
+  const auto threshold = static_cast<std::uint64_t>(
+      selectivity * 18446744073709551615.0);  // 2^64 - 1
+  for (const olap::Row& row : rows_at(site)) {
+    const olap::CellCoords full = builder.coords_for(row);
+    olap::CellCoords projected;
+    projected.reserve(positions.size());
+    for (const std::size_t p : positions) projected.push_back(full[p]);
+    const std::uint64_t key = engine_key(projected);
+    if (selectivity < 1.0 && mix64(key ^ query_salt) > threshold) continue;
+    out.push_back(engine::KeyValue{key, builder.measure_for(row)});
+  }
+  return out;
+}
+
+void DatasetState::move_rows(std::size_t src, std::size_t dst,
+                             std::vector<std::size_t> row_indices) {
+  move_rows_multi(src, {MoveTarget{dst, std::move(row_indices)}});
+}
+
+void DatasetState::move_rows_multi(std::size_t src,
+                                   std::vector<MoveTarget> targets) {
+  BOHR_EXPECTS(src < site_count());
+  auto& src_rows = bundle_.site_rows[src];
+
+  // Tag every requested index with its destination; validate uniqueness
+  // across all targets.
+  std::vector<std::pair<std::size_t, std::size_t>> tagged;  // (index, dst)
+  for (const auto& target : targets) {
+    BOHR_EXPECTS(target.dst < site_count());
+    BOHR_EXPECTS(target.dst != src);
+    for (const std::size_t idx : target.row_indices) {
+      BOHR_EXPECTS(idx < src_rows.size());
+      tagged.emplace_back(idx, target.dst);
+    }
+  }
+  if (tagged.empty()) return;
+  std::sort(tagged.begin(), tagged.end());
+  for (std::size_t k = 1; k < tagged.size(); ++k) {
+    BOHR_EXPECTS(tagged[k].first != tagged[k - 1].first);
+  }
+
+  // Extract in one descending pass so indices stay valid throughout.
+  std::vector<std::vector<olap::Row>> moved(site_count());
+  for (auto it = tagged.rbegin(); it != tagged.rend(); ++it) {
+    moved[it->second].push_back(std::move(src_rows[it->first]));
+    src_rows.erase(src_rows.begin() + static_cast<std::ptrdiff_t>(it->first));
+  }
+
+  for (std::size_t dst = 0; dst < site_count(); ++dst) {
+    if (moved[dst].empty()) continue;
+    auto& dst_rows = bundle_.site_rows[dst];
+    const std::size_t added = moved[dst].size();
+    for (auto& row : moved[dst]) dst_rows.push_back(std::move(row));
+    if (has_cubes()) {
+      cubes_[dst].add_rows(std::span<const olap::Row>(
+          dst_rows.data() + (dst_rows.size() - added), added));
+    }
+  }
+  if (has_cubes()) {
+    // Cube cells are additive but not subtractive; rebuild the source.
+    rebuild_cubes_at(src);
+  }
+}
+
+void DatasetState::append_rows(std::size_t site, std::vector<olap::Row> rows,
+                               bool buffer_only) {
+  BOHR_EXPECTS(site < site_count());
+  if (rows.empty()) return;
+  auto& site_rows = bundle_.site_rows[site];
+  const std::size_t offset = site_rows.size();
+  for (auto& row : rows) site_rows.push_back(std::move(row));
+  if (has_cubes()) {
+    const std::span<const olap::Row> added(site_rows.data() + offset,
+                                           site_rows.size() - offset);
+    if (buffer_only) {
+      cubes_[site].buffer_rows(added);
+    } else {
+      cubes_[site].add_rows(added);
+    }
+  }
+}
+
+void DatasetState::rebuild_cubes_at(std::size_t site) {
+  const olap::CubeBuilder builder(bundle_.cube_spec);
+  olap::DatasetCubes fresh(builder);
+  for (const auto& qt : bundle_.query_types) {
+    fresh.register_query_type(qt.dim_positions);
+  }
+  fresh.add_rows(bundle_.site_rows[site]);
+  cubes_[site] = std::move(fresh);
+}
+
+}  // namespace bohr::core

@@ -1,0 +1,27 @@
+#include "core/strategy.h"
+
+namespace bohr::core {
+
+std::string to_string(Strategy s) {
+  switch (s) {
+    case Strategy::Centralized:
+      return "Centralized";
+    case Strategy::Geode:
+      return "Geode";
+    case Strategy::Iridium:
+      return "Iridium";
+    case Strategy::IridiumC:
+      return "Iridium-C";
+    case Strategy::BohrSim:
+      return "Bohr-Sim";
+    case Strategy::BohrJoint:
+      return "Bohr-Joint";
+    case Strategy::BohrRdd:
+      return "Bohr-RDD";
+    case Strategy::Bohr:
+      return "Bohr";
+  }
+  return "unknown";
+}
+
+}  // namespace bohr::core

@@ -1,0 +1,61 @@
+// The six schemes compared in §8.1.
+#pragma once
+
+#include <string>
+
+namespace bohr::core {
+
+enum class Strategy {
+  Centralized,  ///< §1's strawman: ship everything to one site first
+  Geode,      ///< Vulimiri et al. [33]: minimize WAN bytes, not QCT
+  Iridium,    ///< Pu et al. [27]: heuristic data + separate task placement
+  IridiumC,   ///< Iridium with OLAP cubes as storage (the paper's baseline)
+  BohrSim,    ///< + similarity-aware choice of WHICH data moves
+  BohrJoint,  ///< + joint data/task placement LP (no RDD similarity)
+  BohrRdd,    ///< + runtime RDD similarity (heuristic placement amounts)
+  Bohr,       ///< the complete system
+};
+
+/// Feature switches implied by each scheme.
+struct StrategyTraits {
+  bool cubes = false;                ///< OLAP cube storage & sorted partitions
+  bool similarity_movement = false;  ///< probe-informed record selection
+  bool joint_lp = false;             ///< §5 LP instead of Iridium heuristic
+  bool rdd_similarity = false;       ///< §6 executor clustering
+};
+
+/// Whether the scheme centralizes all data before executing (§1's
+/// "aggregate to a central site" strawman, kept as a baseline).
+constexpr bool centralizes(Strategy s) { return s == Strategy::Centralized; }
+
+/// Whether the scheme optimizes WAN byte volume instead of QCT (§9's
+/// discussion of Geode/WANalytics).
+constexpr bool minimizes_bandwidth(Strategy s) {
+  return s == Strategy::Geode;
+}
+
+constexpr StrategyTraits traits_of(Strategy s) {
+  switch (s) {
+    case Strategy::Centralized:
+      return {false, false, false, false};
+    case Strategy::Geode:
+      return {false, false, false, false};
+    case Strategy::Iridium:
+      return {false, false, false, false};
+    case Strategy::IridiumC:
+      return {true, false, false, false};
+    case Strategy::BohrSim:
+      return {true, true, false, false};
+    case Strategy::BohrJoint:
+      return {true, true, true, false};
+    case Strategy::BohrRdd:
+      return {true, true, false, true};
+    case Strategy::Bohr:
+      return {true, true, true, true};
+  }
+  return {};
+}
+
+std::string to_string(Strategy s);
+
+}  // namespace bohr::core

@@ -1,0 +1,89 @@
+#include "engine/dag_runner.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace bohr::engine {
+
+double ChainedJobResult::total_wan_bytes() const {
+  double total = 0.0;
+  for (const auto& s : stages) total += s.wan_shuffle_bytes;
+  return total;
+}
+
+namespace {
+
+/// Distributes stage s's reduce output across sites per the reduce
+/// placement, re-keyed for stage s+1. The reduce output for key k lives
+/// at the site owning k's reduce task; we model the hash partitioner by
+/// assigning each key a site drawn from the reduce fractions (stable in
+/// the key, so recurring runs agree).
+std::vector<RecordStream> next_stage_inputs(
+    const JobResult& done, const std::vector<RecordStream>& prev_inputs,
+    const std::vector<double>& reduce_fractions, std::uint64_t regroup_ratio,
+    std::uint64_t stage_salt) {
+  const std::size_t n = prev_inputs.size();
+  // Reduced records per key: aggregate the previous stage's combined
+  // outputs globally (the reduce already merged per-key values).
+  RecordStream global;
+  for (const auto& site_input : prev_inputs) {
+    global.insert(global.end(), site_input.begin(), site_input.end());
+  }
+  const RecordStream reduced = combine(global, AggregateOp::Sum);
+
+  // Cumulative reduce fractions for the key -> site hash partitioner.
+  std::vector<double> cdf(n, 0.0);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += reduce_fractions[i];
+    cdf[i] = acc;
+  }
+
+  std::vector<RecordStream> next(n);
+  for (const KeyValue& kv : reduced) {
+    const double u = static_cast<double>(mix64(kv.key) >> 11) * 0x1.0p-53;
+    std::size_t site = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (u < cdf[i]) {
+        site = i;
+        break;
+      }
+    }
+    // Re-key for the next stage: regroup_ratio old keys per new key.
+    const std::uint64_t new_key =
+        mix64((kv.key / std::max<std::uint64_t>(regroup_ratio, 1)) ^
+              stage_salt);
+    next[site].push_back(KeyValue{new_key, kv.value});
+  }
+  (void)done;
+  return next;
+}
+
+}  // namespace
+
+ChainedJobResult run_chained_job(const net::WanTopology& topo,
+                                 const std::vector<RecordStream>& site_inputs,
+                                 const std::vector<double>& reduce_fractions,
+                                 const std::vector<ChainedStage>& stages,
+                                 const JobConfig& config, bohr::Rng& rng) {
+  BOHR_EXPECTS(!stages.empty());
+  ChainedJobResult result;
+  std::vector<RecordStream> inputs = site_inputs;
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    JobResult stage =
+        run_job(topo, inputs, reduce_fractions, stages[s].spec, config, rng);
+    result.qct_seconds += stage.qct_seconds;
+    if (s + 1 < stages.size()) {
+      BOHR_EXPECTS(stages[s].regroup_ratio >= 1);
+      inputs = next_stage_inputs(stage, inputs, reduce_fractions,
+                                 stages[s + 1].regroup_ratio,
+                                 hash_combine(0xDA6, s));
+    }
+    result.stages.push_back(std::move(stage));
+  }
+  return result;
+}
+
+}  // namespace bohr::engine

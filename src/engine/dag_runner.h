@@ -1,0 +1,44 @@
+// Multi-stage query plans (§2.1: "a logically centralized controller
+// compiles the query into a DAG of processing stages, each of which
+// comprises parallel map-reduce tasks").
+//
+// A linear chain of map/combine/shuffle/reduce stages: stage s+1
+// consumes stage s's reduce outputs at each site, re-keyed by the next
+// stage's grouping (modeled as a salted re-hash with a configurable
+// fan-in: `regroup_ratio` keys of stage s map to one key of stage s+1 —
+// aggregation trees narrow, join-expansions widen).
+#pragma once
+
+#include <vector>
+
+#include "engine/job_runner.h"
+
+namespace bohr::engine {
+
+struct ChainedStage {
+  QuerySpec spec;
+  /// How many stage-(s) keys fold into one stage-(s+1) key (>= 1
+  /// narrows, e.g. day->month aggregation; exactly 1 re-keys only).
+  std::uint64_t regroup_ratio = 4;
+};
+
+struct ChainedJobResult {
+  /// End-to-end completion time: stages execute back-to-back.
+  double qct_seconds = 0.0;
+  std::vector<JobResult> stages;
+
+  double total_wan_bytes() const;
+};
+
+/// Runs the stages in sequence. `site_inputs` feeds stage 0; stage s+1's
+/// per-site input is the reduce output that landed at each site under
+/// stage s's reduce placement, re-keyed per the stage's regroup_ratio.
+/// `reduce_fractions` applies to every stage (one placement decision per
+/// recurring query, as in the paper).
+ChainedJobResult run_chained_job(const net::WanTopology& topo,
+                                 const std::vector<RecordStream>& site_inputs,
+                                 const std::vector<double>& reduce_fractions,
+                                 const std::vector<ChainedStage>& stages,
+                                 const JobConfig& config, bohr::Rng& rng);
+
+}  // namespace bohr::engine

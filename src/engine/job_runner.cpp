@@ -1,0 +1,101 @@
+#include "engine/job_runner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "net/transfer.h"
+
+namespace bohr::engine {
+
+double JobResult::total_shuffle_bytes() const {
+  double total = 0.0;
+  for (const auto& s : sites) total += s.shuffle_bytes;
+  return total;
+}
+
+JobResult run_job(const net::WanTopology& topo,
+                  const std::vector<RecordStream>& site_inputs,
+                  const std::vector<double>& reduce_fractions,
+                  const QuerySpec& spec, const JobConfig& config,
+                  bohr::Rng& rng) {
+  const std::size_t n = topo.site_count();
+  BOHR_EXPECTS(site_inputs.size() == n);
+  BOHR_EXPECTS(reduce_fractions.size() == n);
+  double r_total = 0.0;
+  for (const double r : reduce_fractions) {
+    BOHR_EXPECTS(r >= -1e-9);
+    r_total += r;
+  }
+  BOHR_EXPECTS(std::abs(r_total - 1.0) < 1e-6);
+
+  JobResult result;
+  result.sites.resize(n);
+
+  // ---- Local stage: map + per-partition combine per site ---------------
+  for (net::SiteId i = 0; i < n; ++i) {
+    result.sites[i].input_records = site_inputs[i].size();
+    const auto partitions = make_partitions(
+        site_inputs[i], config.partition_records, config.partition_policy);
+    LocalStageResult local = run_local_stage(
+        partitions, config.machine, config.executor_assignment, spec.op,
+        spec.compute_multiplier, config.dimsum, rng);
+    result.sites[i].map_finish_seconds = local.stage_seconds;
+    result.sites[i].shuffle_records = local.shuffle_input.size();
+    result.sites[i].shuffle_bytes =
+        static_cast<double>(local.shuffle_input.size()) *
+        spec.intermediate_bytes_per_record;
+    result.sites[i].exchanged_records = local.exchanged_records;
+    result.sites[i].rdd_check_seconds = local.rdd_check_seconds;
+  }
+
+  // ---- Shuffle: all-to-all flows f_i * r_j, starting at map finish -----
+  std::vector<net::Flow> flows;
+  flows.reserve(n * n);
+  for (net::SiteId i = 0; i < n; ++i) {
+    for (net::SiteId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double bytes = result.sites[i].shuffle_bytes * reduce_fractions[j];
+      if (bytes <= 0.0) continue;
+      flows.push_back(net::Flow{i, j, bytes,
+                                result.sites[i].map_finish_seconds});
+      result.wan_shuffle_bytes += bytes;
+    }
+  }
+  const auto flow_results = net::simulate_flows(topo, flows);
+
+  std::vector<double> shuffle_finish(n, 0.0);
+  for (net::SiteId j = 0; j < n; ++j) {
+    // A site's own shuffle portion is available at its map finish.
+    shuffle_finish[j] = reduce_fractions[j] > 0.0
+                            ? result.sites[j].map_finish_seconds
+                            : 0.0;
+  }
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    shuffle_finish[flows[f].dst] =
+        std::max(shuffle_finish[flows[f].dst], flow_results[f].finish_time);
+  }
+
+  // ---- Reduce ------------------------------------------------------------
+  double total_shuffle_records = 0.0;
+  for (const auto& s : result.sites) {
+    total_shuffle_records += static_cast<double>(s.shuffle_records);
+  }
+  double qct = 0.0;
+  double slowest_map = 0.0;
+  for (net::SiteId j = 0; j < n; ++j) {
+    result.sites[j].shuffle_finish_seconds = shuffle_finish[j];
+    const double reduce_records = total_shuffle_records *
+                                  config.machine.record_scale *
+                                  reduce_fractions[j];
+    const double reduce_t = reduce_records / config.reduce_records_per_sec;
+    result.sites[j].reduce_finish_seconds = shuffle_finish[j] + reduce_t;
+    qct = std::max(qct, result.sites[j].reduce_finish_seconds);
+    slowest_map = std::max(slowest_map, result.sites[j].map_finish_seconds);
+  }
+  result.shuffle_seconds = std::max(0.0, qct - slowest_map);
+  result.qct_seconds = qct + config.controller_overhead_seconds;
+  return result;
+}
+
+}  // namespace bohr::engine

@@ -1,0 +1,57 @@
+// Executes one geo-distributed query: per-site map/combine (machine
+// model), WAN all-to-all shuffle (flow model), and reduce, returning the
+// query completion time and per-site shuffle volumes.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/machine.h"
+#include "engine/partitioner.h"
+#include "engine/query.h"
+#include "net/topology.h"
+
+namespace bohr::engine {
+
+struct JobConfig {
+  MachineConfig machine;
+  std::size_t partition_records = 4096;
+  PartitionPolicy partition_policy = PartitionPolicy::ArrivalOrder;
+  ExecutorAssignment executor_assignment = ExecutorAssignment::RoundRobin;
+  similarity::DimsumParams dimsum;
+  double reduce_records_per_sec = 5.0e8;
+  /// Query-time controller overhead added to QCT (LP solving for the
+  /// joint strategies; §8.5 includes it in QCT).
+  double controller_overhead_seconds = 0.0;
+};
+
+struct SiteJobMetrics {
+  std::size_t input_records = 0;
+  std::size_t shuffle_records = 0;  ///< combined map output at the site
+  double shuffle_bytes = 0.0;       ///< f_i of Eq. 1, in bytes
+  double map_finish_seconds = 0.0;
+  double shuffle_finish_seconds = 0.0;
+  double reduce_finish_seconds = 0.0;
+  std::size_t exchanged_records = 0;
+  double rdd_check_seconds = 0.0;
+};
+
+struct JobResult {
+  double qct_seconds = 0.0;
+  double shuffle_seconds = 0.0;  ///< slowest shuffle minus slowest map
+  std::vector<SiteJobMetrics> sites;
+
+  double total_shuffle_bytes() const;
+  /// Bytes actually crossing the WAN given the reduce placement used.
+  double wan_shuffle_bytes = 0.0;
+};
+
+/// `site_inputs[i]` holds the already-mapped key/value stream at site i
+/// (selectivity applied by the caller). `reduce_fractions` must sum to 1.
+JobResult run_job(const net::WanTopology& topo,
+                  const std::vector<RecordStream>& site_inputs,
+                  const std::vector<double>& reduce_fractions,
+                  const QuerySpec& spec, const JobConfig& config,
+                  bohr::Rng& rng);
+
+}  // namespace bohr::engine

@@ -1,0 +1,35 @@
+#include "engine/partitioner.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace bohr::engine {
+
+std::vector<RecordStream> make_partitions(std::span<const KeyValue> records,
+                                          std::size_t partition_records,
+                                          PartitionPolicy policy) {
+  BOHR_EXPECTS(partition_records > 0);
+  std::vector<RecordStream> partitions;
+  if (records.empty()) return partitions;
+
+  RecordStream working(records.begin(), records.end());
+  if (policy == PartitionPolicy::CubeSorted) {
+    std::sort(working.begin(), working.end(),
+              [](const KeyValue& a, const KeyValue& b) {
+                return a.key < b.key;
+              });
+  }
+  const std::size_t count =
+      (working.size() + partition_records - 1) / partition_records;
+  partitions.reserve(count);
+  for (std::size_t p = 0; p < count; ++p) {
+    const std::size_t begin = p * partition_records;
+    const std::size_t end = std::min(begin + partition_records, working.size());
+    partitions.emplace_back(working.begin() + static_cast<std::ptrdiff_t>(begin),
+                            working.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  return partitions;
+}
+
+}  // namespace bohr::engine

@@ -1,0 +1,30 @@
+// Splitting a site's input into RDD partitions.
+//
+// The policy matters for combiner effectiveness: cube-backed systems
+// (Iridium-C and all Bohr variants) store records sorted/clustered by the
+// queried attributes (§4.1 "similar local records have already been
+// clustered in the cube"), so identical keys land in the same map task and
+// combine well. Without cubes, records are partitioned in arrival order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "engine/record.h"
+
+namespace bohr::engine {
+
+enum class PartitionPolicy {
+  ArrivalOrder,  ///< raw log order (vanilla Spark / Iridium)
+  CubeSorted,    ///< sorted by key, i.e. clustered by the dimension cube
+};
+
+/// Splits `records` into partitions of at most `partition_records` each.
+/// Always yields at least one partition for non-empty input; empty input
+/// yields no partitions.
+std::vector<RecordStream> make_partitions(std::span<const KeyValue> records,
+                                          std::size_t partition_records,
+                                          PartitionPolicy policy);
+
+}  // namespace bohr::engine

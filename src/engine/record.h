@@ -1,0 +1,22 @@
+// Key-value records flowing through the map/combine/shuffle/reduce engine.
+//
+// Keys are 64-bit hashes of the attribute combination the query groups by
+// (i.e. the dimension-cube cell of the record for that query type), so
+// "combinable" and "same cube cell" coincide by construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bohr::engine {
+
+struct KeyValue {
+  std::uint64_t key = 0;
+  double value = 0.0;
+
+  friend bool operator==(const KeyValue&, const KeyValue&) = default;
+};
+
+using RecordStream = std::vector<KeyValue>;
+
+}  // namespace bohr::engine

@@ -1,0 +1,35 @@
+#include "lp/problem.h"
+
+#include "common/check.h"
+
+namespace bohr::lp {
+
+VarId LpProblem::add_variable(std::string name, double objective_coeff) {
+  names_.push_back(std::move(name));
+  objective_.push_back(objective_coeff);
+  return names_.size() - 1;
+}
+
+void LpProblem::set_objective(VarId var, double coeff) {
+  BOHR_EXPECTS(var < objective_.size());
+  objective_[var] = coeff;
+}
+
+void LpProblem::add_constraint(std::vector<Term> terms, Relation relation,
+                               double rhs, std::string name) {
+  for (const Term& t : terms) BOHR_EXPECTS(t.var < names_.size());
+  rows_.push_back(
+      ConstraintRow{std::move(terms), relation, rhs, std::move(name)});
+}
+
+const std::string& LpProblem::variable_name(VarId v) const {
+  BOHR_EXPECTS(v < names_.size());
+  return names_[v];
+}
+
+double LpProblem::objective_coeff(VarId v) const {
+  BOHR_EXPECTS(v < objective_.size());
+  return objective_[v];
+}
+
+}  // namespace bohr::lp

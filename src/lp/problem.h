@@ -1,0 +1,57 @@
+// Linear-program model builder.
+//
+// Variables are non-negative reals (matching the placement formulation
+// in §5: data amounts and task fractions are >= 0); constraints are
+// sparse rows with <=, >= or = relations. The objective is minimized.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bohr::lp {
+
+enum class Relation { LessEq, GreaterEq, Equal };
+
+/// Index of a variable within an LpProblem.
+using VarId = std::size_t;
+
+/// One sparse constraint term: coefficient * variable.
+struct Term {
+  VarId var = 0;
+  double coeff = 0.0;
+};
+
+struct ConstraintRow {
+  std::vector<Term> terms;
+  Relation relation = Relation::LessEq;
+  double rhs = 0.0;
+  std::string name;
+};
+
+class LpProblem {
+ public:
+  /// Adds a variable with the given objective coefficient; returns its id.
+  VarId add_variable(std::string name, double objective_coeff = 0.0);
+
+  /// Sets/updates the objective coefficient of an existing variable.
+  void set_objective(VarId var, double coeff);
+
+  /// Adds a constraint. Terms may repeat a variable (coefficients sum).
+  void add_constraint(std::vector<Term> terms, Relation relation, double rhs,
+                      std::string name = {});
+
+  std::size_t variable_count() const { return names_.size(); }
+  std::size_t constraint_count() const { return rows_.size(); }
+  const std::string& variable_name(VarId v) const;
+  double objective_coeff(VarId v) const;
+  const std::vector<ConstraintRow>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<double> objective_;
+  std::vector<ConstraintRow> rows_;
+};
+
+}  // namespace bohr::lp

@@ -1,0 +1,288 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace bohr::lp {
+
+namespace {
+
+/// Dense tableau state shared by both phases.
+struct Tableau {
+  std::size_t rows = 0;
+  std::size_t cols = 0;  // structural + slack/surplus + artificial
+  std::vector<std::vector<double>> a;  // rows x cols
+  std::vector<double> rhs;             // per row, kept >= 0
+  std::vector<std::size_t> basis;      // basic column per row
+  std::vector<double> obj;             // reduced-cost row, size cols
+  double obj_shift = 0.0;              // z = -obj_shift
+  std::vector<bool> allowed;           // column may enter the basis
+
+  void pivot(std::size_t prow, std::size_t pcol) {
+    const double p = a[prow][pcol];
+    BOHR_CHECK(std::abs(p) > 1e-12);
+    const double inv = 1.0 / p;
+    for (auto& v : a[prow]) v *= inv;
+    rhs[prow] *= inv;
+    a[prow][pcol] = 1.0;  // fight rounding
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (r == prow) continue;
+      const double factor = a[r][pcol];
+      if (factor == 0.0) continue;
+      for (std::size_t c = 0; c < cols; ++c) a[r][c] -= factor * a[prow][c];
+      a[r][pcol] = 0.0;
+      rhs[r] -= factor * rhs[prow];
+      if (rhs[r] < 0.0 && rhs[r] > -1e-11) rhs[r] = 0.0;
+    }
+    const double ofactor = obj[pcol];
+    if (ofactor != 0.0) {
+      for (std::size_t c = 0; c < cols; ++c) obj[c] -= ofactor * a[prow][c];
+      obj[pcol] = 0.0;
+      obj_shift -= ofactor * rhs[prow];
+    }
+    basis[prow] = pcol;
+  }
+
+  /// Rebuilds the reduced-cost row for the given phase costs.
+  void price(const std::vector<double>& costs) {
+    obj = costs;
+    obj.resize(cols, 0.0);
+    obj_shift = 0.0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double cb = basis[r] < costs.size() ? costs[basis[r]] : 0.0;
+      if (cb == 0.0) continue;
+      for (std::size_t c = 0; c < cols; ++c) obj[c] -= cb * a[r][c];
+      obj_shift -= cb * rhs[r];
+    }
+  }
+};
+
+enum class PivotOutcome { Improved, Optimal, Unbounded };
+
+PivotOutcome pivot_step(Tableau& t, bool bland, double eps) {
+  // Entering column: most negative reduced cost (Dantzig) or first
+  // negative (Bland).
+  std::size_t enter = t.cols;
+  double best = -eps;
+  for (std::size_t c = 0; c < t.cols; ++c) {
+    if (!t.allowed[c]) continue;
+    if (t.obj[c] < best) {
+      best = t.obj[c];
+      enter = c;
+      if (bland) break;
+    }
+  }
+  if (enter == t.cols) return PivotOutcome::Optimal;
+
+  // Ratio test; Bland tie-break on smallest basis column.
+  std::size_t leave = t.rows;
+  double best_ratio = std::numeric_limits<double>::max();
+  for (std::size_t r = 0; r < t.rows; ++r) {
+    const double arc = t.a[r][enter];
+    if (arc <= eps) continue;
+    const double ratio = t.rhs[r] / arc;
+    if (ratio < best_ratio - eps ||
+        (ratio < best_ratio + eps && leave < t.rows &&
+         t.basis[r] < t.basis[leave])) {
+      best_ratio = ratio;
+      leave = r;
+    }
+  }
+  if (leave == t.rows) return PivotOutcome::Unbounded;
+  t.pivot(leave, enter);
+  return PivotOutcome::Improved;
+}
+
+SolveStatus run_phase(Tableau& t, std::size_t max_iter, double eps,
+                      std::size_t bland_after, std::size_t& iterations) {
+  std::size_t stall = 0;
+  double last_z = -t.obj_shift;
+  while (iterations < max_iter) {
+    const bool bland = stall >= bland_after;
+    const PivotOutcome outcome = pivot_step(t, bland, eps);
+    if (outcome == PivotOutcome::Optimal) return SolveStatus::Optimal;
+    if (outcome == PivotOutcome::Unbounded) return SolveStatus::Unbounded;
+    ++iterations;
+    const double z = -t.obj_shift;
+    if (z < last_z - eps) {
+      stall = 0;
+      last_z = z;
+    } else {
+      ++stall;
+    }
+  }
+  return SolveStatus::IterationLimit;
+}
+
+}  // namespace
+
+LpSolution solve(const LpProblem& problem, const SimplexOptions& options) {
+  const std::size_t n = problem.variable_count();
+  const std::size_t m = problem.constraint_count();
+  LpSolution solution;
+  solution.values.assign(n, 0.0);
+
+  // Densify rows; normalize to rhs >= 0.
+  std::vector<std::vector<double>> dense(m, std::vector<double>(n, 0.0));
+  std::vector<double> rhs(m, 0.0);
+  std::vector<Relation> rel(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    const ConstraintRow& row = problem.rows()[r];
+    for (const Term& term : row.terms) dense[r][term.var] += term.coeff;
+    rhs[r] = row.rhs;
+    rel[r] = row.relation;
+    if (rhs[r] < 0.0) {
+      for (auto& v : dense[r]) v = -v;
+      rhs[r] = -rhs[r];
+      if (rel[r] == Relation::LessEq) {
+        rel[r] = Relation::GreaterEq;
+      } else if (rel[r] == Relation::GreaterEq) {
+        rel[r] = Relation::LessEq;
+      }
+    }
+  }
+
+  // Column layout: structural | slack/surplus | artificial.
+  std::size_t n_slack = 0;
+  std::size_t n_art = 0;
+  for (std::size_t r = 0; r < m; ++r) {
+    if (rel[r] != Relation::Equal) ++n_slack;
+    if (rel[r] != Relation::LessEq) ++n_art;
+  }
+
+  Tableau t;
+  t.rows = m;
+  t.cols = n + n_slack + n_art;
+  t.a.assign(m, std::vector<double>(t.cols, 0.0));
+  t.rhs = rhs;
+  t.basis.assign(m, 0);
+  t.allowed.assign(t.cols, true);
+
+  std::size_t slack_at = n;
+  std::size_t art_at = n + n_slack;
+  std::vector<bool> is_artificial(t.cols, false);
+  // Per original constraint: the column whose final reduced cost yields
+  // the dual value, and the sign to map it back (see dual extraction).
+  std::vector<std::size_t> dual_col(m, 0);
+  std::vector<double> dual_sign(m, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    std::copy(dense[r].begin(), dense[r].end(), t.a[r].begin());
+    switch (rel[r]) {
+      case Relation::LessEq:
+        t.a[r][slack_at] = 1.0;
+        dual_col[r] = slack_at;
+        dual_sign[r] = -1.0;  // d_slack = -y_r
+        t.basis[r] = slack_at++;
+        break;
+      case Relation::GreaterEq:
+        t.a[r][slack_at] = -1.0;
+        dual_col[r] = slack_at;
+        dual_sign[r] = 1.0;  // d_surplus = +y_r
+        ++slack_at;
+        t.a[r][art_at] = 1.0;
+        is_artificial[art_at] = true;
+        t.basis[r] = art_at++;
+        break;
+      case Relation::Equal:
+        t.a[r][art_at] = 1.0;
+        is_artificial[art_at] = true;
+        dual_col[r] = art_at;
+        dual_sign[r] = -1.0;  // artificial behaves like a slack: d = -y_r
+        t.basis[r] = art_at++;
+        break;
+    }
+  }
+
+  const std::size_t max_iter =
+      options.max_iterations > 0
+          ? options.max_iterations
+          : 200 + 50 * (m + 1) + 2 * t.cols;
+
+  // ---- Phase 1: minimize sum of artificials -----------------------------
+  if (n_art > 0) {
+    std::vector<double> phase1_costs(t.cols, 0.0);
+    for (std::size_t c = 0; c < t.cols; ++c) {
+      if (is_artificial[c]) phase1_costs[c] = 1.0;
+    }
+    t.price(phase1_costs);
+    const SolveStatus st = run_phase(t, max_iter, options.epsilon,
+                                     options.bland_after, solution.iterations);
+    if (st == SolveStatus::IterationLimit) {
+      solution.status = st;
+      return solution;
+    }
+    // Phase-1 optimum must be ~0 for feasibility.
+    const double z1 = -t.obj_shift;
+    if (z1 > 1e-7) {
+      solution.status = SolveStatus::Infeasible;
+      return solution;
+    }
+    // Drive remaining artificials out of the basis where possible.
+    for (std::size_t r = 0; r < m; ++r) {
+      if (!is_artificial[t.basis[r]]) continue;
+      std::size_t pcol = t.cols;
+      for (std::size_t c = 0; c < n + n_slack; ++c) {
+        if (std::abs(t.a[r][c]) > 1e-8) {
+          pcol = c;
+          break;
+        }
+      }
+      if (pcol < t.cols) t.pivot(r, pcol);
+      // else: redundant row; the artificial stays basic at value 0.
+    }
+    for (std::size_t c = 0; c < t.cols; ++c) {
+      if (is_artificial[c]) t.allowed[c] = false;
+    }
+  }
+
+  // ---- Phase 2: minimize the real objective -----------------------------
+  std::vector<double> costs(t.cols, 0.0);
+  for (VarId v = 0; v < n; ++v) costs[v] = problem.objective_coeff(v);
+  t.price(costs);
+  const SolveStatus st = run_phase(t, max_iter, options.epsilon,
+                                   options.bland_after, solution.iterations);
+  if (st != SolveStatus::Optimal) {
+    solution.status = st;
+    return solution;
+  }
+
+  for (std::size_t r = 0; r < m; ++r) {
+    if (t.basis[r] < n) solution.values[t.basis[r]] = t.rhs[r];
+  }
+  // Dual extraction: y = c_B B^{-1}; the final reduced cost of a row's
+  // slack/surplus/artificial column encodes y_r up to a sign. Rows whose
+  // rhs was negated during normalization flip the sign back (their dual
+  // is w.r.t. the ORIGINAL right-hand side).
+  solution.duals.assign(m, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    double y = dual_sign[r] * t.obj[dual_col[r]];
+    if (problem.rows()[r].rhs < 0.0) y = -y;  // row was normalized by -1
+    solution.duals[r] = y;
+  }
+  double z = 0.0;
+  for (VarId v = 0; v < n; ++v) {
+    z += problem.objective_coeff(v) * solution.values[v];
+  }
+  solution.objective = z;
+  solution.status = SolveStatus::Optimal;
+  return solution;
+}
+
+std::string to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::Optimal:
+      return "optimal";
+    case SolveStatus::Infeasible:
+      return "infeasible";
+    case SolveStatus::Unbounded:
+      return "unbounded";
+    case SolveStatus::IterationLimit:
+      return "iteration-limit";
+  }
+  return "unknown";
+}
+
+}  // namespace bohr::lp

@@ -1,0 +1,50 @@
+// Two-phase primal simplex over a dense tableau.
+//
+// Purpose-built for the placement LPs of §5: tens of constraint rows,
+// up to tens of thousands of columns. A dense row-major tableau with
+// Dantzig pricing (Bland's rule fallback for anti-cycling) solves these
+// in milliseconds-to-seconds, matching the LP-solve-time study (Tab 5).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lp/problem.h"
+
+namespace bohr::lp {
+
+enum class SolveStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+
+struct LpSolution {
+  SolveStatus status = SolveStatus::Infeasible;
+  std::vector<double> values;  // per original variable
+  double objective = 0.0;
+  std::size_t iterations = 0;
+  /// Dual value per constraint: the marginal change of the optimal
+  /// objective per unit increase of that constraint's right-hand side
+  /// (d z*/d b_i). Satisfies strong duality: z* = sum_i duals[i]*b_i
+  /// whenever status == Optimal. Empty unless optimal.
+  std::vector<double> duals;
+
+  bool optimal() const { return status == SolveStatus::Optimal; }
+  double value(VarId v) const { return values.at(v); }
+  double dual(std::size_t constraint) const { return duals.at(constraint); }
+};
+
+struct SimplexOptions {
+  /// Hard cap on pivots across both phases; 0 = auto (scales with size).
+  std::size_t max_iterations = 0;
+  /// Numerical tolerance for pricing and ratio tests.
+  double epsilon = 1e-9;
+  /// Switch from Dantzig to Bland pricing after this many degenerate
+  /// pivots in a row (guarantees termination).
+  std::size_t bland_after = 64;
+};
+
+/// Solves `problem` (minimization, x >= 0). Deterministic.
+LpSolution solve(const LpProblem& problem, const SimplexOptions& options = {});
+
+std::string to_string(SolveStatus status);
+
+}  // namespace bohr::lp

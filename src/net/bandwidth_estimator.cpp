@@ -1,0 +1,69 @@
+#include "net/bandwidth_estimator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace bohr::net {
+
+BandwidthEstimator::BandwidthEstimator(std::size_t site_count, double alpha)
+    : entries_(site_count), alpha_(alpha) {
+  BOHR_EXPECTS(alpha > 0.0 && alpha <= 1.0);
+}
+
+void BandwidthEstimator::observe(SiteId site, double uplink_bytes_per_sec,
+                                 double downlink_bytes_per_sec) {
+  BOHR_EXPECTS(site < entries_.size());
+  BOHR_EXPECTS(uplink_bytes_per_sec > 0.0);
+  BOHR_EXPECTS(downlink_bytes_per_sec > 0.0);
+  Entry& e = entries_[site];
+  if (!e.seen) {
+    e.up = uplink_bytes_per_sec;
+    e.down = downlink_bytes_per_sec;
+    e.seen = true;
+  } else {
+    e.up = alpha_ * uplink_bytes_per_sec + (1.0 - alpha_) * e.up;
+    e.down = alpha_ * downlink_bytes_per_sec + (1.0 - alpha_) * e.down;
+  }
+}
+
+void BandwidthEstimator::observe_noisy(const WanTopology& truth, double jitter,
+                                       Rng& rng) {
+  BOHR_EXPECTS(truth.site_count() == entries_.size());
+  BOHR_EXPECTS(jitter >= 0.0);
+  for (SiteId s = 0; s < truth.site_count(); ++s) {
+    const double up_noise = std::max(0.05, 1.0 + jitter * rng.normal());
+    const double down_noise = std::max(0.05, 1.0 + jitter * rng.normal());
+    observe(s, truth.uplink(s) * up_noise, truth.downlink(s) * down_noise);
+  }
+}
+
+double BandwidthEstimator::uplink_estimate(SiteId site) const {
+  BOHR_EXPECTS(site < entries_.size());
+  return entries_[site].up;
+}
+
+double BandwidthEstimator::downlink_estimate(SiteId site) const {
+  BOHR_EXPECTS(site < entries_.size());
+  return entries_[site].down;
+}
+
+bool BandwidthEstimator::has_estimate(SiteId site) const {
+  BOHR_EXPECTS(site < entries_.size());
+  return entries_[site].seen;
+}
+
+WanTopology BandwidthEstimator::estimated_topology(
+    const WanTopology& names_from) const {
+  BOHR_EXPECTS(names_from.site_count() == entries_.size());
+  std::vector<Site> sites;
+  sites.reserve(entries_.size());
+  for (SiteId s = 0; s < entries_.size(); ++s) {
+    BOHR_EXPECTS(entries_[s].seen);
+    sites.push_back(
+        Site{names_from.site(s).name, entries_[s].up, entries_[s].down});
+  }
+  return WanTopology(std::move(sites));
+}
+
+}  // namespace bohr::net

@@ -1,0 +1,51 @@
+// Available-bandwidth estimation (§7): Bohr "periodically checks the
+// available bandwidth of each site, assuming it is relatively stable in
+// the granularity of minutes". We model that with an EWMA over noisy
+// per-period measurements, which the controller uses instead of ground
+// truth when building the placement LP.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "net/topology.h"
+
+namespace bohr::net {
+
+/// Exponentially-weighted moving average of per-site up/down bandwidth.
+class BandwidthEstimator {
+ public:
+  /// @param alpha EWMA weight of the newest observation, in (0, 1].
+  explicit BandwidthEstimator(std::size_t site_count, double alpha = 0.3);
+
+  /// Feeds one measurement for a site.
+  void observe(SiteId site, double uplink_bytes_per_sec,
+               double downlink_bytes_per_sec);
+
+  /// Convenience: samples every site's true capacity with multiplicative
+  /// noise `truth * (1 + jitter * N(0,1))`, clamped to stay positive,
+  /// and feeds the samples in. Models one measurement period.
+  void observe_noisy(const WanTopology& truth, double jitter, Rng& rng);
+
+  /// Current estimate; falls back to 0 until the first observation.
+  double uplink_estimate(SiteId site) const;
+  double downlink_estimate(SiteId site) const;
+
+  bool has_estimate(SiteId site) const;
+
+  /// Builds a topology snapshot from the current estimates so the LP layer
+  /// can consume estimates exactly like ground truth. Requires estimates
+  /// for every site.
+  WanTopology estimated_topology(const WanTopology& names_from) const;
+
+ private:
+  struct Entry {
+    double up = 0.0;
+    double down = 0.0;
+    bool seen = false;
+  };
+  std::vector<Entry> entries_;
+  double alpha_;
+};
+
+}  // namespace bohr::net

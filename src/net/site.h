@@ -1,0 +1,22 @@
+// Geo-distributed sites (data centers) and their WAN access links.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bohr::net {
+
+/// Index of a site within a WanTopology. Kept as a plain integer for use
+/// as a vector index throughout the system.
+using SiteId = std::size_t;
+
+/// One data center. Per the paper (and [5] therein), the links between a
+/// site and the Internet backbone are the only bottleneck, so a site is
+/// fully described by its uplink/downlink capacities.
+struct Site {
+  std::string name;
+  double uplink_bytes_per_sec = 0.0;
+  double downlink_bytes_per_sec = 0.0;
+};
+
+}  // namespace bohr::net

@@ -1,0 +1,176 @@
+#include "net/transfer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace bohr::net {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// A "link" is either a site uplink (index s) or downlink (index S + s).
+std::size_t uplink_index(SiteId s) { return s; }
+std::size_t downlink_index(std::size_t site_count, SiteId s) {
+  return site_count + s;
+}
+
+}  // namespace
+
+std::vector<double> max_min_rates(const WanTopology& topo,
+                                  const std::vector<Flow>& flows) {
+  const std::size_t n_sites = topo.site_count();
+  const std::size_t n_links = 2 * n_sites;
+  std::vector<double> capacity(n_links, 0.0);
+  for (SiteId s = 0; s < n_sites; ++s) {
+    capacity[uplink_index(s)] = topo.uplink(s);
+    capacity[downlink_index(n_sites, s)] = topo.downlink(s);
+  }
+
+  std::vector<double> rates(flows.size(), 0.0);
+  std::vector<bool> fixed(flows.size(), false);
+  // Intra-site flows do not traverse the WAN; fix them at rate 0 up front.
+  std::size_t undetermined = 0;
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    BOHR_EXPECTS(flows[f].src < n_sites && flows[f].dst < n_sites);
+    if (flows[f].src == flows[f].dst) {
+      fixed[f] = true;
+    } else {
+      ++undetermined;
+    }
+  }
+
+  // Progressive filling: raise the common rate `level` of all undetermined
+  // flows until some link saturates; freeze flows on saturated links;
+  // repeat. Each iteration freezes at least one flow, so it terminates.
+  double level = 0.0;
+  while (undetermined > 0) {
+    // For each link, the level at which it would saturate.
+    double next_level = kInf;
+    std::vector<std::size_t> flows_on_link(n_links, 0);
+    std::vector<double> fixed_load(n_links, 0.0);
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      if (flows[f].src == flows[f].dst) continue;
+      const std::size_t up = uplink_index(flows[f].src);
+      const std::size_t down = downlink_index(n_sites, flows[f].dst);
+      if (fixed[f]) {
+        fixed_load[up] += rates[f];
+        fixed_load[down] += rates[f];
+      } else {
+        ++flows_on_link[up];
+        ++flows_on_link[down];
+      }
+    }
+    for (std::size_t l = 0; l < n_links; ++l) {
+      if (flows_on_link[l] == 0) continue;
+      const double saturation =
+          (capacity[l] - fixed_load[l]) / static_cast<double>(flows_on_link[l]);
+      next_level = std::min(next_level, saturation);
+    }
+    BOHR_CHECK(next_level < kInf);
+    level = std::max(level, next_level);
+
+    // Freeze flows whose path contains a saturated link at this level.
+    bool froze_any = false;
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      if (fixed[f] || flows[f].src == flows[f].dst) continue;
+      const std::size_t up = uplink_index(flows[f].src);
+      const std::size_t down = downlink_index(n_sites, flows[f].dst);
+      const double up_sat = (capacity[up] - fixed_load[up]) /
+                            static_cast<double>(flows_on_link[up]);
+      const double down_sat = (capacity[down] - fixed_load[down]) /
+                              static_cast<double>(flows_on_link[down]);
+      if (std::min(up_sat, down_sat) <= level * (1.0 + 1e-12)) {
+        rates[f] = level;
+        fixed[f] = true;
+        --undetermined;
+        froze_any = true;
+      }
+    }
+    BOHR_CHECK(froze_any);
+  }
+  return rates;
+}
+
+std::vector<FlowResult> simulate_flows(const WanTopology& topo,
+                                       std::vector<Flow> flows) {
+  std::vector<FlowResult> results(flows.size());
+  std::vector<double> remaining(flows.size());
+  std::vector<bool> done(flows.size(), false);
+  std::size_t unfinished = 0;
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    BOHR_EXPECTS(flows[f].bytes >= 0.0);
+    BOHR_EXPECTS(flows[f].start_time >= 0.0);
+    remaining[f] = flows[f].bytes;
+    if (flows[f].bytes <= 0.0 || flows[f].src == flows[f].dst) {
+      // Local or empty transfers never touch the WAN.
+      results[f].finish_time = flows[f].start_time;
+      results[f].mean_rate = 0.0;
+      done[f] = true;
+    } else {
+      ++unfinished;
+    }
+  }
+
+  double now = 0.0;
+  while (unfinished > 0) {
+    // Active = started and not done. Pending = not yet started.
+    std::vector<std::size_t> active_ids;
+    double next_arrival = kInf;
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      if (done[f]) continue;
+      if (flows[f].start_time <= now + 1e-15) {
+        active_ids.push_back(f);
+      } else {
+        next_arrival = std::min(next_arrival, flows[f].start_time);
+      }
+    }
+    if (active_ids.empty()) {
+      BOHR_CHECK(next_arrival < kInf);
+      now = next_arrival;
+      continue;
+    }
+
+    std::vector<Flow> active;
+    active.reserve(active_ids.size());
+    for (const auto f : active_ids) active.push_back(flows[f]);
+    const std::vector<double> rates = max_min_rates(topo, active);
+
+    // Earliest event: a completion among active flows or the next arrival.
+    double dt = next_arrival - now;
+    for (std::size_t k = 0; k < active_ids.size(); ++k) {
+      if (rates[k] > 0.0) {
+        dt = std::min(dt, remaining[active_ids[k]] / rates[k]);
+      }
+    }
+    BOHR_CHECK(dt > 0.0 && dt < kInf);
+
+    for (std::size_t k = 0; k < active_ids.size(); ++k) {
+      const std::size_t f = active_ids[k];
+      remaining[f] -= rates[k] * dt;
+      if (remaining[f] <= flows[f].bytes * 1e-12 + 1e-9) {
+        remaining[f] = 0.0;
+        done[f] = true;
+        --unfinished;
+        results[f].finish_time = now + dt;
+        const double duration = results[f].finish_time - flows[f].start_time;
+        results[f].mean_rate = duration > 0.0 ? flows[f].bytes / duration : 0.0;
+      }
+    }
+    now += dt;
+  }
+  return results;
+}
+
+double single_flow_seconds(const WanTopology& topo, SiteId src, SiteId dst,
+                           double bytes) {
+  BOHR_EXPECTS(bytes >= 0.0);
+  if (src == dst || bytes == 0.0) return 0.0;
+  const double rate = std::min(topo.uplink(src), topo.downlink(dst));
+  BOHR_EXPECTS(rate > 0.0);
+  return bytes / rate;
+}
+
+}  // namespace bohr::net

@@ -1,0 +1,179 @@
+#include "olap/cube.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace bohr::olap {
+
+void CellAggregate::add(double measure, std::uint64_t times) {
+  if (count == 0) {
+    min = measure;
+    max = measure;
+  } else {
+    min = std::min(min, measure);
+    max = std::max(max, measure);
+  }
+  count += times;
+  sum += measure * static_cast<double>(times);
+}
+
+void CellAggregate::merge(const CellAggregate& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+}
+
+OlapCube::OlapCube(std::vector<Dimension> dimensions)
+    : dims_(std::move(dimensions)) {
+  BOHR_EXPECTS(!dims_.empty());
+}
+
+const Dimension& OlapCube::dimension(std::size_t idx) const {
+  BOHR_EXPECTS(idx < dims_.size());
+  return dims_[idx];
+}
+
+void OlapCube::insert(const CellCoords& coords, double measure) {
+  BOHR_EXPECTS(coords.size() == dims_.size());
+  cells_[coords].add(measure);
+  ++total_records_;
+}
+
+void OlapCube::insert_aggregate(const CellCoords& coords,
+                                const CellAggregate& agg) {
+  BOHR_EXPECTS(coords.size() == dims_.size());
+  cells_[coords].merge(agg);
+  total_records_ += agg.count;
+}
+
+void OlapCube::merge(const OlapCube& other) {
+  BOHR_EXPECTS(other.dims_.size() == dims_.size());
+  for (const auto& [coords, agg] : other.cells_) cells_[coords].merge(agg);
+  total_records_ += other.total_records_;
+}
+
+const CellAggregate* OlapCube::find(const CellCoords& coords) const {
+  const auto it = cells_.find(coords);
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+OlapCube OlapCube::slice(std::size_t dim, MemberId member) const {
+  BOHR_EXPECTS(dim < dims_.size());
+  BOHR_EXPECTS(dims_.size() > 1);  // slicing the last dimension is undefined
+  std::vector<Dimension> new_dims;
+  new_dims.reserve(dims_.size() - 1);
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    if (d != dim) new_dims.push_back(dims_[d]);
+  }
+  OlapCube out(std::move(new_dims));
+  for (const auto& [coords, agg] : cells_) {
+    if (coords[dim] != member) continue;
+    CellCoords reduced;
+    reduced.reserve(coords.size() - 1);
+    for (std::size_t d = 0; d < coords.size(); ++d) {
+      if (d != dim) reduced.push_back(coords[d]);
+    }
+    out.cells_[std::move(reduced)].merge(agg);
+    out.total_records_ += agg.count;
+  }
+  return out;
+}
+
+OlapCube OlapCube::dice(std::size_t dim,
+                        const std::unordered_set<MemberId>& members) const {
+  BOHR_EXPECTS(dim < dims_.size());
+  OlapCube out(dims_);
+  for (const auto& [coords, agg] : cells_) {
+    if (!members.contains(coords[dim])) continue;
+    out.cells_[coords] = agg;
+    out.total_records_ += agg.count;
+  }
+  return out;
+}
+
+OlapCube OlapCube::roll_up(std::size_t dim, std::size_t level) const {
+  BOHR_EXPECTS(dim < dims_.size());
+  OlapCube out(dims_);
+  for (const auto& [coords, agg] : cells_) {
+    CellCoords coarse = coords;
+    coarse[dim] = dims_[dim].coarsen(coords[dim], level);
+    out.cells_[std::move(coarse)].merge(agg);
+  }
+  out.total_records_ = total_records_;
+  return out;
+}
+
+OlapCube OlapCube::pivot(const std::vector<std::size_t>& order) const {
+  BOHR_EXPECTS(order.size() == dims_.size());
+  std::vector<bool> seen(dims_.size(), false);
+  for (const std::size_t d : order) {
+    BOHR_EXPECTS(d < dims_.size());
+    BOHR_EXPECTS(!seen[d]);
+    seen[d] = true;
+  }
+  std::vector<Dimension> new_dims;
+  new_dims.reserve(dims_.size());
+  for (const std::size_t d : order) new_dims.push_back(dims_[d]);
+  OlapCube out(std::move(new_dims));
+  for (const auto& [coords, agg] : cells_) {
+    CellCoords permuted(coords.size());
+    for (std::size_t d = 0; d < order.size(); ++d) permuted[d] = coords[order[d]];
+    out.cells_[std::move(permuted)] = agg;
+  }
+  out.total_records_ = total_records_;
+  return out;
+}
+
+OlapCube OlapCube::project(const std::vector<std::size_t>& dims) const {
+  BOHR_EXPECTS(!dims.empty());
+  std::vector<Dimension> new_dims;
+  new_dims.reserve(dims.size());
+  for (const std::size_t d : dims) {
+    BOHR_EXPECTS(d < dims_.size());
+    new_dims.push_back(dims_[d]);
+  }
+  OlapCube out(std::move(new_dims));
+  for (const auto& [coords, agg] : cells_) {
+    CellCoords projected;
+    projected.reserve(dims.size());
+    for (const std::size_t d : dims) projected.push_back(coords[d]);
+    out.cells_[std::move(projected)].merge(agg);
+  }
+  out.total_records_ = total_records_;
+  return out;
+}
+
+std::vector<Cell> OlapCube::top_cells(std::size_t k) const {
+  std::vector<Cell> all;
+  all.reserve(cells_.size());
+  for (const auto& [coords, agg] : cells_) all.push_back(Cell{coords, agg});
+  std::sort(all.begin(), all.end(), [](const Cell& a, const Cell& b) {
+    if (a.agg.count != b.agg.count) return a.agg.count > b.agg.count;
+    return a.coords < b.coords;  // deterministic tie-break
+  });
+  if (k > 0 && all.size() > k) all.resize(k);
+  return all;
+}
+
+double OlapCube::combine_effectiveness() const {
+  if (total_records_ == 0) return 0.0;
+  return 1.0 - static_cast<double>(cells_.size()) /
+                   static_cast<double>(total_records_);
+}
+
+std::uint64_t OlapCube::memory_bytes() const {
+  // Per cell: coordinates + aggregate + hash-table node overhead.
+  const std::uint64_t per_cell =
+      dims_.size() * sizeof(MemberId) + sizeof(CellAggregate) + 32;
+  return cells_.size() * per_cell + sizeof(OlapCube);
+}
+
+}  // namespace bohr::olap

@@ -1,0 +1,122 @@
+// Sparse OLAP cube (§2.2).
+//
+// A cube stores aggregated measures (count / sum / min / max) indexed by
+// one member per dimension. Identical attribute combinations share a cell,
+// which is exactly what a map-side combiner exploits — so a cube doubles
+// as a similarity structure: its cell-count histogram tells how well a
+// dataset combines, and cell overlap across sites tells how well merged
+// datasets combine.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "olap/dimension.h"
+#include "olap/value.h"
+
+namespace bohr::olap {
+
+/// Cell address: one member per cube dimension, positionally aligned.
+using CellCoords = std::vector<MemberId>;
+
+struct CellCoordsHash {
+  std::size_t operator()(const CellCoords& coords) const {
+    std::uint64_t h = 0x9E3779B97F4A7C15ULL;
+    for (const MemberId m : coords) h = hash_combine(h, m);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Aggregates held in every cell.
+struct CellAggregate {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  void add(double measure, std::uint64_t times = 1);
+  void merge(const CellAggregate& other);
+};
+
+/// A populated cell (address + aggregate), used in query results.
+struct Cell {
+  CellCoords coords;
+  CellAggregate agg;
+};
+
+class OlapCube {
+ public:
+  OlapCube() = default;
+  explicit OlapCube(std::vector<Dimension> dimensions);
+
+  std::size_t dimension_count() const { return dims_.size(); }
+  const Dimension& dimension(std::size_t idx) const;
+  const std::vector<Dimension>& dimensions() const { return dims_; }
+
+  /// Inserts one record: coordinates must match dimension_count().
+  void insert(const CellCoords& coords, double measure);
+
+  /// Inserts a pre-aggregated cell (deserialization / cube merging from
+  /// the wire). Coordinates must match dimension_count().
+  void insert_aggregate(const CellCoords& coords, const CellAggregate& agg);
+
+  /// Bulk merge of a compatible cube (same dimension count).
+  void merge(const OlapCube& other);
+
+  std::size_t cell_count() const { return cells_.size(); }
+  std::uint64_t total_records() const { return total_records_; }
+  bool empty() const { return cells_.empty(); }
+
+  /// Lookup; returns nullptr if the cell has no data.
+  const CellAggregate* find(const CellCoords& coords) const;
+
+  /// --- OLAP operations (each returns a new cube) -----------------------
+
+  /// slice: fix `dim` to `member`, drop that dimension.
+  OlapCube slice(std::size_t dim, MemberId member) const;
+
+  /// dice: keep only cells whose `dim` coordinate is in `members`;
+  /// dimensionality unchanged.
+  OlapCube dice(std::size_t dim,
+                const std::unordered_set<MemberId>& members) const;
+
+  /// roll-up: coarsen `dim` to hierarchy `level`, merging cells.
+  OlapCube roll_up(std::size_t dim, std::size_t level) const;
+
+  /// pivot: reorder dimensions by `order` (a permutation).
+  OlapCube pivot(const std::vector<std::size_t>& order) const;
+
+  /// dimension cube (§2.2): keep only `dims`, aggregating the rest away.
+  OlapCube project(const std::vector<std::size_t>& dims) const;
+
+  /// --- similarity support ----------------------------------------------
+
+  /// Cells sorted by descending record count (ties broken by coordinates,
+  /// so ordering is deterministic). Limited to at most `k` cells;
+  /// k == 0 returns all.
+  std::vector<Cell> top_cells(std::size_t k) const;
+
+  /// 1 - distinct_cells / total_records: the fraction of records the
+  /// map-side combiner removes when aggregating this cube's data by its
+  /// dimensions. 0 when every record is unique; -> 1 for heavy repetition.
+  double combine_effectiveness() const;
+
+  /// Estimated in-memory footprint (for the storage-overhead study, Tab 6).
+  std::uint64_t memory_bytes() const;
+
+  /// Iteration support for tests and probe evaluation.
+  const std::unordered_map<CellCoords, CellAggregate, CellCoordsHash>& cells()
+      const {
+    return cells_;
+  }
+
+ private:
+  std::vector<Dimension> dims_;
+  std::unordered_map<CellCoords, CellAggregate, CellCoordsHash> cells_;
+  std::uint64_t total_records_ = 0;
+};
+
+}  // namespace bohr::olap

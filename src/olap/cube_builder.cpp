@@ -1,0 +1,59 @@
+#include "olap/cube_builder.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace bohr::olap {
+
+CubeSpec default_cube_spec(const Schema& schema) {
+  CubeSpec spec;
+  spec.schema = schema;
+  for (const std::size_t idx : schema.dimension_indices()) {
+    spec.dim_attrs.push_back(idx);
+    spec.dimensions.emplace_back(schema.attribute(idx).name);
+  }
+  const auto measures = schema.measure_indices();
+  if (!measures.empty()) spec.measure_attr = measures.front();
+  return spec;
+}
+
+CubeBuilder::CubeBuilder(CubeSpec spec) : spec_(std::move(spec)) {
+  BOHR_EXPECTS(!spec_.dim_attrs.empty());
+  BOHR_EXPECTS(spec_.dim_attrs.size() == spec_.dimensions.size());
+  for (const std::size_t idx : spec_.dim_attrs) {
+    BOHR_EXPECTS(idx < spec_.schema.attribute_count());
+  }
+  if (spec_.measure_attr) {
+    BOHR_EXPECTS(*spec_.measure_attr < spec_.schema.attribute_count());
+  }
+}
+
+CellCoords CubeBuilder::coords_for(const Row& row) const {
+  BOHR_EXPECTS(row.size() == spec_.schema.attribute_count());
+  CellCoords coords;
+  coords.reserve(spec_.dim_attrs.size());
+  for (const std::size_t idx : spec_.dim_attrs) {
+    coords.push_back(value_to_member(row[idx]));
+  }
+  return coords;
+}
+
+double CubeBuilder::measure_for(const Row& row) const {
+  if (!spec_.measure_attr) return 1.0;
+  return value_to_double(row[*spec_.measure_attr]);
+}
+
+OlapCube CubeBuilder::build(std::span<const Row> rows) const {
+  OlapCube cube = empty_cube();
+  for (const Row& row : rows) insert(cube, row);
+  return cube;
+}
+
+OlapCube CubeBuilder::empty_cube() const { return OlapCube(spec_.dimensions); }
+
+void CubeBuilder::insert(OlapCube& cube, const Row& row) const {
+  cube.insert(coords_for(row), measure_for(row));
+}
+
+}  // namespace bohr::olap

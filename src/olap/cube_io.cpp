@@ -1,0 +1,151 @@
+#include "olap/cube_io.h"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace bohr::olap {
+
+namespace {
+
+constexpr char kMagic[8] = {'B', 'O', 'H', 'R', 'C', 'U', 'B', 'E'};
+constexpr std::uint32_t kVersion = 1;
+
+void put_bytes(std::ostream& out, const void* data, std::size_t size) {
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(size));
+  BOHR_CHECK(out.good());
+}
+
+void get_bytes(std::istream& in, void* data, std::size_t size) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+  BOHR_CHECK(in.good());
+}
+
+void put_u32(std::ostream& out, std::uint32_t v) { put_bytes(out, &v, 4); }
+void put_u64(std::ostream& out, std::uint64_t v) { put_bytes(out, &v, 8); }
+void put_f64(std::ostream& out, double v) {
+  const auto bits = std::bit_cast<std::uint64_t>(v);
+  put_u64(out, bits);
+}
+void put_string(std::ostream& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  put_bytes(out, s.data(), s.size());
+}
+
+std::uint32_t get_u32(std::istream& in) {
+  std::uint32_t v = 0;
+  get_bytes(in, &v, 4);
+  return v;
+}
+std::uint64_t get_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  get_bytes(in, &v, 8);
+  return v;
+}
+double get_f64(std::istream& in) {
+  return std::bit_cast<double>(get_u64(in));
+}
+std::string get_string(std::istream& in) {
+  const std::uint32_t size = get_u32(in);
+  BOHR_CHECK(size < (1u << 20));  // sanity bound on names
+  std::string s(size, '\0');
+  if (size > 0) get_bytes(in, s.data(), size);
+  return s;
+}
+
+}  // namespace
+
+void write_cube(std::ostream& out, const OlapCube& cube) {
+  BOHR_EXPECTS(out.good());
+  put_bytes(out, kMagic, sizeof(kMagic));
+  put_u32(out, kVersion);
+
+  put_u32(out, static_cast<std::uint32_t>(cube.dimension_count()));
+  for (std::size_t d = 0; d < cube.dimension_count(); ++d) {
+    const Dimension& dim = cube.dimension(d);
+    put_string(out, dim.name());
+    // Probe whether the dimension buckets by modulus: coarsening the
+    // max member at the top level distinguishes divisor vs modulus only
+    // when levels exist; store the flag explicitly instead.
+    put_u32(out, dim.is_hashed() ? 1 : 0);
+    put_u32(out, static_cast<std::uint32_t>(dim.level_count()));
+    for (std::size_t l = 0; l < dim.level_count(); ++l) {
+      put_string(out, dim.level(l).name);
+      put_u64(out, dim.level(l).granularity);
+    }
+  }
+
+  put_u64(out, cube.total_records());
+  put_u64(out, cube.cell_count());
+  for (const auto& [coords, agg] : cube.cells()) {
+    for (const MemberId m : coords) put_u64(out, m);
+    put_u64(out, agg.count);
+    put_f64(out, agg.sum);
+    put_f64(out, agg.min);
+    put_f64(out, agg.max);
+  }
+}
+
+OlapCube read_cube(std::istream& in) {
+  BOHR_EXPECTS(in.good());
+  char magic[8];
+  get_bytes(in, magic, sizeof(magic));
+  BOHR_CHECK(std::memcmp(magic, kMagic, sizeof(kMagic)) == 0);
+  const std::uint32_t version = get_u32(in);
+  BOHR_CHECK(version == kVersion);
+
+  const std::uint32_t dim_count = get_u32(in);
+  BOHR_CHECK(dim_count > 0 && dim_count < 1024);
+  std::vector<Dimension> dims;
+  dims.reserve(dim_count);
+  for (std::uint32_t d = 0; d < dim_count; ++d) {
+    const std::string name = get_string(in);
+    const bool hashed = get_u32(in) != 0;
+    const std::uint32_t level_count = get_u32(in);
+    BOHR_CHECK(level_count > 0 && level_count < 64);
+    std::vector<HierarchyLevel> levels;
+    levels.reserve(level_count);
+    for (std::uint32_t l = 0; l < level_count; ++l) {
+      HierarchyLevel level;
+      level.name = get_string(in);
+      level.granularity = get_u64(in);
+      levels.push_back(std::move(level));
+    }
+    dims.emplace_back(name, std::move(levels), hashed);
+  }
+
+  OlapCube cube(std::move(dims));
+  const std::uint64_t total_records = get_u64(in);
+  const std::uint64_t cell_count = get_u64(in);
+  for (std::uint64_t c = 0; c < cell_count; ++c) {
+    CellCoords coords(dim_count);
+    for (auto& m : coords) m = get_u64(in);
+    CellAggregate agg;
+    agg.count = get_u64(in);
+    agg.sum = get_f64(in);
+    agg.min = get_f64(in);
+    agg.max = get_f64(in);
+    cube.insert_aggregate(coords, agg);
+  }
+  BOHR_CHECK(cube.total_records() == total_records);
+  return cube;
+}
+
+void save_cube(const std::string& path, const OlapCube& cube) {
+  std::ofstream out(path, std::ios::binary);
+  BOHR_EXPECTS(out.is_open());
+  write_cube(out, cube);
+}
+
+OlapCube load_cube(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  BOHR_EXPECTS(in.is_open());
+  return read_cube(in);
+}
+
+}  // namespace bohr::olap

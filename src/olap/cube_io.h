@@ -1,0 +1,35 @@
+// Binary serialization of OLAP cubes.
+//
+// Pre-processed cubes outlive the raw data (§8.5 notes raw data can go
+// to cold storage once cubes exist), so they need a durable on-disk
+// format. The format is versioned and self-describing:
+//
+//   magic "BOHRCUBE" | u32 version | u32 dim_count
+//   per dimension: name, hashed flag, level list (name + granularity)
+//   u64 total_records | u64 cell_count
+//   per cell: dim_count x u64 members | u64 count | f64 sum/min/max
+//
+// All integers little-endian; doubles as IEEE-754 bit patterns.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "olap/cube.h"
+
+namespace bohr::olap {
+
+/// Serializes `cube` to a binary stream. Throws ContractViolation on a
+/// stream in a failed state.
+void write_cube(std::ostream& out, const OlapCube& cube);
+
+/// Reads a cube previously written by write_cube. Throws
+/// ContractViolation on a malformed or truncated stream or a version
+/// mismatch.
+OlapCube read_cube(std::istream& in);
+
+/// Convenience file wrappers.
+void save_cube(const std::string& path, const OlapCube& cube);
+OlapCube load_cube(const std::string& path);
+
+}  // namespace bohr::olap

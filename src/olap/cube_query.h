@@ -1,0 +1,54 @@
+// Declarative aggregation queries against an OLAP cube — the query
+// surface a cube-backed analytics system offers (§2.2: "these operations
+// allow us to prepare data according to the queries"): per-dimension
+// member filters (dice), group-by (roll-up/projection), aggregate
+// selection, iceberg thresholds, and top-k.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "olap/cube.h"
+
+namespace bohr::olap {
+
+/// Which aggregate of the matching records each result row reports.
+enum class CubeAggregate { Count, Sum, Avg, Min, Max };
+
+/// A member filter on one dimension: keep cells whose coordinate for
+/// `dim` is in `members`.
+struct DimensionFilter {
+  std::size_t dim = 0;
+  std::unordered_set<MemberId> members;
+};
+
+struct CubeQuery {
+  /// Dimensions to group by (projection); must be non-empty and refer to
+  /// distinct dimensions of the target cube.
+  std::vector<std::size_t> group_by;
+  /// Conjunctive filters applied before grouping.
+  std::vector<DimensionFilter> filters;
+  CubeAggregate aggregate = CubeAggregate::Sum;
+  /// Optional roll-up level per group-by dimension (parallel to
+  /// group_by; empty = base level for all).
+  std::vector<std::size_t> group_levels;
+  /// Iceberg threshold: drop result groups with fewer records.
+  std::uint64_t having_min_count = 0;
+  /// Keep only the k largest (or smallest) result rows; 0 = all.
+  std::size_t top_k = 0;
+  bool descending = true;
+};
+
+struct CubeQueryRow {
+  CellCoords group;        ///< one member per group_by dimension
+  double value = 0.0;      ///< the selected aggregate
+  std::uint64_t count = 0; ///< records contributing to the group
+};
+
+/// Executes the query. Rows are ordered by `value` per
+/// `query.descending`, ties broken by group coordinates (deterministic).
+std::vector<CubeQueryRow> execute(const OlapCube& cube,
+                                  const CubeQuery& query);
+
+}  // namespace bohr::olap

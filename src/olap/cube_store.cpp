@@ -1,0 +1,107 @@
+#include "olap/cube_store.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace bohr::olap {
+
+DatasetCubes::DatasetCubes(CubeBuilder builder)
+    : builder_(std::move(builder)), base_(builder_.empty_cube()) {}
+
+QueryTypeId DatasetCubes::register_query_type(
+    std::vector<std::size_t> dim_positions) {
+  BOHR_EXPECTS(!dim_positions.empty());
+  std::sort(dim_positions.begin(), dim_positions.end());
+  dim_positions.erase(
+      std::unique(dim_positions.begin(), dim_positions.end()),
+      dim_positions.end());
+  for (const std::size_t p : dim_positions) {
+    BOHR_EXPECTS(p < builder_.spec().dimensions.size());
+  }
+  for (QueryTypeId qt = 0; qt < types_.size(); ++qt) {
+    if (types_[qt].dim_positions == dim_positions) return qt;
+  }
+  TypeEntry entry;
+  entry.dim_positions = dim_positions;
+  entry.cube = base_.project(dim_positions);
+  entry.applied = base_applied_;  // derived from base = caught up with base
+  types_.push_back(std::move(entry));
+  return types_.size() - 1;
+}
+
+const std::vector<std::size_t>& DatasetCubes::query_type_dims(
+    QueryTypeId qt) const {
+  BOHR_EXPECTS(qt < types_.size());
+  return types_[qt].dim_positions;
+}
+
+void DatasetCubes::apply_row_to_type(TypeEntry& entry, const Row& row) const {
+  const CellCoords full = builder_.coords_for(row);
+  CellCoords projected;
+  projected.reserve(entry.dim_positions.size());
+  for (const std::size_t p : entry.dim_positions) projected.push_back(full[p]);
+  entry.cube.insert(projected, builder_.measure_for(row));
+}
+
+void DatasetCubes::add_rows(std::span<const Row> rows) {
+  for (const Row& row : rows) {
+    builder_.insert(base_, row);
+    for (auto& entry : types_) apply_row_to_type(entry, row);
+  }
+}
+
+void DatasetCubes::buffer_rows(std::span<const Row> rows) {
+  buffer_.insert(buffer_.end(), rows.begin(), rows.end());
+}
+
+std::size_t DatasetCubes::buffered_count() const {
+  return buffer_.size() - base_applied_;
+}
+
+void DatasetCubes::flush_for(QueryTypeId qt) {
+  BOHR_EXPECTS(qt < types_.size());
+  for (std::size_t i = base_applied_; i < buffer_.size(); ++i) {
+    builder_.insert(base_, buffer_[i]);
+  }
+  base_applied_ = buffer_.size();
+  TypeEntry& entry = types_[qt];
+  for (std::size_t i = entry.applied; i < buffer_.size(); ++i) {
+    apply_row_to_type(entry, buffer_[i]);
+  }
+  entry.applied = buffer_.size();
+}
+
+void DatasetCubes::flush_background() {
+  for (std::size_t i = base_applied_; i < buffer_.size(); ++i) {
+    builder_.insert(base_, buffer_[i]);
+  }
+  base_applied_ = buffer_.size();
+  for (auto& entry : types_) {
+    for (std::size_t i = entry.applied; i < buffer_.size(); ++i) {
+      apply_row_to_type(entry, buffer_[i]);
+    }
+    entry.applied = 0;  // buffer is about to be cleared
+  }
+  buffer_.clear();
+  base_applied_ = 0;
+}
+
+const OlapCube& DatasetCubes::dimension_cube(QueryTypeId qt) const {
+  BOHR_EXPECTS(qt < types_.size());
+  return types_[qt].cube;
+}
+
+OlapCube DatasetCubes::rebuild_dimension_cube(QueryTypeId qt) const {
+  BOHR_EXPECTS(qt < types_.size());
+  return base_.project(types_[qt].dim_positions);
+}
+
+std::uint64_t DatasetCubes::dimension_cubes_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& entry : types_) total += entry.cube.memory_bytes();
+  return total;
+}
+
+}  // namespace bohr::olap

@@ -1,0 +1,37 @@
+#include "olap/dimension.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace bohr::olap {
+
+Dimension::Dimension(std::string name) : name_(std::move(name)) {
+  BOHR_EXPECTS(!name_.empty());
+  levels_.push_back(HierarchyLevel{"base", 1});
+}
+
+Dimension::Dimension(std::string name, std::vector<HierarchyLevel> levels,
+                     bool hashed)
+    : name_(std::move(name)), levels_(std::move(levels)), hashed_(hashed) {
+  BOHR_EXPECTS(!name_.empty());
+  BOHR_EXPECTS(!levels_.empty());
+  BOHR_EXPECTS(levels_.front().granularity == 1);
+  for (std::size_t i = 1; i < levels_.size(); ++i) {
+    BOHR_EXPECTS(levels_[i].granularity > levels_[i - 1].granularity);
+  }
+}
+
+const HierarchyLevel& Dimension::level(std::size_t idx) const {
+  BOHR_EXPECTS(idx < levels_.size());
+  return levels_[idx];
+}
+
+MemberId Dimension::coarsen(MemberId base_member, std::size_t level) const {
+  BOHR_EXPECTS(level < levels_.size());
+  const std::uint64_t g = levels_[level].granularity;
+  if (g == 1) return base_member;
+  return hashed_ ? base_member % g : base_member / g;
+}
+
+}  // namespace bohr::olap

@@ -1,0 +1,53 @@
+// Cube dimensions with hierarchies (§2.2: time -> month -> year style).
+//
+// Roll-up coarsens a dimension to a higher hierarchy level; drill-down
+// goes back to a finer one (re-derived from the base cube).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "olap/value.h"
+
+namespace bohr::olap {
+
+/// One level of a dimension hierarchy. Integer dimensions coarsen by
+/// integer division (e.g. day -> month with divisor 30); hashed/text
+/// dimensions coarsen by bucketing the hash (modulus).
+struct HierarchyLevel {
+  std::string name;
+  /// Members at this level = base member / divisor (integers) or
+  /// base member % bucket_count (hashed values). divisor 1 = base level.
+  std::uint64_t granularity = 1;
+};
+
+/// A dimension: name + ordered hierarchy (finest first).
+class Dimension {
+ public:
+  /// Flat dimension with only the base level.
+  explicit Dimension(std::string name);
+
+  /// Dimension with an explicit hierarchy; level 0 must have granularity 1
+  /// and granularities must be strictly increasing.
+  Dimension(std::string name, std::vector<HierarchyLevel> levels,
+            bool hashed = false);
+
+  const std::string& name() const { return name_; }
+  std::size_t level_count() const { return levels_.size(); }
+  const HierarchyLevel& level(std::size_t idx) const;
+
+  /// Maps a base-level member to its member at `level`.
+  MemberId coarsen(MemberId base_member, std::size_t level) const;
+
+  /// Whether coarsening buckets by modulus (hashed members) rather than
+  /// integer division.
+  bool is_hashed() const { return hashed_; }
+
+ private:
+  std::string name_;
+  std::vector<HierarchyLevel> levels_;
+  bool hashed_ = false;  // hashed members bucket by modulus, not division
+};
+
+}  // namespace bohr::olap

@@ -1,0 +1,48 @@
+#include "olap/schema.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.h"
+
+namespace bohr::olap {
+
+Schema::Schema(std::vector<AttributeDef> attributes)
+    : attributes_(std::move(attributes)) {
+  std::unordered_set<std::string> names;
+  for (const auto& a : attributes_) {
+    BOHR_EXPECTS(!a.name.empty());
+    const bool inserted = names.insert(a.name).second;
+    BOHR_EXPECTS(inserted);  // attribute names must be unique
+  }
+}
+
+const AttributeDef& Schema::attribute(std::size_t index) const {
+  BOHR_EXPECTS(index < attributes_.size());
+  return attributes_[index];
+}
+
+std::optional<std::size_t> Schema::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::size_t> Schema::dimension_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (!attributes_[i].is_measure) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Schema::measure_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].is_measure) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace bohr::olap

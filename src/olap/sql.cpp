@@ -1,0 +1,344 @@
+#include "olap/sql.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+#include "common/check.h"
+
+namespace bohr::olap {
+
+namespace {
+
+enum class TokenKind {
+  Ident,
+  Integer,
+  Float,
+  String,
+  Comma,
+  LParen,
+  RParen,
+  Equals,
+  GreaterEq,
+  Star,
+  End,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::End;
+  std::string text;
+  std::size_t position = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Token next() {
+    skip_whitespace();
+    const std::size_t start = pos_;
+    if (pos_ >= text_.size()) return {TokenKind::End, "", start};
+    const char c = text_[pos_];
+    if (c == ',') return simple(TokenKind::Comma);
+    if (c == '(') return simple(TokenKind::LParen);
+    if (c == ')') return simple(TokenKind::RParen);
+    if (c == '=') return simple(TokenKind::Equals);
+    if (c == '*') return simple(TokenKind::Star);
+    if (c == '>') {
+      if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+        pos_ += 2;
+        return {TokenKind::GreaterEq, ">=", start};
+      }
+      throw SqlError("expected '>='", start);
+    }
+    if (c == '\'') return string_literal();
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+      return number();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return identifier();
+    }
+    throw SqlError(std::string("unexpected character '") + c + "'", start);
+  }
+
+ private:
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Token simple(TokenKind kind) {
+    const std::size_t start = pos_;
+    return {kind, std::string(1, text_[pos_++]), start};
+  }
+
+  Token string_literal() {
+    const std::size_t start = pos_;
+    ++pos_;  // opening quote
+    std::string value;
+    while (pos_ < text_.size() && text_[pos_] != '\'') {
+      value.push_back(text_[pos_++]);
+    }
+    if (pos_ >= text_.size()) {
+      throw SqlError("unterminated string literal", start);
+    }
+    ++pos_;  // closing quote
+    return {TokenKind::String, std::move(value), start};
+  }
+
+  Token number() {
+    const std::size_t start = pos_;
+    bool is_float = false;
+    if (text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.')) {
+      if (text_[pos_] == '.') is_float = true;
+      ++pos_;
+    }
+    return {is_float ? TokenKind::Float : TokenKind::Integer,
+            std::string(text_.substr(start, pos_ - start)), start};
+  }
+
+  Token identifier() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    return {TokenKind::Ident, std::string(text_.substr(start, pos_ - start)),
+            start};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::toupper(c));
+  });
+  return s;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lexer_(text) { advance(); }
+
+  SqlQuery parse() {
+    SqlQuery query;
+    expect_keyword("SELECT");
+    parse_aggregate(query);
+    expect_keyword("FROM");
+    query.table = expect(TokenKind::Ident).text;
+    if (accept_keyword("WHERE")) parse_predicates(query);
+    if (accept_keyword("GROUP")) {
+      expect_keyword("BY");
+      parse_group_by(query);
+    }
+    if (accept_keyword("HAVING")) parse_having(query);
+    if (accept_keyword("ORDER")) {
+      expect_keyword("BY");
+      parse_order(query);
+    }
+    if (accept_keyword("LIMIT")) {
+      query.limit = parse_size(expect(TokenKind::Integer));
+    }
+    if (current_.kind != TokenKind::End) {
+      throw SqlError("trailing input after query", current_.position);
+    }
+    return query;
+  }
+
+ private:
+  void advance() { current_ = lexer_.next(); }
+
+  Token expect(TokenKind kind) {
+    if (current_.kind != kind) {
+      throw SqlError("unexpected token '" + current_.text + "'",
+                     current_.position);
+    }
+    Token token = current_;
+    advance();
+    return token;
+  }
+
+  bool accept_keyword(const std::string& keyword) {
+    if (current_.kind == TokenKind::Ident && upper(current_.text) == keyword) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  void expect_keyword(const std::string& keyword) {
+    if (!accept_keyword(keyword)) {
+      throw SqlError("expected " + keyword, current_.position);
+    }
+  }
+
+  static std::size_t parse_size(const Token& token) {
+    std::size_t value = 0;
+    const auto [ptr, ec] = std::from_chars(
+        token.text.data(), token.text.data() + token.text.size(), value);
+    if (ec != std::errc() || ptr != token.text.data() + token.text.size()) {
+      throw SqlError("bad integer '" + token.text + "'", token.position);
+    }
+    return value;
+  }
+
+  void parse_aggregate(SqlQuery& query) {
+    const Token fn = expect(TokenKind::Ident);
+    const std::string name = upper(fn.text);
+    if (name == "COUNT") {
+      query.aggregate = CubeAggregate::Count;
+    } else if (name == "SUM") {
+      query.aggregate = CubeAggregate::Sum;
+    } else if (name == "AVG") {
+      query.aggregate = CubeAggregate::Avg;
+    } else if (name == "MIN") {
+      query.aggregate = CubeAggregate::Min;
+    } else if (name == "MAX") {
+      query.aggregate = CubeAggregate::Max;
+    } else {
+      throw SqlError("unknown aggregate '" + fn.text + "'", fn.position);
+    }
+    expect(TokenKind::LParen);
+    if (current_.kind == TokenKind::Star) {
+      query.aggregate_column = "*";
+      advance();
+    } else {
+      query.aggregate_column = expect(TokenKind::Ident).text;
+    }
+    expect(TokenKind::RParen);
+  }
+
+  Value parse_literal() {
+    switch (current_.kind) {
+      case TokenKind::Integer: {
+        const Token t = expect(TokenKind::Integer);
+        return Value(static_cast<std::int64_t>(std::stoll(t.text)));
+      }
+      case TokenKind::Float: {
+        const Token t = expect(TokenKind::Float);
+        return Value(std::stod(t.text));
+      }
+      case TokenKind::String: {
+        const Token t = expect(TokenKind::String);
+        return Value(t.text);
+      }
+      default:
+        throw SqlError("expected literal", current_.position);
+    }
+  }
+
+  void parse_predicates(SqlQuery& query) {
+    do {
+      SqlQuery::Predicate pred;
+      pred.column = expect(TokenKind::Ident).text;
+      if (current_.kind == TokenKind::Equals) {
+        advance();
+        pred.values.push_back(parse_literal());
+      } else if (accept_keyword("IN")) {
+        expect(TokenKind::LParen);
+        pred.values.push_back(parse_literal());
+        while (current_.kind == TokenKind::Comma) {
+          advance();
+          pred.values.push_back(parse_literal());
+        }
+        expect(TokenKind::RParen);
+      } else {
+        throw SqlError("expected '=' or IN", current_.position);
+      }
+      query.predicates.push_back(std::move(pred));
+    } while (accept_keyword("AND"));
+  }
+
+  void parse_group_by(SqlQuery& query) {
+    query.group_by.push_back(expect(TokenKind::Ident).text);
+    while (current_.kind == TokenKind::Comma) {
+      advance();
+      query.group_by.push_back(expect(TokenKind::Ident).text);
+    }
+  }
+
+  void parse_having(SqlQuery& query) {
+    const Token fn = expect(TokenKind::Ident);
+    if (upper(fn.text) != "COUNT") {
+      throw SqlError("HAVING supports COUNT only", fn.position);
+    }
+    expect(TokenKind::GreaterEq);
+    query.having_min_count = parse_size(expect(TokenKind::Integer));
+  }
+
+  void parse_order(SqlQuery& query) {
+    const Token what = expect(TokenKind::Ident);
+    if (upper(what.text) != "VALUE") {
+      throw SqlError("ORDER BY supports VALUE only", what.position);
+    }
+    if (accept_keyword("ASC")) {
+      query.order_descending = false;
+    } else if (accept_keyword("DESC")) {
+      query.order_descending = true;
+    }
+  }
+
+  Lexer lexer_;
+  Token current_;
+};
+
+}  // namespace
+
+SqlQuery parse_sql(std::string_view text) { return Parser(text).parse(); }
+
+CubeQuery compile_sql(const SqlQuery& query,
+                      const std::vector<std::string>& dimension_names) {
+  const auto resolve = [&](const std::string& name) -> std::size_t {
+    for (std::size_t d = 0; d < dimension_names.size(); ++d) {
+      if (dimension_names[d] == name) return d;
+    }
+    throw SqlError("unknown dimension '" + name + "'", 0);
+  };
+
+  CubeQuery compiled;
+  compiled.aggregate = query.aggregate;
+  compiled.having_min_count = query.having_min_count;
+  compiled.top_k = query.limit;
+  compiled.descending = query.order_descending;
+  if (query.group_by.empty()) {
+    // SQL without GROUP BY aggregates everything into one group: group
+    // by the first dimension rolled up to a single bucket is not
+    // expressible; instead group by every dimension-0 member and let the
+    // caller sum — simplest faithful choice: group by dimension 0.
+    // Recurring analytics queries in the paper always group, so treat a
+    // missing GROUP BY as an error instead of guessing.
+    throw SqlError("GROUP BY is required", 0);
+  }
+  for (const auto& name : query.group_by) {
+    compiled.group_by.push_back(resolve(name));
+  }
+  for (const auto& pred : query.predicates) {
+    DimensionFilter filter;
+    filter.dim = resolve(pred.column);
+    for (const Value& v : pred.values) {
+      filter.members.insert(value_to_member(v));
+    }
+    compiled.filters.push_back(std::move(filter));
+  }
+  return compiled;
+}
+
+std::vector<CubeQueryRow> run_sql(const OlapCube& cube,
+                                  std::string_view text) {
+  std::vector<std::string> names;
+  names.reserve(cube.dimension_count());
+  for (std::size_t d = 0; d < cube.dimension_count(); ++d) {
+    names.push_back(cube.dimension(d).name());
+  }
+  return execute(cube, compile_sql(parse_sql(text), names));
+}
+
+}  // namespace bohr::olap

@@ -1,0 +1,77 @@
+// A small SQL dialect over OLAP cubes (§7: Bohr accepts SQL through the
+// Spark manager; this reproduction parses the aggregation subset those
+// recurring queries use and compiles it to a CubeQuery).
+//
+// Grammar (case-insensitive keywords):
+//
+//   query    := SELECT agg FROM ident
+//               [WHERE predicate (AND predicate)*]
+//               [GROUP BY ident ("," ident)*]
+//               [HAVING COUNT >= integer]
+//               [ORDER BY (VALUE|value) (ASC|DESC)]
+//               [LIMIT integer]
+//   agg      := (COUNT|SUM|AVG|MIN|MAX) "(" (ident|"*") ")"
+//   predicate:= ident (= literal | IN "(" literal ("," literal)* ")")
+//   literal  := integer | float | string-in-single-quotes
+//
+// Dimension names resolve against the cube the query is compiled for;
+// literals are hashed with the same value_to_member used at insert time,
+// so `WHERE region = 3` matches cells built from integer 3 and
+// `WHERE name = 'web-42'` matches cells built from that string.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "olap/cube_query.h"
+
+namespace bohr::olap {
+
+/// The parsed form before dimension-name resolution.
+struct SqlQuery {
+  CubeAggregate aggregate = CubeAggregate::Count;
+  std::string aggregate_column;  ///< "*" for COUNT(*)
+  std::string table;
+  struct Predicate {
+    std::string column;
+    std::vector<Value> values;  ///< one for "=", several for IN
+  };
+  std::vector<Predicate> predicates;
+  std::vector<std::string> group_by;
+  std::uint64_t having_min_count = 0;
+  bool order_descending = true;
+  std::size_t limit = 0;
+};
+
+/// Parses the SQL text. Throws SqlError (with position info) on
+/// malformed input.
+SqlQuery parse_sql(std::string_view text);
+
+/// Resolves a parsed query against a cube whose dimensions are named by
+/// `dimension_names` (index-aligned with the cube's dimensions):
+/// group-by and predicate columns must name dimensions. Throws SqlError
+/// on unknown names. COUNT(*) and aggregates over the measure column are
+/// both accepted (the cube has a single measure).
+CubeQuery compile_sql(const SqlQuery& query,
+                      const std::vector<std::string>& dimension_names);
+
+/// Convenience: parse + compile + execute in one call.
+std::vector<CubeQueryRow> run_sql(const OlapCube& cube,
+                                  std::string_view text);
+
+/// Error with a human-readable message and the offending position.
+class SqlError : public std::runtime_error {
+ public:
+  SqlError(const std::string& message, std::size_t position)
+      : std::runtime_error(message + " (at offset " +
+                           std::to_string(position) + ")"),
+        position_(position) {}
+
+  std::size_t position() const { return position_; }
+
+ private:
+  std::size_t position_;
+};
+
+}  // namespace bohr::olap

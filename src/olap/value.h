@@ -1,0 +1,55 @@
+// Attribute values for records stored in OLAP cubes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace bohr::olap {
+
+/// One attribute value of a record. Analytics logs carry integers
+/// (timestamps, counters), reals (scores, revenue), and strings (URLs,
+/// IPs, product names).
+using Value = std::variant<std::int64_t, double, std::string>;
+
+/// Hashed identifier of a dimension member ("Tokyo", year 2014, url-17).
+/// Cube cells are addressed by one MemberId per dimension.
+using MemberId = std::uint64_t;
+
+/// Stable hash of a value, used to map it into a dimension member.
+inline MemberId value_to_member(const Value& v) {
+  struct Hasher {
+    MemberId operator()(std::int64_t i) const {
+      return mix64(static_cast<std::uint64_t>(i) ^ 0x1234ULL);
+    }
+    MemberId operator()(double d) const {
+      // Quantize reals so near-equal measures land in the same member.
+      return mix64(static_cast<std::uint64_t>(
+                       static_cast<std::int64_t>(d * 1000.0)) ^
+                   0x5678ULL);
+    }
+    MemberId operator()(const std::string& s) const { return fnv1a64(s); }
+  };
+  return std::visit(Hasher{}, v);
+}
+
+/// Numeric view of a value for measures; strings hash to a stable number
+/// so aggregation stays well-defined.
+inline double value_to_double(const Value& v) {
+  struct Conv {
+    double operator()(std::int64_t i) const { return static_cast<double>(i); }
+    double operator()(double d) const { return d; }
+    double operator()(const std::string& s) const {
+      return static_cast<double>(fnv1a64(s) % 1000);
+    }
+  };
+  return std::visit(Conv{}, v);
+}
+
+/// A record: one value per schema attribute.
+using Row = std::vector<Value>;
+
+}  // namespace bohr::olap

@@ -1,0 +1,43 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace bohr::sim {
+
+void Simulator::schedule_at(double at, EventFn fn) {
+  BOHR_EXPECTS(at >= now_);
+  BOHR_EXPECTS(fn != nullptr);
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void Simulator::schedule_after(double delay, EventFn fn) {
+  BOHR_EXPECTS(delay >= 0.0);
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+double Simulator::run() {
+  while (!queue_.empty()) {
+    // Copy out before pop so the handler may schedule new events.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ++processed_;
+    ev.fn();
+  }
+  return now_;
+}
+
+double Simulator::run_until(double until) {
+  BOHR_EXPECTS(until >= now_);
+  while (!queue_.empty() && queue_.top().at <= until) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ++processed_;
+    ev.fn();
+  }
+  now_ = until;
+  return now_;
+}
+
+}  // namespace bohr::sim

@@ -1,0 +1,60 @@
+// Discrete-event simulation kernel.
+//
+// The execution engine (bohr::engine) schedules map tasks, combiner runs,
+// WAN transfers, and reduce tasks as events on this kernel; query
+// completion time is the simulated clock when the last reduce finishes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+
+namespace bohr::sim {
+
+using EventFn = std::function<void()>;
+
+/// Single-threaded event calendar. Events at equal timestamps fire in
+/// scheduling order (FIFO tie-break), making runs fully deterministic.
+class Simulator {
+ public:
+  /// Schedules `fn` to run at absolute simulated time `at` (seconds).
+  /// `at` must not be in the past.
+  void schedule_at(double at, EventFn fn);
+
+  /// Schedules `fn` to run `delay` seconds from now. Delay must be >= 0.
+  void schedule_after(double delay, EventFn fn);
+
+  /// Runs events until the calendar is empty. Returns the final clock.
+  double run();
+
+  /// Runs events with timestamp <= `until`. Later events stay queued.
+  /// Advances the clock to `until` even if the calendar drains early.
+  double run_until(double until);
+
+  double now() const { return now_; }
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    double at;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace bohr::sim

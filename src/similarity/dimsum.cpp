@@ -1,0 +1,61 @@
+#include "similarity/dimsum.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "similarity/metrics.h"
+#include "similarity/minhash.h"
+
+namespace bohr::similarity {
+
+DimsumResult dimsum_jaccard(
+    std::span<const std::vector<std::uint64_t>> partitions,
+    const DimsumParams& params) {
+  BOHR_EXPECTS(params.gamma > 0.0);
+  BOHR_EXPECTS(params.num_hashes > 0);
+  const std::size_t n = partitions.size();
+  DimsumResult result{SimilarityMatrix(n), 0, 0};
+  if (n < 2) return result;
+
+  // Deduplicated sizes and signatures, one pass per partition.
+  std::vector<std::size_t> set_sizes(n);
+  std::vector<MinHashSignature> sigs;
+  sigs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::unordered_set<std::uint64_t> dedup(partitions[i].begin(),
+                                            partitions[i].end());
+    set_sizes[i] = dedup.size();
+    MinHashSignature sig(params.num_hashes);
+    for (const auto k : dedup) sig.add(k);
+    sigs.push_back(std::move(sig));
+  }
+
+  Rng rng(params.seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (set_sizes[i] == 0 || set_sizes[j] == 0) {
+        ++result.pairs_skipped;
+        continue;
+      }
+      // Jaccard ceiling from set sizes bounds how similar the pair can be.
+      const double ceiling =
+          static_cast<double>(std::min(set_sizes[i], set_sizes[j])) /
+          static_cast<double>(std::max(set_sizes[i], set_sizes[j]));
+      const double examine_prob = std::min(1.0, params.gamma * ceiling);
+      if (!rng.bernoulli(examine_prob)) {
+        ++result.pairs_skipped;
+        continue;
+      }
+      ++result.pairs_examined;
+      const double sim = params.exact
+                             ? jaccard(partitions[i], partitions[j])
+                             : sigs[i].estimate_jaccard(sigs[j]);
+      result.matrix.set(i, j, sim);
+    }
+  }
+  return result;
+}
+
+}  // namespace bohr::similarity

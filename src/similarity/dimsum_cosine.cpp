@@ -1,0 +1,88 @@
+#include "similarity/dimsum_cosine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace bohr::similarity {
+
+namespace {
+
+std::vector<double> column_norms(std::span<const SparseRow> rows,
+                                 std::size_t n_columns) {
+  std::vector<double> sq(n_columns, 0.0);
+  for (const SparseRow& row : rows) {
+    for (const auto& [col, value] : row.entries) {
+      BOHR_EXPECTS(col < n_columns);
+      sq[col] += value * value;
+    }
+  }
+  for (auto& v : sq) v = std::sqrt(v);
+  return sq;
+}
+
+}  // namespace
+
+DimsumCosineResult dimsum_cosine(std::span<const SparseRow> rows,
+                                 std::size_t n_columns,
+                                 const DimsumCosineParams& params) {
+  BOHR_EXPECTS(n_columns > 0);
+  BOHR_EXPECTS(params.gamma > 0.0);
+  const std::vector<double> norms = column_norms(rows, n_columns);
+
+  DimsumCosineResult result{SimilarityMatrix(n_columns), 0, 0};
+  // Accumulated sampled dot products, upper triangle.
+  std::vector<std::vector<double>> b(n_columns);
+  for (std::size_t i = 0; i < n_columns; ++i) {
+    b[i].assign(n_columns - i, 0.0);
+  }
+
+  Rng rng(params.seed);
+  for (const SparseRow& row : rows) {
+    // DIMSUM's mapper: for each co-occurring pair in the row, emit
+    // a_i * a_j with probability min(1, gamma / (||c_i|| ||c_j||)).
+    for (std::size_t u = 0; u < row.entries.size(); ++u) {
+      for (std::size_t v = u + 1; v < row.entries.size(); ++v) {
+        auto [ci, ai] = row.entries[u];
+        auto [cj, aj] = row.entries[v];
+        if (ci == cj) continue;
+        if (ci > cj) {
+          std::swap(ci, cj);
+          std::swap(ai, aj);
+        }
+        if (norms[ci] == 0.0 || norms[cj] == 0.0) continue;
+        const double p = std::min(1.0, params.gamma / (norms[ci] * norms[cj]));
+        if (!rng.bernoulli(p)) {
+          ++result.skipped;
+          continue;
+        }
+        ++result.emissions;
+        // Unbiased: divide the contribution by the sampling probability,
+        // then normalize by the norms at the end (the reducer of [35]).
+        b[ci][cj - ci] += ai * aj / p;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n_columns; ++i) {
+    for (std::size_t j = i + 1; j < n_columns; ++j) {
+      if (norms[i] == 0.0 || norms[j] == 0.0) continue;
+      const double cosine = b[i][j - i] / (norms[i] * norms[j]);
+      result.matrix.set(i, j, std::clamp(cosine, -1.0, 1.0));
+    }
+  }
+  return result;
+}
+
+SimilarityMatrix exact_column_cosine(std::span<const SparseRow> rows,
+                                     std::size_t n_columns) {
+  DimsumCosineParams exact;
+  exact.gamma = std::numeric_limits<double>::infinity();
+  // gamma = inf makes every sampling probability 1 (exact dot products).
+  return dimsum_cosine(rows, n_columns, exact).matrix;
+}
+
+}  // namespace bohr::similarity

@@ -1,0 +1,32 @@
+// K-means clustering (the paper clusters RDD partitions by their
+// similarity-matrix rows and assigns each cluster to one executor, §6).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bohr::similarity {
+
+struct KMeansParams {
+  std::size_t k = 2;
+  std::size_t max_iterations = 50;
+  std::uint64_t seed = 42;
+};
+
+struct KMeansResult {
+  /// assignments[i] = cluster index in [0, k) of point i.
+  std::vector<std::size_t> assignments;
+  std::vector<std::vector<double>> centroids;
+  /// Sum of squared distances to assigned centroids.
+  double inertia = 0.0;
+  std::size_t iterations = 0;
+};
+
+/// Lloyd's algorithm with k-means++ seeding. Deterministic for a given
+/// seed. Points must be non-empty and share one dimensionality; k must be
+/// >= 1. If k >= #points, each point gets its own cluster.
+KMeansResult kmeans(std::span<const std::vector<double>> points,
+                    const KMeansParams& params);
+
+}  // namespace bohr::similarity

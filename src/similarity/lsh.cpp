@@ -1,0 +1,66 @@
+#include "similarity/lsh.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace bohr::similarity {
+
+LshIndex::LshIndex(std::size_t bands, std::size_t rows_per_band)
+    : bands_(bands), rows_(rows_per_band), buckets_(bands) {
+  BOHR_EXPECTS(bands > 0);
+  BOHR_EXPECTS(rows_per_band > 0);
+}
+
+std::uint64_t LshIndex::band_key(const MinHashSignature& sig,
+                                 std::size_t band) const {
+  std::uint64_t h = hash_combine(0xBADBEEFULL, band);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    h = hash_combine(h, sig.min_at(band * rows_ + r));
+  }
+  return h;
+}
+
+void LshIndex::insert(std::uint64_t id, const MinHashSignature& sig) {
+  BOHR_EXPECTS(sig.num_hashes() == signature_length());
+  for (std::size_t b = 0; b < bands_; ++b) {
+    buckets_[b][band_key(sig, b)].push_back(id);
+  }
+  ++items_;
+}
+
+std::vector<std::uint64_t> LshIndex::candidates(
+    const MinHashSignature& sig) const {
+  BOHR_EXPECTS(sig.num_hashes() == signature_length());
+  std::vector<std::uint64_t> out;
+  for (std::size_t b = 0; b < bands_; ++b) {
+    const auto it = buckets_[b].find(band_key(sig, b));
+    if (it == buckets_[b].end()) continue;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> LshIndex::candidate_pairs()
+    const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> pairs;
+  for (const auto& band : buckets_) {
+    for (const auto& [key, ids] : band) {
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        for (std::size_t j = i + 1; j < ids.size(); ++j) {
+          const auto a = std::min(ids[i], ids[j]);
+          const auto b = std::max(ids[i], ids[j]);
+          if (a != b) pairs.emplace_back(a, b);
+        }
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
+}
+
+}  // namespace bohr::similarity

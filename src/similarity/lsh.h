@@ -1,0 +1,49 @@
+// Banded LSH index over MinHash signatures (Gionis/Indyk/Motwani '99
+// style): signatures are split into bands; items sharing any band bucket
+// become candidate pairs. Used for similarity search inside dimension
+// cubes and for image feature vectors.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "similarity/minhash.h"
+
+namespace bohr::similarity {
+
+/// Index items (by integer id) and retrieve candidate similar pairs.
+class LshIndex {
+ public:
+  /// @param bands number of bands; @param rows_per_band hash slots per
+  /// band. Signatures inserted must have exactly bands*rows_per_band
+  /// hashes. The s-curve threshold is roughly (1/bands)^(1/rows_per_band).
+  LshIndex(std::size_t bands, std::size_t rows_per_band);
+
+  std::size_t signature_length() const { return bands_ * rows_; }
+
+  /// Inserts an item. Ids must be unique; signature length must match.
+  void insert(std::uint64_t id, const MinHashSignature& sig);
+
+  /// Ids sharing at least one band bucket with `sig` (deduplicated,
+  /// sorted). Does not require `sig`'s owner to be in the index.
+  std::vector<std::uint64_t> candidates(const MinHashSignature& sig) const;
+
+  /// All candidate pairs (a < b) across the whole index, deduplicated.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> candidate_pairs() const;
+
+  std::size_t item_count() const { return items_; }
+
+ private:
+  std::uint64_t band_key(const MinHashSignature& sig, std::size_t band) const;
+
+  std::size_t bands_;
+  std::size_t rows_;
+  std::size_t items_ = 0;
+  // One bucket map per band: band hash -> item ids.
+  std::vector<std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>>
+      buckets_;
+};
+
+}  // namespace bohr::similarity

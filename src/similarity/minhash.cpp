@@ -1,0 +1,110 @@
+#include "similarity/minhash.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "common/rng.h"
+
+namespace bohr::similarity {
+
+MinHashSignature::MinHashSignature(std::size_t num_hashes)
+    : mins_(num_hashes, std::numeric_limits<std::uint64_t>::max()) {
+  BOHR_EXPECTS(num_hashes > 0);
+}
+
+MinHashSignature MinHashSignature::of(std::span<const std::uint64_t> keys,
+                                      std::size_t num_hashes) {
+  MinHashSignature sig(num_hashes);
+  for (const auto k : keys) sig.add(k);
+  return sig;
+}
+
+void MinHashSignature::add(std::uint64_t key) {
+  empty_ = false;
+  for (std::size_t h = 0; h < mins_.size(); ++h) {
+    const std::uint64_t v = indexed_hash(key, h);
+    if (v < mins_[h]) mins_[h] = v;
+  }
+}
+
+std::uint64_t MinHashSignature::min_at(std::size_t h) const {
+  BOHR_EXPECTS(h < mins_.size());
+  return mins_[h];
+}
+
+double MinHashSignature::estimate_jaccard(
+    const MinHashSignature& other) const {
+  BOHR_EXPECTS(mins_.size() == other.mins_.size());
+  if (empty_ || other.empty_) return 0.0;
+  std::size_t agree = 0;
+  for (std::size_t h = 0; h < mins_.size(); ++h) {
+    if (mins_[h] == other.mins_[h]) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(mins_.size());
+}
+
+BbitSignature BbitSignature::of(const MinHashSignature& sig,
+                                std::size_t bits) {
+  BOHR_EXPECTS(bits >= 1 && bits <= 16);
+  BbitSignature out;
+  out.bits_ = bits;
+  const std::uint64_t mask = (1ULL << bits) - 1;
+  out.slots_.reserve(sig.num_hashes());
+  for (std::size_t h = 0; h < sig.num_hashes(); ++h) {
+    out.slots_.push_back(static_cast<std::uint16_t>(sig.min_at(h) & mask));
+  }
+  return out;
+}
+
+double BbitSignature::estimate_jaccard(const BbitSignature& other) const {
+  BOHR_EXPECTS(slots_.size() == other.slots_.size());
+  BOHR_EXPECTS(bits_ == other.bits_);
+  BOHR_EXPECTS(!slots_.empty());
+  std::size_t agree = 0;
+  for (std::size_t h = 0; h < slots_.size(); ++h) {
+    if (slots_[h] == other.slots_[h]) ++agree;
+  }
+  const double c =
+      static_cast<double>(agree) / static_cast<double>(slots_.size());
+  const double r = 1.0 / static_cast<double>(1ULL << bits_);
+  const double j = (c - r) / (1.0 - r);
+  return std::clamp(j, 0.0, 1.0);
+}
+
+std::size_t BbitSignature::wire_bytes() const {
+  return (slots_.size() * bits_ + 7) / 8;
+}
+
+std::uint64_t simhash(std::span<const double> vec, std::size_t bits,
+                      std::uint64_t seed) {
+  BOHR_EXPECTS(bits > 0 && bits <= 64);
+  BOHR_EXPECTS(!vec.empty());
+  std::uint64_t sig = 0;
+  for (std::size_t b = 0; b < bits; ++b) {
+    // Deterministic per-bit hyperplane; Rng seeded from (seed, b).
+    Rng rng(hash_combine(seed, b));
+    double dot = 0.0;
+    for (const double x : vec) dot += x * rng.normal();
+    if (dot >= 0.0) sig |= (1ULL << b);
+  }
+  return sig;
+}
+
+double simhash_cosine_estimate(std::uint64_t a, std::uint64_t b,
+                               std::size_t bits) {
+  BOHR_EXPECTS(bits > 0 && bits <= 64);
+  const std::uint64_t mask =
+      bits == 64 ? ~0ULL : ((1ULL << bits) - 1);
+  const auto hamming =
+      static_cast<std::size_t>(std::popcount((a ^ b) & mask));
+  const double theta = std::numbers::pi * static_cast<double>(hamming) /
+                       static_cast<double>(bits);
+  return std::cos(theta);
+}
+
+}  // namespace bohr::similarity

@@ -1,0 +1,76 @@
+// MinHash signatures for fast Jaccard estimation (Broder '97), plus
+// SimHash (random-hyperplane LSH) for high-dimensional feature vectors —
+// the paper uses LSH to handle image feature vectors (§4.2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bohr::similarity {
+
+/// MinHash signature: one minimum per hash function. Two signatures'
+/// agreement fraction is an unbiased estimator of Jaccard similarity.
+class MinHashSignature {
+ public:
+  /// Empty signature with `num_hashes` functions (all mins = max).
+  explicit MinHashSignature(std::size_t num_hashes);
+
+  /// Builds the signature of a key set in one pass.
+  static MinHashSignature of(std::span<const std::uint64_t> keys,
+                             std::size_t num_hashes);
+
+  /// Folds one key into the signature (streaming construction).
+  void add(std::uint64_t key);
+
+  std::size_t num_hashes() const { return mins_.size(); }
+  std::uint64_t min_at(std::size_t h) const;
+  bool empty() const { return empty_; }
+
+  /// Jaccard estimate = fraction of agreeing hash slots. Signatures must
+  /// have equal length. Two empty signatures estimate 0.
+  double estimate_jaccard(const MinHashSignature& other) const;
+
+ private:
+  std::vector<std::uint64_t> mins_;
+  bool empty_ = true;
+};
+
+/// b-bit MinHash (Li & Koenig, WWW'10): keep only the lowest `bits` of
+/// every MinHash slot. Signatures shrink 64/bits-fold — what makes
+/// shipping probes for very wide signatures cheap — at the cost of
+/// accidental collisions, which the estimator corrects for.
+class BbitSignature {
+ public:
+  /// Compresses a full MinHash signature down to `bits` in [1, 16].
+  static BbitSignature of(const MinHashSignature& sig, std::size_t bits);
+
+  std::size_t num_hashes() const { return slots_.size(); }
+  std::size_t bits() const { return bits_; }
+
+  /// Collision-corrected Jaccard estimate:
+  ///   P(slot match) = J + (1 - J) / 2^b  =>  J = (c - 2^-b)/(1 - 2^-b),
+  /// clamped to [0, 1]. Signatures must agree in length and bit width.
+  double estimate_jaccard(const BbitSignature& other) const;
+
+  /// Bytes on the wire (packed).
+  std::size_t wire_bytes() const;
+
+ private:
+  std::vector<std::uint16_t> slots_;
+  std::size_t bits_ = 1;
+};
+
+/// SimHash: projects a dense vector onto `bits` random hyperplanes
+/// (seeded, deterministic) and packs the signs into a 64-bit signature.
+/// Requires bits <= 64. Hamming-similar signatures <=> cosine-similar
+/// vectors.
+std::uint64_t simhash(std::span<const double> vec, std::size_t bits,
+                      std::uint64_t seed);
+
+/// Cosine estimate from two SimHash signatures:
+/// cos(pi * hamming/bits). `bits` must match the value used to build them.
+double simhash_cosine_estimate(std::uint64_t a, std::uint64_t b,
+                               std::size_t bits);
+
+}  // namespace bohr::similarity

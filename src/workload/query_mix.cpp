@@ -1,0 +1,53 @@
+#include "workload/query_mix.h"
+
+#include "common/check.h"
+
+namespace bohr::workload {
+
+std::size_t DatasetQueryMix::total_queries() const {
+  std::size_t total = 0;
+  for (const auto c : counts) total += c;
+  return total;
+}
+
+std::vector<double> DatasetQueryMix::weights() const {
+  const auto total = static_cast<double>(total_queries());
+  std::vector<double> out(counts.size(), 0.0);
+  if (total == 0.0) return out;
+  for (std::size_t t = 0; t < counts.size(); ++t) {
+    out[t] = static_cast<double>(counts[t]) / total;
+  }
+  return out;
+}
+
+DatasetQueryMix sample_query_mix(const DatasetBundle& dataset, Rng& rng,
+                                 std::size_t min_queries,
+                                 std::size_t max_queries) {
+  BOHR_EXPECTS(!dataset.query_types.empty());
+  BOHR_EXPECTS(min_queries >= 1 && min_queries <= max_queries);
+  DatasetQueryMix mix;
+  mix.counts.assign(dataset.query_types.size(), 0);
+
+  double total_weight = 0.0;
+  for (const auto& qt : dataset.query_types) total_weight += qt.weight;
+  BOHR_EXPECTS(total_weight > 0.0);
+
+  const auto n = static_cast<std::size_t>(
+      rng.range(static_cast<std::int64_t>(min_queries),
+                static_cast<std::int64_t>(max_queries)));
+  for (std::size_t q = 0; q < n; ++q) {
+    double pick = rng.uniform() * total_weight;
+    std::size_t chosen = dataset.query_types.size() - 1;
+    for (std::size_t t = 0; t < dataset.query_types.size(); ++t) {
+      pick -= dataset.query_types[t].weight;
+      if (pick <= 0.0) {
+        chosen = t;
+        break;
+      }
+    }
+    ++mix.counts[chosen];
+  }
+  return mix;
+}
+
+}  // namespace bohr::workload

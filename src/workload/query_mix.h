@@ -1,0 +1,32 @@
+// Per-dataset query mixes: the paper runs 2-10 recurring queries per
+// dataset, drawn from that dataset's query types; the relative counts
+// define the query-type weights used for probe budgeting (§4.2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/dataset.h"
+
+namespace bohr::workload {
+
+struct DatasetQueryMix {
+  /// counts[t] = number of recurring queries of query type t.
+  std::vector<std::size_t> counts;
+
+  std::size_t total_queries() const;
+
+  /// Normalized weights (count / total); all zero counts stay zero.
+  std::vector<double> weights() const;
+};
+
+/// Samples a query mix: total queries uniform in [min_queries,
+/// max_queries], each assigned to a query type with probability
+/// proportional to the type's spec weight. Guarantees >= 1 query on at
+/// least one type.
+DatasetQueryMix sample_query_mix(const DatasetBundle& dataset, Rng& rng,
+                                 std::size_t min_queries = 2,
+                                 std::size_t max_queries = 10);
+
+}  // namespace bohr::workload

@@ -1,0 +1,180 @@
+#include "workload/trace_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace bohr::workload {
+
+namespace {
+
+using olap::AttributeType;
+using olap::Row;
+using olap::Value;
+
+bool needs_quoting(const std::string& s) {
+  return s.find_first_of(",\"\n") != std::string::npos;
+}
+
+void write_field(std::ostream& out, const std::string& s) {
+  if (!needs_quoting(s)) {
+    out << s;
+    return;
+  }
+  out << '"';
+  for (const char c : s) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+void write_value(std::ostream& out, const Value& v) {
+  struct Writer {
+    std::ostream& out;
+    void operator()(std::int64_t i) const { out << i; }
+    void operator()(double d) const {
+      // Shortest representation that round-trips exactly.
+      char buf[64];
+      const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+      BOHR_CHECK(ec == std::errc());
+      out.write(buf, end - buf);
+    }
+    void operator()(const std::string& s) const { write_field(out, s); }
+  };
+  std::visit(Writer{out}, v);
+}
+
+/// Splits one CSV line honoring quotes. Throws on unterminated quotes.
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  BOHR_CHECK(!quoted);  // unterminated quote
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+Value parse_value(const std::string& field, AttributeType type) {
+  switch (type) {
+    case AttributeType::Integer: {
+      std::size_t consumed = 0;
+      const long long v = std::stoll(field, &consumed);
+      BOHR_CHECK(consumed == field.size());
+      return Value(static_cast<std::int64_t>(v));
+    }
+    case AttributeType::Real: {
+      std::size_t consumed = 0;
+      const double v = std::stod(field, &consumed);
+      BOHR_CHECK(consumed == field.size());
+      return Value(v);
+    }
+    case AttributeType::Text:
+      return Value(field);
+  }
+  throw ContractViolation("unknown attribute type");
+}
+
+}  // namespace
+
+void write_csv(std::ostream& out, const DatasetBundle& bundle) {
+  BOHR_EXPECTS(out.good());
+  const olap::Schema& schema = bundle.cube_spec.schema;
+  out << "site";
+  for (std::size_t a = 0; a < schema.attribute_count(); ++a) {
+    out << ',';
+    write_field(out, schema.attribute(a).name);
+  }
+  out << '\n';
+  for (std::size_t site = 0; site < bundle.site_rows.size(); ++site) {
+    for (const Row& row : bundle.site_rows[site]) {
+      out << site;
+      for (const Value& v : row) {
+        out << ',';
+        write_value(out, v);
+      }
+      out << '\n';
+    }
+  }
+  BOHR_CHECK(out.good());
+}
+
+DatasetBundle read_csv(std::istream& in, const DatasetBundle& reference,
+                       std::size_t sites) {
+  BOHR_EXPECTS(in.good());
+  BOHR_EXPECTS(sites > 0);
+  const olap::Schema& schema = reference.cube_spec.schema;
+
+  std::string line;
+  BOHR_CHECK(static_cast<bool>(std::getline(in, line)));
+  const std::vector<std::string> header = split_csv_line(line);
+  BOHR_CHECK(header.size() == schema.attribute_count() + 1);
+  BOHR_CHECK(header[0] == "site");
+  for (std::size_t a = 0; a < schema.attribute_count(); ++a) {
+    BOHR_CHECK(header[a + 1] == schema.attribute(a).name);
+  }
+
+  DatasetBundle bundle;
+  bundle.dataset_id = reference.dataset_id;
+  bundle.kind = reference.kind;
+  bundle.cube_spec = reference.cube_spec;
+  bundle.query_types = reference.query_types;
+  bundle.bytes_per_row = reference.bytes_per_row;
+  bundle.site_rows.assign(sites, {});
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = split_csv_line(line);
+    BOHR_CHECK(fields.size() == schema.attribute_count() + 1);
+    const auto site = static_cast<std::size_t>(std::stoull(fields[0]));
+    BOHR_CHECK(site < sites);
+    Row row;
+    row.reserve(schema.attribute_count());
+    for (std::size_t a = 0; a < schema.attribute_count(); ++a) {
+      row.push_back(parse_value(fields[a + 1], schema.attribute(a).type));
+    }
+    bundle.site_rows[site].push_back(std::move(row));
+  }
+  return bundle;
+}
+
+void save_csv(const std::string& path, const DatasetBundle& bundle) {
+  std::ofstream out(path);
+  BOHR_EXPECTS(out.is_open());
+  write_csv(out, bundle);
+}
+
+DatasetBundle load_csv(const std::string& path,
+                       const DatasetBundle& reference, std::size_t sites) {
+  std::ifstream in(path);
+  BOHR_EXPECTS(in.is_open());
+  return read_csv(in, reference, sites);
+}
+
+}  // namespace bohr::workload

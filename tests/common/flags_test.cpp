@@ -1,0 +1,72 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace bohr {
+namespace {
+
+Flags make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, EqualsForm) {
+  const Flags f = make({"--name=value", "--n=42"});
+  EXPECT_EQ(f.get("name", ""), "value");
+  EXPECT_EQ(f.get_int("n", 0), 42);
+}
+
+TEST(FlagsTest, SpaceForm) {
+  const Flags f = make({"--name", "value", "--rate", "2.5"});
+  EXPECT_EQ(f.get("name", ""), "value");
+  EXPECT_DOUBLE_EQ(f.get_double("rate", 0.0), 2.5);
+}
+
+TEST(FlagsTest, BooleanSwitch) {
+  const Flags f = make({"--verbose", "--csv=false"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_FALSE(f.get_bool("csv", true));
+  EXPECT_TRUE(f.get_bool("absent", true));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  const Flags f = make({});
+  EXPECT_EQ(f.get("missing", "fallback"), "fallback");
+  EXPECT_EQ(f.get_int("missing", 7), 7);
+  EXPECT_FALSE(f.has("missing"));
+}
+
+TEST(FlagsTest, SwitchFollowedByFlag) {
+  // --a is a switch because the next token is another flag.
+  const Flags f = make({"--a", "--b=1"});
+  EXPECT_TRUE(f.get_bool("a", false));
+  EXPECT_EQ(f.get_int("b", 0), 1);
+}
+
+TEST(FlagsTest, UnusedDetectsTypos) {
+  const Flags f = make({"--used=1", "--typo=2"});
+  EXPECT_EQ(f.get_int("used", 0), 1);
+  const auto unused = f.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(FlagsTest, MalformedInputsThrow) {
+  EXPECT_THROW(make({"notaflag"}), ContractViolation);
+  EXPECT_THROW(make({"--"}), ContractViolation);
+  const Flags f = make({"--n=abc"});
+  EXPECT_THROW(f.get_int("n", 0), ContractViolation);
+  const Flags g = make({"--b=maybe"});
+  EXPECT_THROW(g.get_bool("b", false), ContractViolation);
+}
+
+TEST(FlagsTest, ProgramNameCaptured) {
+  const Flags f = make({});
+  EXPECT_EQ(f.program(), "prog");
+}
+
+}  // namespace
+}  // namespace bohr

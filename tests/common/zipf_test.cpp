@@ -1,0 +1,59 @@
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bohr {
+namespace {
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler zipf(100, 1.1);
+  double total = 0.0;
+  for (std::size_t r = 0; r < zipf.universe(); ++r) total += zipf.pmf(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfIsMonotoneDecreasing) {
+  ZipfSampler zipf(50, 0.9);
+  for (std::size_t r = 1; r < zipf.universe(); ++r) {
+    EXPECT_GE(zipf.pmf(r - 1), zipf.pmf(r));
+  }
+}
+
+TEST(ZipfTest, ZeroSkewIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  for (std::size_t r = 0; r < 10; ++r) EXPECT_NEAR(zipf.pmf(r), 0.1, 1e-12);
+}
+
+TEST(ZipfTest, SamplesWithinUniverse) {
+  ZipfSampler zipf(42, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.sample(rng), 42u);
+}
+
+TEST(ZipfTest, EmpiricalFrequencyMatchesPmf) {
+  ZipfSampler zipf(20, 1.0);
+  Rng rng(77);
+  std::vector<int> counts(20, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t r = 0; r < 5; ++r) {
+    const double freq = static_cast<double>(counts[r]) / n;
+    EXPECT_NEAR(freq, zipf.pmf(r), 0.01) << "rank " << r;
+  }
+}
+
+TEST(ZipfTest, HighSkewConcentratesMass) {
+  ZipfSampler zipf(1000, 2.0);
+  // With s=2 the head rank should hold the majority of the mass.
+  EXPECT_GT(zipf.pmf(0), 0.5);
+}
+
+TEST(ZipfTest, InvalidArgsThrow) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), ContractViolation);
+  EXPECT_THROW(ZipfSampler(10, -0.5), ContractViolation);
+}
+
+}  // namespace
+}  // namespace bohr

@@ -1,0 +1,105 @@
+// The Centralized strawman (§1): it must ship everything to one hub and,
+// in the paper's regime, fail to fit the lag between recurring queries.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/placement.h"
+
+namespace bohr::core {
+namespace {
+
+TEST(CentralizedTest, ShipsEverythingToTheBestHub) {
+  PlacementProblem p;
+  p.topology = net::WanTopology({net::Site{"small", 10, 10},
+                                 net::Site{"hub", 100, 400},
+                                 net::Site{"mid", 50, 50}});
+  p.lag_seconds = 10.0;
+  DatasetPlacementInput d;
+  d.input_bytes = {100, 100, 100};
+  d.self_similarity = {0, 0, 0};
+  d.reduction_ratio = 1.0;
+  p.datasets.push_back(d);
+
+  const auto decision = centralized_placement(p);
+  // Hub = site 1 (fattest downlink); everyone else ships everything.
+  EXPECT_DOUBLE_EQ(decision.move_bytes[0][0][1], 100.0);
+  EXPECT_DOUBLE_EQ(decision.move_bytes[0][2][1], 100.0);
+  EXPECT_DOUBLE_EQ(decision.move_bytes[0][1][0], 0.0);
+  EXPECT_DOUBLE_EQ(decision.reduce_fractions[1], 1.0);
+  EXPECT_DOUBLE_EQ(decision.reduce_fractions[0], 0.0);
+}
+
+TEST(CentralizedTest, CentralizationCannotFitTheLag) {
+  // In the paper's regime (40GB/site, ~30-60s lag) shipping every byte
+  // to one site takes far longer than the lag — §1's argument.
+  ExperimentConfig cfg;
+  cfg.workload = workload::WorkloadKind::BigData;
+  cfg.n_datasets = 6;
+  cfg.generator.sites = 10;
+  cfg.generator.rows_per_site = 240;
+  cfg.generator.gb_per_site = 40.0 / 6;
+  cfg.base_bandwidth = 125e6;
+  cfg.lag_seconds = 60.0;
+  cfg.seed = 3;
+  const auto run = run_workload(cfg, {Strategy::Centralized, Strategy::Bohr});
+  const auto& central = run.outcome(Strategy::Centralized);
+  EXPECT_FALSE(central.prep.movement_within_lag);
+  EXPECT_GT(central.prep.movement_seconds, cfg.lag_seconds);
+  // Bohr's bounded movement fits.
+  EXPECT_TRUE(run.outcome(Strategy::Bohr).prep.movement_within_lag);
+  // Once data is central, no WAN shuffle remains...
+  EXPECT_NEAR(central.wan_shuffle_bytes, 0.0, 1.0);
+}
+
+TEST(GeodeTest, ReducesWhereDataIsAndMovesNothing) {
+  PlacementProblem p;
+  p.topology = net::make_paper_topology(100.0);
+  p.lag_seconds = 30.0;
+  DatasetPlacementInput d;
+  d.input_bytes.assign(10, 100.0);
+  d.input_bytes[4] = 5000.0;  // Ohio holds the bulk
+  d.self_similarity.assign(10, 0.0);
+  d.reduction_ratio = 0.5;
+  p.datasets.push_back(d);
+  const auto decision = geode_placement(p);
+  EXPECT_DOUBLE_EQ(decision.moved_bytes_total(), 0.0);
+  EXPECT_DOUBLE_EQ(decision.reduce_fractions[4], 1.0);
+}
+
+TEST(GeodeTest, MinimizesBytesButNotQct) {
+  // Geode must ship no more WAN bytes than Iridium, yet its QCT is worse
+  // than Bohr's (the paper's §9 point about byte-minimizing systems).
+  ExperimentConfig cfg;
+  cfg.workload = workload::WorkloadKind::BigData;
+  cfg.n_datasets = 8;
+  cfg.generator.sites = 10;
+  cfg.generator.rows_per_site = 240;
+  cfg.generator.gb_per_site = 40.0 / 8;
+  cfg.base_bandwidth = 125e6;
+  cfg.lag_seconds = 60.0;
+  cfg.seed = 11;
+  const auto run = run_workload(
+      cfg, {Strategy::Geode, Strategy::Iridium, Strategy::Bohr});
+  // Byte-wise Geode is at worst on par with Iridium (real combining can
+  // nudge either way by a few percent)...
+  EXPECT_LE(run.outcome(Strategy::Geode).wan_shuffle_bytes,
+            run.outcome(Strategy::Iridium).wan_shuffle_bytes * 1.05);
+  EXPECT_GT(run.outcome(Strategy::Geode).avg_qct_seconds,
+            run.outcome(Strategy::Bohr).avg_qct_seconds);
+  EXPECT_DOUBLE_EQ(run.outcome(Strategy::Geode).prep.bytes_moved, 0.0);
+}
+
+TEST(CentralizedTest, StrategyNameAndTraits) {
+  EXPECT_EQ(to_string(Strategy::Centralized), "Centralized");
+  EXPECT_TRUE(centralizes(Strategy::Centralized));
+  EXPECT_FALSE(centralizes(Strategy::Bohr));
+  EXPECT_TRUE(minimizes_bandwidth(Strategy::Geode));
+  EXPECT_FALSE(minimizes_bandwidth(Strategy::Iridium));
+  EXPECT_EQ(to_string(Strategy::Geode), "Geode");
+  const StrategyTraits t = traits_of(Strategy::Centralized);
+  EXPECT_FALSE(t.cubes);
+  EXPECT_FALSE(t.joint_lp);
+}
+
+}  // namespace
+}  // namespace bohr::core

@@ -1,0 +1,171 @@
+#include "core/movement.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/combiner.h"
+
+namespace bohr::core {
+namespace {
+
+workload::GeneratorConfig gen_config() {
+  workload::GeneratorConfig cfg;
+  cfg.sites = 3;
+  cfg.rows_per_site = 80;
+  cfg.gb_per_site = 8.0;
+  cfg.seed = 31;
+  return cfg;
+}
+
+DatasetState make_state() {
+  auto bundle = workload::generate_dataset(workload::WorkloadKind::BigData, 0,
+                                           gen_config());
+  Rng rng(9);
+  auto mix = workload::sample_query_mix(bundle, rng);
+  return DatasetState(std::move(bundle), std::move(mix), /*with_cubes=*/true);
+}
+
+net::WanTopology topo() {
+  return net::WanTopology({net::Site{"a", 1e9, 1e9},
+                           net::Site{"b", 1e9, 1e9},
+                           net::Site{"c", 1e9, 1e9}});
+}
+
+TEST(MovementTest, MovesRequestedVolume) {
+  DatasetState state = make_state();
+  const double bytes_per_row = state.bundle().bytes_per_row;
+  std::vector<std::vector<double>> move(3, std::vector<double>(3, 0.0));
+  move[0][1] = 10 * bytes_per_row;
+  const std::size_t before0 = state.rows_at(0).size();
+  const std::size_t before1 = state.rows_at(1).size();
+  Rng rng(1);
+  const auto report = apply_movement(state, move, nullptr,
+                                     /*similarity_aware=*/false, topo(),
+                                     /*lag=*/1e6, rng);
+  EXPECT_EQ(report.rows_moved, 10u);
+  EXPECT_NEAR(report.bytes_moved, 10 * bytes_per_row, 1.0);
+  EXPECT_EQ(state.rows_at(0).size(), before0 - 10);
+  EXPECT_EQ(state.rows_at(1).size(), before1 + 10);
+  EXPECT_TRUE(report.within_lag);
+}
+
+TEST(MovementTest, CannotMoveMoreThanAvailable) {
+  DatasetState state = make_state();
+  std::vector<std::vector<double>> move(3, std::vector<double>(3, 0.0));
+  move[0][1] = 1e18;  // absurd request
+  const std::size_t before0 = state.rows_at(0).size();
+  Rng rng(1);
+  const auto report = apply_movement(state, move, nullptr, false, topo(),
+                                     1e9, rng);
+  EXPECT_EQ(report.rows_moved, before0);  // everything the site had
+  EXPECT_TRUE(state.rows_at(0).empty());
+}
+
+TEST(MovementTest, MultiDestinationSplitsRows) {
+  DatasetState state = make_state();
+  const double bpr = state.bundle().bytes_per_row;
+  std::vector<std::vector<double>> move(3, std::vector<double>(3, 0.0));
+  move[0][1] = 20 * bpr;
+  move[0][2] = 30 * bpr;
+  const std::size_t b0 = state.rows_at(0).size();
+  const std::size_t b1 = state.rows_at(1).size();
+  const std::size_t b2 = state.rows_at(2).size();
+  Rng rng(1);
+  const auto report =
+      apply_movement(state, move, nullptr, false, topo(), 1e9, rng);
+  EXPECT_EQ(report.rows_moved, 50u);
+  EXPECT_EQ(state.rows_at(0).size(), b0 - 50);
+  EXPECT_EQ(state.rows_at(1).size(), b1 + 20);
+  EXPECT_EQ(state.rows_at(2).size(), b2 + 30);
+}
+
+TEST(MovementTest, LagViolationDetected) {
+  DatasetState state = make_state();
+  const net::WanTopology slow(
+      {net::Site{"a", 1.0, 1.0}, net::Site{"b", 1.0, 1.0},
+       net::Site{"c", 1.0, 1.0}});
+  std::vector<std::vector<double>> move(3, std::vector<double>(3, 0.0));
+  move[0][1] = 10 * state.bundle().bytes_per_row;
+  Rng rng(1);
+  const auto report =
+      apply_movement(state, move, nullptr, false, slow, /*lag=*/0.5, rng);
+  EXPECT_FALSE(report.within_lag);
+}
+
+/// The heart of the paper (Fig 1): moving SIMILAR records shrinks the
+/// receiver's combined output versus moving random records.
+TEST(MovementTest, SimilarityAwareMovesCombinableRows) {
+  const double lag = 1e9;
+  // Two identically-generated states: one moves with similarity, one
+  // without. Compare total distinct keys (intermediate records) after.
+  auto run = [&](bool aware) {
+    DatasetState state = make_state();
+    const auto sim = check_similarity(state, SimilarityOptions{30});
+    std::vector<std::vector<double>> move(3, std::vector<double>(3, 0.0));
+    move[0][1] = 40 * state.bundle().bytes_per_row;  // half of site 0
+    Rng rng(77);
+    apply_movement(state, move, &sim, aware, topo(), lag, rng);
+    // Count intermediate records of query type 0 with ideal combining.
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < state.site_count(); ++s) {
+      total += engine::distinct_keys(state.map_rows(s, 0, 1.0, 1));
+    }
+    return total;
+  };
+  // Averaging not needed: selection is deterministic given the seed; the
+  // similarity-aware run must not produce more intermediate data.
+  EXPECT_LE(run(true), run(false));
+}
+
+TEST(MovementTest, SelectRowsPrefersMatchedClusters) {
+  DatasetState state = make_state();
+  const auto sim = check_similarity(state, SimilarityOptions{30});
+  std::vector<bool> taken(state.rows_at(0).size(), false);
+  Rng rng(5);
+  const auto chosen = select_rows_for_move(state, 0, 1, 10, &sim,
+                                           /*similarity_aware=*/true, taken,
+                                           rng);
+  ASSERT_EQ(chosen.size(), 10u);
+  // Every chosen row should belong to a matched cluster if enough exist.
+  const auto& matched = sim.matched_keys[0][1];
+  if (!matched.empty()) {
+    std::size_t hits = 0;
+    for (const auto idx : chosen) {
+      for (std::size_t t = 0; t < state.bundle().query_types.size(); ++t) {
+        if (matched.contains(state.key_of(state.rows_at(0)[idx], t))) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    EXPECT_GT(hits, 5u);  // the bulk comes from matched clusters
+  }
+}
+
+TEST(MovementTest, SelectRowsRespectsTakenMarks) {
+  DatasetState state = make_state();
+  std::vector<bool> taken(state.rows_at(0).size(), false);
+  Rng rng(5);
+  const std::size_t total = state.rows_at(0).size();
+  const auto first =
+      select_rows_for_move(state, 0, 1, 50, nullptr, false, taken, rng);
+  const auto second =
+      select_rows_for_move(state, 0, 2, 50, nullptr, false, taken, rng);
+  EXPECT_EQ(first.size(), 50u);
+  EXPECT_EQ(second.size(), total - 50);  // the rest of the site
+  for (const auto idx : first) {
+    for (const auto jdx : second) EXPECT_NE(idx, jdx);
+  }
+}
+
+TEST(MovementTest, ZeroMatrixMovesNothing) {
+  DatasetState state = make_state();
+  std::vector<std::vector<double>> move(3, std::vector<double>(3, 0.0));
+  Rng rng(1);
+  const auto report =
+      apply_movement(state, move, nullptr, false, topo(), 1e9, rng);
+  EXPECT_EQ(report.rows_moved, 0u);
+  EXPECT_DOUBLE_EQ(report.movement_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace bohr::core

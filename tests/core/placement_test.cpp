@@ -1,0 +1,241 @@
+#include "core/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace bohr::core {
+namespace {
+
+/// Two-tier topology: site 0 fast, site 1 slow — the classic bottleneck.
+PlacementProblem two_site_problem(double fast = 100.0, double slow = 10.0) {
+  PlacementProblem p;
+  p.topology = net::WanTopology(
+      {net::Site{"fast", fast, fast}, net::Site{"slow", slow, slow}});
+  p.lag_seconds = 100.0;
+  DatasetPlacementInput d;
+  d.dataset_id = 0;
+  d.input_bytes = {1000.0, 1000.0};
+  d.reduction_ratio = 0.5;
+  d.self_similarity = {0.0, 0.0};
+  d.query_count = 3;
+  p.datasets.push_back(d);
+  return p;
+}
+
+PlacementProblem paper_scale_problem(std::size_t n_datasets) {
+  PlacementProblem p;
+  p.topology = net::make_paper_topology(100.0);
+  p.lag_seconds = 30.0;
+  Rng rng(17);
+  for (std::size_t a = 0; a < n_datasets; ++a) {
+    DatasetPlacementInput d;
+    d.dataset_id = a;
+    d.reduction_ratio = rng.uniform(0.1, 0.6);
+    d.query_count = static_cast<std::size_t>(rng.range(2, 10));
+    for (std::size_t i = 0; i < p.topology.site_count(); ++i) {
+      d.input_bytes.push_back(rng.uniform(100.0, 2000.0));
+      d.self_similarity.push_back(rng.uniform(0.2, 0.8));
+    }
+    p.datasets.push_back(std::move(d));
+  }
+  return p;
+}
+
+TEST(PredictedShuffleTest, Eq1NoMovement) {
+  const auto p = two_site_problem();
+  const std::vector<std::vector<double>> zero(2, std::vector<double>(2, 0.0));
+  const auto f = predicted_shuffle_bytes(p.datasets[0], zero);
+  EXPECT_DOUBLE_EQ(f[0], 500.0);  // I * R * (1 - S)
+  EXPECT_DOUBLE_EQ(f[1], 500.0);
+}
+
+TEST(PredictedShuffleTest, Eq1WithMovementAndSimilarity) {
+  auto p = two_site_problem();
+  p.datasets[0].self_similarity = {0.5, 0.0};
+  std::vector<std::vector<double>> move(2, std::vector<double>(2, 0.0));
+  move[1][0] = 400.0;  // slow site ships 400 bytes to fast site
+  const auto f = predicted_shuffle_bytes(p.datasets[0], move);
+  // Site 0: (1000 + 400) * 0.5 * 0.5 = 350; site 1: 600 * 0.5 = 300.
+  EXPECT_DOUBLE_EQ(f[0], 350.0);
+  EXPECT_DOUBLE_EQ(f[1], 300.0);
+}
+
+TEST(PredictedShuffleTest, NeverNegative) {
+  auto p = two_site_problem();
+  std::vector<std::vector<double>> move(2, std::vector<double>(2, 0.0));
+  move[1][0] = 5000.0;  // more than the site holds
+  const auto f = predicted_shuffle_bytes(p.datasets[0], move);
+  EXPECT_GE(f[1], 0.0);
+}
+
+TEST(TaskPlacementTest, FavorsFastUplinks) {
+  // Slow uplink but ample downlink: reduce tasks should concentrate on
+  // the slow-uplink site so it uploads less shuffle data.
+  PlacementProblem p = two_site_problem();
+  p.topology = net::WanTopology({net::Site{"fast", 100.0, 1000.0},
+                                 net::Site{"slow", 10.0, 1000.0}});
+  const std::vector<std::vector<std::vector<double>>> zero(
+      1, std::vector<std::vector<double>>(2, std::vector<double>(2, 0.0)));
+  const auto task = solve_task_placement(p, zero);
+  ASSERT_TRUE(task.optimal);
+  // More reduce tasks belong at the slow-uplink site so it uploads less.
+  EXPECT_GT(task.reduce_fractions[1], task.reduce_fractions[0]);
+  EXPECT_NEAR(task.reduce_fractions[0] + task.reduce_fractions[1], 1.0, 1e-9);
+}
+
+TEST(TaskPlacementTest, ZeroDataUniform) {
+  auto p = two_site_problem();
+  p.datasets[0].input_bytes = {0.0, 0.0};
+  const std::vector<std::vector<std::vector<double>>> zero(
+      1, std::vector<std::vector<double>>(2, std::vector<double>(2, 0.0)));
+  const auto task = solve_task_placement(p, zero);
+  EXPECT_DOUBLE_EQ(task.reduce_fractions[0], 0.5);
+}
+
+TEST(TaskPlacementTest, MatchesBruteForceOnTwoSites) {
+  const auto p = two_site_problem(80.0, 15.0);
+  const std::vector<std::vector<std::vector<double>>> zero(
+      1, std::vector<std::vector<double>>(2, std::vector<double>(2, 0.0)));
+  const auto task = solve_task_placement(p, zero);
+  ASSERT_TRUE(task.optimal);
+  // Brute force over r0 in [0,1].
+  double best = 1e18;
+  for (int k = 0; k <= 10000; ++k) {
+    const double r0 = k / 10000.0;
+    PlacementDecision d;
+    d.move_bytes = zero;
+    d.reduce_fractions = {r0, 1.0 - r0};
+    best = std::min(best, predicted_shuffle_seconds(p, d));
+  }
+  PlacementDecision chosen;
+  chosen.move_bytes = zero;
+  chosen.reduce_fractions = task.reduce_fractions;
+  EXPECT_NEAR(predicted_shuffle_seconds(p, chosen), best, 1e-4);
+}
+
+TEST(IridiumTest, MovesDataOutOfBottleneck) {
+  // Tight lag so only part of the data can move (the paper's regime).
+  PlacementProblem p = two_site_problem();
+  p.lag_seconds = 30.0;
+  const auto decision = iridium_placement(p);
+  // The slow site (1) should ship data to the fast site (0).
+  EXPECT_GT(decision.move_bytes[0][1][0], 0.0);
+  EXPECT_DOUBLE_EQ(decision.move_bytes[0][0][1], 0.0);
+  EXPECT_GT(decision.predicted_shuffle_seconds, 0.0);
+}
+
+TEST(IridiumTest, ImprovesOverNoMovement) {
+  const auto p = two_site_problem();
+  const std::vector<std::vector<std::vector<double>>> zero(
+      1, std::vector<std::vector<double>>(2, std::vector<double>(2, 0.0)));
+  const auto task = solve_task_placement(p, zero);
+  PlacementDecision none;
+  none.move_bytes = zero;
+  none.reduce_fractions = task.reduce_fractions;
+  const double t_none = predicted_shuffle_seconds(p, none);
+  const auto decision = iridium_placement(p);
+  EXPECT_LE(decision.predicted_shuffle_seconds, t_none + 1e-9);
+}
+
+TEST(IridiumTest, RespectsMovementBudget) {
+  auto p = two_site_problem();
+  p.lag_seconds = 1.0;  // slow site can ship at most 10 bytes
+  const auto decision = iridium_placement(p);
+  double moved_out_of_slow = 0.0;
+  for (std::size_t j = 0; j < 2; ++j) {
+    moved_out_of_slow += decision.move_bytes[0][1][j];
+  }
+  EXPECT_LE(moved_out_of_slow, p.lag_seconds * p.topology.uplink(1) + 1e-6);
+}
+
+TEST(JointLpTest, BeatsOrMatchesIridium) {
+  for (const std::size_t n_datasets : {1u, 3u, 6u}) {
+    const auto p = paper_scale_problem(n_datasets);
+    const auto iridium = iridium_placement(p);
+    const auto joint = joint_lp_placement(p);
+    EXPECT_LE(joint.predicted_shuffle_seconds,
+              iridium.predicted_shuffle_seconds * 1.0001)
+        << n_datasets << " datasets";
+  }
+}
+
+TEST(JointLpTest, SolutionIsFeasible) {
+  const auto p = paper_scale_problem(4);
+  const auto d = joint_lp_placement(p);
+  const std::size_t n = p.topology.site_count();
+  // Movement fits the lag budget.
+  for (std::size_t i = 0; i < n; ++i) {
+    double out = 0.0;
+    double in = 0.0;
+    for (std::size_t a = 0; a < p.datasets.size(); ++a) {
+      for (std::size_t j = 0; j < n; ++j) {
+        out += d.move_bytes[a][i][j];
+        in += d.move_bytes[a][j][i];
+      }
+    }
+    EXPECT_LE(out, p.lag_seconds * p.topology.uplink(i) + 1e-4);
+    EXPECT_LE(in, p.lag_seconds * p.topology.downlink(i) + 1e-4);
+  }
+  // Supply limits per dataset.
+  for (std::size_t a = 0; a < p.datasets.size(); ++a) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double out = 0.0;
+      for (std::size_t j = 0; j < n; ++j) out += d.move_bytes[a][i][j];
+      EXPECT_LE(out, p.datasets[a].input_bytes[i] + 1e-4);
+    }
+  }
+  // Reduce fractions form a distribution.
+  double total_r = 0.0;
+  for (const double r : d.reduce_fractions) {
+    EXPECT_GE(r, -1e-9);
+    total_r += r;
+  }
+  EXPECT_NEAR(total_r, 1.0, 1e-6);
+}
+
+TEST(JointLpTest, AlternationIsMonotone) {
+  // More rounds can only improve (or hold) the objective.
+  const auto p = paper_scale_problem(3);
+  JointLpOptions one_round;
+  one_round.max_rounds = 1;
+  JointLpOptions many_rounds;
+  many_rounds.max_rounds = 8;
+  const auto quick = joint_lp_placement(p, one_round);
+  const auto thorough = joint_lp_placement(p, many_rounds);
+  EXPECT_LE(thorough.predicted_shuffle_seconds,
+            quick.predicted_shuffle_seconds + 1e-9);
+}
+
+TEST(JointLpTest, SimilarityChangesWhereDataGoes) {
+  // A dataset whose slow-site data combines perfectly (S=1) produces no
+  // shuffle there — the LP should not bother moving it.
+  auto p = two_site_problem();
+  p.datasets[0].self_similarity = {0.0, 1.0};
+  const auto d = joint_lp_placement(p);
+  EXPECT_NEAR(d.move_bytes[0][1][0], 0.0, 1e-6);
+}
+
+TEST(JointLpTest, ReportsSolveTime) {
+  const auto p = paper_scale_problem(2);
+  const auto d = joint_lp_placement(p);
+  EXPECT_GT(d.lp_seconds, 0.0);
+  EXPECT_GT(d.lp_iterations, 0u);
+}
+
+TEST(PlacementTest, InvalidProblemThrows) {
+  PlacementProblem p;
+  p.topology = net::make_paper_topology();
+  DatasetPlacementInput d;
+  d.input_bytes = {1.0};  // wrong arity
+  d.self_similarity = {0.0};
+  p.datasets.push_back(d);
+  EXPECT_THROW(iridium_placement(p), bohr::ContractViolation);
+}
+
+}  // namespace
+}  // namespace bohr::core

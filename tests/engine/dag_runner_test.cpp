@@ -1,0 +1,125 @@
+#include "engine/dag_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/rng.h"
+
+namespace bohr::engine {
+namespace {
+
+net::WanTopology topo() { return net::make_paper_topology(1e6); }
+
+std::vector<RecordStream> make_inputs(std::size_t per_site) {
+  Rng rng(5);
+  std::vector<RecordStream> inputs(10);
+  for (auto& in : inputs) {
+    for (std::size_t r = 0; r < per_site; ++r) {
+      in.push_back({rng.below(200), 1.0});
+    }
+  }
+  return inputs;
+}
+
+std::vector<double> uniform_r() { return std::vector<double>(10, 0.1); }
+
+ChainedStage stage(QueryKind kind, std::uint64_t regroup = 4) {
+  ChainedStage s;
+  s.spec = default_spec_for(kind);
+  s.spec.selectivity = 1.0;
+  s.spec.intermediate_bytes_per_record = 64.0;
+  s.regroup_ratio = regroup;
+  return s;
+}
+
+TEST(DagRunnerTest, SingleStageMatchesRunJob) {
+  const auto inputs = make_inputs(100);
+  JobConfig cfg;
+  Rng rng_a(1);
+  Rng rng_b(1);
+  const auto chained = run_chained_job(
+      topo(), inputs, uniform_r(), {stage(QueryKind::Aggregation)}, cfg,
+      rng_a);
+  const auto direct = run_job(topo(), inputs, uniform_r(),
+                              stage(QueryKind::Aggregation).spec, cfg, rng_b);
+  ASSERT_EQ(chained.stages.size(), 1u);
+  EXPECT_DOUBLE_EQ(chained.qct_seconds, direct.qct_seconds);
+  EXPECT_DOUBLE_EQ(chained.total_wan_bytes(), direct.wan_shuffle_bytes);
+}
+
+TEST(DagRunnerTest, MoreStagesTakeLonger) {
+  const auto inputs = make_inputs(100);
+  JobConfig cfg;
+  Rng rng_a(1);
+  Rng rng_b(1);
+  const auto one = run_chained_job(topo(), inputs, uniform_r(),
+                                   {stage(QueryKind::Aggregation)}, cfg,
+                                   rng_a);
+  const auto three = run_chained_job(
+      topo(), inputs, uniform_r(),
+      {stage(QueryKind::Aggregation), stage(QueryKind::Aggregation),
+       stage(QueryKind::Aggregation)},
+      cfg, rng_b);
+  EXPECT_GT(three.qct_seconds, one.qct_seconds);
+  EXPECT_EQ(three.stages.size(), 3u);
+}
+
+TEST(DagRunnerTest, AggregationTreeNarrowsPerStage) {
+  // With regroup_ratio > 1 each stage folds keys together, so per-stage
+  // shuffle volume must shrink monotonically.
+  const auto inputs = make_inputs(200);
+  JobConfig cfg;
+  Rng rng(1);
+  const auto result = run_chained_job(
+      topo(), inputs, uniform_r(),
+      {stage(QueryKind::Aggregation, 1), stage(QueryKind::Aggregation, 8),
+       stage(QueryKind::Aggregation, 8)},
+      cfg, rng);
+  ASSERT_EQ(result.stages.size(), 3u);
+  EXPECT_GT(result.stages[0].total_shuffle_bytes(),
+            result.stages[1].total_shuffle_bytes());
+  EXPECT_GT(result.stages[1].total_shuffle_bytes(),
+            result.stages[2].total_shuffle_bytes());
+}
+
+TEST(DagRunnerTest, LaterStagesStillCarryRecords) {
+  // Regrouping folds keys but never drops records: every stage's
+  // shuffle input is non-empty for non-empty inputs.
+  const auto inputs = make_inputs(150);
+  JobConfig cfg;
+  Rng rng(1);
+  const auto result = run_chained_job(
+      topo(), inputs, uniform_r(),
+      {stage(QueryKind::Aggregation, 1), stage(QueryKind::Aggregation, 16)},
+      cfg, rng);
+  for (const auto& st : result.stages) {
+    EXPECT_GT(st.total_shuffle_bytes(), 0.0);
+  }
+}
+
+TEST(DagRunnerTest, EmptyStageListThrows) {
+  JobConfig cfg;
+  Rng rng(1);
+  EXPECT_THROW(run_chained_job(topo(), make_inputs(10), uniform_r(), {},
+                               cfg, rng),
+               bohr::ContractViolation);
+}
+
+TEST(DagRunnerTest, DeterministicForSeed) {
+  const auto inputs = make_inputs(100);
+  JobConfig cfg;
+  Rng rng_a(9);
+  Rng rng_b(9);
+  const auto a = run_chained_job(
+      topo(), inputs, uniform_r(),
+      {stage(QueryKind::Udf), stage(QueryKind::Aggregation)}, cfg, rng_a);
+  const auto b = run_chained_job(
+      topo(), inputs, uniform_r(),
+      {stage(QueryKind::Udf), stage(QueryKind::Aggregation)}, cfg, rng_b);
+  EXPECT_DOUBLE_EQ(a.qct_seconds, b.qct_seconds);
+  EXPECT_DOUBLE_EQ(a.total_wan_bytes(), b.total_wan_bytes());
+}
+
+}  // namespace
+}  // namespace bohr::engine

@@ -1,0 +1,164 @@
+#include "engine/job_runner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace bohr::engine {
+namespace {
+
+net::WanTopology two_site_topo() {
+  return net::WanTopology(
+      {net::Site{"A", 100.0, 100.0}, net::Site{"B", 100.0, 100.0}});
+}
+
+JobConfig fast_config() {
+  JobConfig cfg;
+  cfg.machine.executors = 2;
+  cfg.machine.map_records_per_sec = 1e6;
+  cfg.machine.merge_records_per_sec = 1e7;
+  cfg.reduce_records_per_sec = 1e6;
+  cfg.partition_records = 8;
+  return cfg;
+}
+
+QuerySpec sum_spec(double bytes_per_record = 10.0) {
+  QuerySpec spec = default_spec_for(QueryKind::Aggregation);
+  spec.selectivity = 1.0;
+  spec.intermediate_bytes_per_record = bytes_per_record;
+  return spec;
+}
+
+RecordStream unique_records(std::uint64_t base, std::size_t count) {
+  RecordStream s;
+  for (std::size_t i = 0; i < count; ++i) s.push_back({base + i, 1.0});
+  return s;
+}
+
+TEST(JobRunnerTest, UniqueKeysProduceFullShuffle) {
+  const auto topo = two_site_topo();
+  const std::vector<RecordStream> inputs{unique_records(0, 20),
+                                         unique_records(1000, 20)};
+  Rng rng(1);
+  const auto result =
+      run_job(topo, inputs, {0.5, 0.5}, sum_spec(), fast_config(), rng);
+  EXPECT_EQ(result.sites[0].shuffle_records, 20u);
+  EXPECT_EQ(result.sites[1].shuffle_records, 20u);
+  EXPECT_DOUBLE_EQ(result.sites[0].shuffle_bytes, 200.0);
+  EXPECT_GT(result.qct_seconds, 0.0);
+}
+
+TEST(JobRunnerTest, CombinableKeysShrinkShuffle) {
+  // All records share one key: per-partition combine collapses each
+  // 8-record partition to one record.
+  const auto topo = two_site_topo();
+  RecordStream same;
+  for (int i = 0; i < 16; ++i) same.push_back({42, 1.0});
+  const std::vector<RecordStream> inputs{same, {}};
+  Rng rng(1);
+  const auto result =
+      run_job(topo, inputs, {0.5, 0.5}, sum_spec(), fast_config(), rng);
+  EXPECT_EQ(result.sites[0].shuffle_records, 2u);  // 16 records / 8 per part
+}
+
+TEST(JobRunnerTest, CubeSortedBeatsArrivalOrderOnInterleavedKeys) {
+  const auto topo = two_site_topo();
+  RecordStream interleaved;
+  for (std::uint64_t i = 0; i < 64; ++i) interleaved.push_back({i % 16, 1.0});
+  const std::vector<RecordStream> inputs{interleaved, {}};
+  JobConfig arrival = fast_config();
+  arrival.partition_policy = PartitionPolicy::ArrivalOrder;
+  JobConfig sorted = fast_config();
+  sorted.partition_policy = PartitionPolicy::CubeSorted;
+  Rng rng_a(1);
+  Rng rng_b(1);
+  const auto res_arrival =
+      run_job(topo, inputs, {0.5, 0.5}, sum_spec(), arrival, rng_a);
+  const auto res_sorted =
+      run_job(topo, inputs, {0.5, 0.5}, sum_spec(), sorted, rng_b);
+  EXPECT_LT(res_sorted.sites[0].shuffle_records,
+            res_arrival.sites[0].shuffle_records);
+}
+
+TEST(JobRunnerTest, ReducePlacementControlsWanBytes) {
+  const auto topo = two_site_topo();
+  const std::vector<RecordStream> inputs{unique_records(0, 32), {}};
+  Rng rng_a(1);
+  Rng rng_b(1);
+  // All reduce tasks at the data site: nothing crosses the WAN.
+  const auto local =
+      run_job(topo, inputs, {1.0, 0.0}, sum_spec(), fast_config(), rng_a);
+  EXPECT_DOUBLE_EQ(local.wan_shuffle_bytes, 0.0);
+  // All reduce at the other site: everything crosses.
+  const auto remote =
+      run_job(topo, inputs, {0.0, 1.0}, sum_spec(), fast_config(), rng_b);
+  EXPECT_DOUBLE_EQ(remote.wan_shuffle_bytes, 320.0);
+  EXPECT_GT(remote.qct_seconds, local.qct_seconds);
+}
+
+TEST(JobRunnerTest, ControllerOverheadAddsToQct) {
+  const auto topo = two_site_topo();
+  const std::vector<RecordStream> inputs{unique_records(0, 8), {}};
+  JobConfig plain = fast_config();
+  JobConfig loaded = fast_config();
+  loaded.controller_overhead_seconds = 1.5;
+  Rng rng_a(1);
+  Rng rng_b(1);
+  const auto a = run_job(topo, inputs, {0.5, 0.5}, sum_spec(), plain, rng_a);
+  const auto b = run_job(topo, inputs, {0.5, 0.5}, sum_spec(), loaded, rng_b);
+  EXPECT_NEAR(b.qct_seconds - a.qct_seconds, 1.5, 1e-9);
+}
+
+TEST(JobRunnerTest, ReduceFractionsMustSumToOne) {
+  const auto topo = two_site_topo();
+  const std::vector<RecordStream> inputs{{}, {}};
+  Rng rng(1);
+  EXPECT_THROW(
+      run_job(topo, inputs, {0.3, 0.3}, sum_spec(), fast_config(), rng),
+      bohr::ContractViolation);
+}
+
+TEST(JobRunnerTest, EmptyInputsZeroShuffle) {
+  const auto topo = two_site_topo();
+  const std::vector<RecordStream> inputs{{}, {}};
+  Rng rng(1);
+  const auto result =
+      run_job(topo, inputs, {0.5, 0.5}, sum_spec(), fast_config(), rng);
+  EXPECT_DOUBLE_EQ(result.total_shuffle_bytes(), 0.0);
+  EXPECT_DOUBLE_EQ(result.wan_shuffle_bytes, 0.0);
+}
+
+TEST(JobRunnerTest, SlowUplinkStretchesQct) {
+  // Same data, but the sender's uplink is 10x slower in topo_b.
+  const net::WanTopology fast_topo(
+      {net::Site{"A", 1000.0, 1000.0}, net::Site{"B", 1000.0, 1000.0}});
+  const net::WanTopology slow_topo(
+      {net::Site{"A", 10.0, 1000.0}, net::Site{"B", 1000.0, 1000.0}});
+  const std::vector<RecordStream> inputs{unique_records(0, 64), {}};
+  Rng rng_a(1);
+  Rng rng_b(1);
+  const auto fast =
+      run_job(fast_topo, inputs, {0.0, 1.0}, sum_spec(), fast_config(), rng_a);
+  const auto slow =
+      run_job(slow_topo, inputs, {0.0, 1.0}, sum_spec(), fast_config(), rng_b);
+  EXPECT_GT(slow.qct_seconds, fast.qct_seconds);
+}
+
+TEST(JobRunnerTest, QuerySpecDefaultsAreSane) {
+  for (const QueryKind kind :
+       {QueryKind::Scan, QueryKind::Udf, QueryKind::Aggregation,
+        QueryKind::OlapSql, QueryKind::TraceJob}) {
+    const QuerySpec spec = default_spec_for(kind);
+    EXPECT_GT(spec.selectivity, 0.0);
+    EXPECT_LE(spec.selectivity, 1.0);
+    EXPECT_GT(spec.compute_multiplier, 0.0);
+    EXPECT_GT(spec.intermediate_bytes_per_record, 0.0);
+    EXPECT_FALSE(to_string(kind).empty());
+  }
+  // UDF must cost more than scan (it computes PageRank).
+  EXPECT_GT(default_spec_for(QueryKind::Udf).compute_multiplier,
+            default_spec_for(QueryKind::Scan).compute_multiplier);
+}
+
+}  // namespace
+}  // namespace bohr::engine

@@ -1,0 +1,136 @@
+// Property tests for the max-min fair flow allocator: feasibility,
+// bottleneck tightness, and water-filling fairness on random instances.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "net/transfer.h"
+
+namespace bohr::net {
+namespace {
+
+struct Instance {
+  WanTopology topo;
+  std::vector<Flow> flows;
+};
+
+Instance random_instance(std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t n_sites = 3 + rng.below(6);
+  std::vector<Site> sites;
+  for (std::size_t s = 0; s < n_sites; ++s) {
+    sites.push_back(Site{"s" + std::to_string(s), rng.uniform(5.0, 100.0),
+                         rng.uniform(5.0, 100.0)});
+  }
+  WanTopology topo(std::move(sites));
+  std::vector<Flow> flows;
+  const std::size_t n_flows = 2 + rng.below(12);
+  for (std::size_t f = 0; f < n_flows; ++f) {
+    const SiteId src = rng.below(n_sites);
+    SiteId dst = rng.below(n_sites);
+    if (dst == src) dst = (dst + 1) % n_sites;
+    flows.push_back(Flow{src, dst, rng.uniform(10.0, 500.0), 0.0});
+  }
+  return {std::move(topo), std::move(flows)};
+}
+
+TEST(MaxMinPropertyTest, RatesAreFeasibleOnRandomInstances) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const Instance inst = random_instance(seed);
+    const auto rates = max_min_rates(inst.topo, inst.flows);
+    std::vector<double> up(inst.topo.site_count(), 0.0);
+    std::vector<double> down(inst.topo.site_count(), 0.0);
+    for (std::size_t f = 0; f < inst.flows.size(); ++f) {
+      EXPECT_GT(rates[f], 0.0) << "seed " << seed;
+      up[inst.flows[f].src] += rates[f];
+      down[inst.flows[f].dst] += rates[f];
+    }
+    for (SiteId s = 0; s < inst.topo.site_count(); ++s) {
+      EXPECT_LE(up[s], inst.topo.uplink(s) * (1 + 1e-9)) << "seed " << seed;
+      EXPECT_LE(down[s], inst.topo.downlink(s) * (1 + 1e-9))
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(MaxMinPropertyTest, EveryFlowHasASaturatedLink) {
+  // Max-min optimality: each flow crosses at least one link that is
+  // fully utilized (otherwise its rate could grow).
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const Instance inst = random_instance(seed);
+    const auto rates = max_min_rates(inst.topo, inst.flows);
+    std::vector<double> up(inst.topo.site_count(), 0.0);
+    std::vector<double> down(inst.topo.site_count(), 0.0);
+    for (std::size_t f = 0; f < inst.flows.size(); ++f) {
+      up[inst.flows[f].src] += rates[f];
+      down[inst.flows[f].dst] += rates[f];
+    }
+    for (std::size_t f = 0; f < inst.flows.size(); ++f) {
+      const double up_util =
+          up[inst.flows[f].src] / inst.topo.uplink(inst.flows[f].src);
+      const double down_util =
+          down[inst.flows[f].dst] / inst.topo.downlink(inst.flows[f].dst);
+      EXPECT_GT(std::max(up_util, down_util), 1.0 - 1e-6)
+          << "seed " << seed << " flow " << f;
+    }
+  }
+}
+
+TEST(MaxMinPropertyTest, IncreasingOneRateRequiresDecreasingASmallerOne) {
+  // Water-filling characterization: a flow's rate is limited by a link
+  // where it is among the largest shares — no flow on a saturated link
+  // both exceeds it and could donate.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Instance inst = random_instance(seed);
+    const auto rates = max_min_rates(inst.topo, inst.flows);
+    // For each flow, find its binding link; every other flow on that
+    // link with a larger rate would have to shrink for this one to grow,
+    // which max-min forbids unless the other is larger (it is).
+    for (std::size_t f = 0; f < inst.flows.size(); ++f) {
+      double up_total = 0.0;
+      double down_total = 0.0;
+      for (std::size_t g = 0; g < inst.flows.size(); ++g) {
+        if (inst.flows[g].src == inst.flows[f].src) up_total += rates[g];
+        if (inst.flows[g].dst == inst.flows[f].dst) down_total += rates[g];
+      }
+      const bool up_binding =
+          up_total >= inst.topo.uplink(inst.flows[f].src) * (1 - 1e-6);
+      const bool down_binding =
+          down_total >= inst.topo.downlink(inst.flows[f].dst) * (1 - 1e-6);
+      EXPECT_TRUE(up_binding || down_binding) << "seed " << seed;
+    }
+  }
+}
+
+TEST(MaxMinPropertyTest, SimulationConservesBytes) {
+  // Total bytes delivered equals total bytes requested: finish times
+  // integrate the rate exactly.
+  for (std::uint64_t seed = 100; seed < 120; ++seed) {
+    const Instance inst = random_instance(seed);
+    const auto results = simulate_flows(inst.topo, inst.flows);
+    for (std::size_t f = 0; f < inst.flows.size(); ++f) {
+      ASSERT_GT(results[f].finish_time, 0.0);
+      // mean_rate * duration == bytes (by construction of mean_rate);
+      // sanity: duration at least bytes / min(cap).
+      const double cap = std::min(inst.topo.uplink(inst.flows[f].src),
+                                  inst.topo.downlink(inst.flows[f].dst));
+      EXPECT_GE(results[f].finish_time + 1e-9, inst.flows[f].bytes / cap)
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(MaxMinPropertyTest, SingleFlowGetsFullBottleneck) {
+  for (std::uint64_t seed = 200; seed < 210; ++seed) {
+    Instance inst = random_instance(seed);
+    inst.flows.resize(1);
+    const auto rates = max_min_rates(inst.topo, inst.flows);
+    const double cap = std::min(inst.topo.uplink(inst.flows[0].src),
+                                inst.topo.downlink(inst.flows[0].dst));
+    EXPECT_NEAR(rates[0], cap, cap * 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace bohr::net

@@ -1,0 +1,94 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "net/bandwidth_estimator.h"
+
+namespace bohr::net {
+namespace {
+
+TEST(TopologyTest, PaperTopologyHasTenRegions) {
+  const WanTopology topo = make_paper_topology();
+  EXPECT_EQ(topo.site_count(), 10u);
+  EXPECT_EQ(topo.site(0).name, "Singapore");
+  EXPECT_EQ(topo.site(9).name, "Ireland");
+}
+
+TEST(TopologyTest, PaperBandwidthTiers) {
+  const double base = 10e6;
+  const WanTopology topo = make_paper_topology(base);
+  // Singapore/Tokyo/Oregon at 5x base.
+  for (SiteId s : {0u, 1u, 2u}) EXPECT_DOUBLE_EQ(topo.uplink(s), 5 * base);
+  // Virginia/Ohio/Frankfurt at 2x base (so the top tier is 2.5x theirs).
+  for (SiteId s : {3u, 4u, 5u}) EXPECT_DOUBLE_EQ(topo.uplink(s), 2 * base);
+  // Remaining four at base.
+  for (SiteId s : {6u, 7u, 8u, 9u}) EXPECT_DOUBLE_EQ(topo.uplink(s), base);
+  EXPECT_DOUBLE_EQ(topo.uplink(0) / topo.uplink(3), 2.5);
+  EXPECT_DOUBLE_EQ(topo.uplink(0) / topo.uplink(6), 5.0);
+}
+
+TEST(TopologyTest, DownlinkMultiplier) {
+  const WanTopology topo = make_paper_topology(10e6, 2.0);
+  EXPECT_DOUBLE_EQ(topo.downlink(6), 2.0 * topo.uplink(6));
+}
+
+TEST(TopologyTest, MinUplinkSiteIsBaseTier) {
+  const WanTopology topo = make_paper_topology();
+  EXPECT_GE(topo.min_uplink_site(), 6u);
+}
+
+TEST(TopologyTest, TotalUplink) {
+  const WanTopology topo = make_paper_topology(1.0);
+  EXPECT_DOUBLE_EQ(topo.total_uplink(), 3 * 5.0 + 3 * 2.0 + 4 * 1.0);
+}
+
+TEST(TopologyTest, InvalidSiteThrows) {
+  const WanTopology topo = make_paper_topology();
+  EXPECT_THROW(topo.site(10), ContractViolation);
+}
+
+TEST(TopologyTest, NonPositiveBandwidthRejected) {
+  EXPECT_THROW(WanTopology({Site{"x", 0.0, 1.0}}), ContractViolation);
+  EXPECT_THROW(make_paper_topology(-5.0), ContractViolation);
+}
+
+TEST(BandwidthEstimatorTest, FirstObservationTaken) {
+  BandwidthEstimator est(2);
+  EXPECT_FALSE(est.has_estimate(0));
+  est.observe(0, 100.0, 200.0);
+  EXPECT_TRUE(est.has_estimate(0));
+  EXPECT_DOUBLE_EQ(est.uplink_estimate(0), 100.0);
+  EXPECT_DOUBLE_EQ(est.downlink_estimate(0), 200.0);
+}
+
+TEST(BandwidthEstimatorTest, EwmaConverges) {
+  BandwidthEstimator est(1, 0.5);
+  est.observe(0, 100.0, 100.0);
+  for (int i = 0; i < 20; ++i) est.observe(0, 200.0, 200.0);
+  EXPECT_NEAR(est.uplink_estimate(0), 200.0, 1.0);
+}
+
+TEST(BandwidthEstimatorTest, NoisyObservationTracksTruth) {
+  const WanTopology truth = make_paper_topology(10e6);
+  BandwidthEstimator est(truth.site_count(), 0.3);
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) est.observe_noisy(truth, 0.05, rng);
+  for (SiteId s = 0; s < truth.site_count(); ++s) {
+    EXPECT_NEAR(est.uplink_estimate(s) / truth.uplink(s), 1.0, 0.15);
+  }
+}
+
+TEST(BandwidthEstimatorTest, EstimatedTopologySnapshot) {
+  const WanTopology truth = make_paper_topology(10e6);
+  BandwidthEstimator est(truth.site_count());
+  Rng rng(4);
+  est.observe_noisy(truth, 0.0, rng);
+  const WanTopology snap = est.estimated_topology(truth);
+  EXPECT_EQ(snap.site_count(), truth.site_count());
+  EXPECT_DOUBLE_EQ(snap.uplink(0), truth.uplink(0));
+  EXPECT_EQ(snap.site(3).name, "Virginia");
+}
+
+}  // namespace
+}  // namespace bohr::net

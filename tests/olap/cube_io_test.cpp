@@ -1,0 +1,114 @@
+#include "olap/cube_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace bohr::olap {
+namespace {
+
+OlapCube sample_cube() {
+  const Dimension date("date", {{"day", 1}, {"month", 30}}, false);
+  const Dimension bucket("bucket", {{"base", 1}, {"b16", 16}}, true);
+  OlapCube cube({date, bucket, Dimension("plain")});
+  Rng rng(77);
+  for (int i = 0; i < 200; ++i) {
+    cube.insert({rng.below(60), rng.below(256), rng.below(40)},
+                rng.uniform(-5.0, 5.0));
+  }
+  return cube;
+}
+
+bool cubes_equal(const OlapCube& a, const OlapCube& b) {
+  if (a.dimension_count() != b.dimension_count()) return false;
+  if (a.total_records() != b.total_records()) return false;
+  if (a.cell_count() != b.cell_count()) return false;
+  for (const auto& [coords, agg] : a.cells()) {
+    const CellAggregate* other = b.find(coords);
+    if (other == nullptr) return false;
+    if (other->count != agg.count || other->sum != agg.sum ||
+        other->min != agg.min || other->max != agg.max) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(CubeIoTest, RoundTripPreservesEverything) {
+  const OlapCube original = sample_cube();
+  std::stringstream buffer;
+  write_cube(buffer, original);
+  const OlapCube loaded = read_cube(buffer);
+  EXPECT_TRUE(cubes_equal(original, loaded));
+}
+
+TEST(CubeIoTest, RoundTripPreservesDimensions) {
+  const OlapCube original = sample_cube();
+  std::stringstream buffer;
+  write_cube(buffer, original);
+  const OlapCube loaded = read_cube(buffer);
+  ASSERT_EQ(loaded.dimension_count(), 3u);
+  EXPECT_EQ(loaded.dimension(0).name(), "date");
+  EXPECT_EQ(loaded.dimension(0).level(1).granularity, 30u);
+  EXPECT_FALSE(loaded.dimension(0).is_hashed());
+  EXPECT_TRUE(loaded.dimension(1).is_hashed());
+  // Hashed coarsening must behave identically after the round trip.
+  EXPECT_EQ(loaded.dimension(1).coarsen(35, 1),
+            original.dimension(1).coarsen(35, 1));
+}
+
+TEST(CubeIoTest, RoundTrippedCubeStillQueries) {
+  const OlapCube original = sample_cube();
+  std::stringstream buffer;
+  write_cube(buffer, original);
+  const OlapCube loaded = read_cube(buffer);
+  // Roll-up on the loaded cube matches roll-up on the original.
+  const OlapCube a = original.roll_up(0, 1);
+  const OlapCube b = loaded.roll_up(0, 1);
+  EXPECT_TRUE(cubes_equal(a, b));
+}
+
+TEST(CubeIoTest, EmptyCubeRoundTrips) {
+  OlapCube empty({Dimension("k")});
+  std::stringstream buffer;
+  write_cube(buffer, empty);
+  const OlapCube loaded = read_cube(buffer);
+  EXPECT_EQ(loaded.cell_count(), 0u);
+  EXPECT_EQ(loaded.total_records(), 0u);
+}
+
+TEST(CubeIoTest, RejectsBadMagic) {
+  std::stringstream buffer;
+  buffer << "NOTACUBExxxxxxxxxxxxxxxxxxxxxxxx";
+  EXPECT_THROW(read_cube(buffer), bohr::ContractViolation);
+}
+
+TEST(CubeIoTest, RejectsTruncatedStream) {
+  const OlapCube original = sample_cube();
+  std::stringstream buffer;
+  write_cube(buffer, original);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(read_cube(truncated), bohr::ContractViolation);
+}
+
+TEST(CubeIoTest, FileRoundTrip) {
+  const OlapCube original = sample_cube();
+  const std::string path = "/tmp/bohr_cube_io_test.cube";
+  save_cube(path, original);
+  const OlapCube loaded = load_cube(path);
+  EXPECT_TRUE(cubes_equal(original, loaded));
+  std::remove(path.c_str());
+}
+
+TEST(CubeIoTest, MissingFileThrows) {
+  EXPECT_THROW(load_cube("/tmp/definitely-not-a-file.cube"),
+               bohr::ContractViolation);
+}
+
+}  // namespace
+}  // namespace bohr::olap

@@ -1,0 +1,156 @@
+#include "olap/cube_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace bohr::olap {
+namespace {
+
+Schema log_schema() {
+  return Schema({{"url", AttributeType::Text, false},
+                 {"region", AttributeType::Integer, false},
+                 {"date", AttributeType::Integer, false},
+                 {"score", AttributeType::Real, true}});
+}
+
+Row make_row(const std::string& url, std::int64_t region, std::int64_t date,
+             double score) {
+  return Row{url, region, date, score};
+}
+
+DatasetCubes make_store() {
+  return DatasetCubes(CubeBuilder(default_cube_spec(log_schema())));
+}
+
+TEST(CubeBuilderTest, DefaultSpecUsesDimensionsAndMeasure) {
+  const CubeSpec spec = default_cube_spec(log_schema());
+  EXPECT_EQ(spec.dim_attrs.size(), 3u);
+  ASSERT_TRUE(spec.measure_attr.has_value());
+  EXPECT_EQ(*spec.measure_attr, 3u);
+}
+
+TEST(CubeBuilderTest, BuildAggregatesDuplicateRows) {
+  const CubeBuilder builder(default_cube_spec(log_schema()));
+  const std::vector<Row> rows{make_row("a", 1, 10, 1.0),
+                              make_row("a", 1, 10, 2.0),
+                              make_row("b", 1, 10, 3.0)};
+  const OlapCube cube = builder.build(rows);
+  EXPECT_EQ(cube.cell_count(), 2u);
+  EXPECT_EQ(cube.total_records(), 3u);
+}
+
+TEST(CubeBuilderTest, CoordsAreStableAcrossBuilders) {
+  const CubeBuilder b1(default_cube_spec(log_schema()));
+  const CubeBuilder b2(default_cube_spec(log_schema()));
+  const Row row = make_row("x", 2, 5, 1.0);
+  EXPECT_EQ(b1.coords_for(row), b2.coords_for(row));
+}
+
+TEST(DatasetCubesTest, RegisterQueryTypeDeduplicates) {
+  DatasetCubes store = make_store();
+  const QueryTypeId a = store.register_query_type({0, 1});
+  const QueryTypeId b = store.register_query_type({1, 0});  // same set
+  const QueryTypeId c = store.register_query_type({2});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(store.query_type_count(), 2u);
+}
+
+TEST(DatasetCubesTest, AddRowsUpdatesAllCubes) {
+  DatasetCubes store = make_store();
+  const QueryTypeId by_url = store.register_query_type({0});
+  const QueryTypeId by_region_date = store.register_query_type({1, 2});
+  const std::vector<Row> rows{make_row("a", 1, 10, 1.0),
+                              make_row("a", 2, 10, 2.0),
+                              make_row("b", 1, 11, 3.0)};
+  store.add_rows(rows);
+  EXPECT_EQ(store.base_cube().total_records(), 3u);
+  // By url: "a" x2, "b" x1 -> 2 cells.
+  EXPECT_EQ(store.dimension_cube(by_url).cell_count(), 2u);
+  // By (region, date): (1,10), (2,10), (1,11) -> 3 cells.
+  EXPECT_EQ(store.dimension_cube(by_region_date).cell_count(), 3u);
+}
+
+TEST(DatasetCubesTest, RegisteringAfterDataProjectsFromBase) {
+  DatasetCubes store = make_store();
+  store.add_rows(std::vector<Row>{make_row("a", 1, 10, 1.0),
+                                  make_row("a", 2, 11, 2.0)});
+  const QueryTypeId by_url = store.register_query_type({0});
+  EXPECT_EQ(store.dimension_cube(by_url).cell_count(), 1u);
+  EXPECT_EQ(store.dimension_cube(by_url).total_records(), 2u);
+}
+
+TEST(DatasetCubesTest, BufferingDefersUpdates) {
+  DatasetCubes store = make_store();
+  const QueryTypeId by_url = store.register_query_type({0});
+  store.buffer_rows(std::vector<Row>{make_row("a", 1, 10, 1.0)});
+  EXPECT_EQ(store.buffered_count(), 1u);
+  EXPECT_EQ(store.base_cube().total_records(), 0u);
+  EXPECT_EQ(store.dimension_cube(by_url).total_records(), 0u);
+}
+
+TEST(DatasetCubesTest, FlushForUpdatesOnlyThatQueryType) {
+  DatasetCubes store = make_store();
+  const QueryTypeId by_url = store.register_query_type({0});
+  const QueryTypeId by_region = store.register_query_type({1});
+  store.buffer_rows(std::vector<Row>{make_row("a", 1, 10, 1.0),
+                                     make_row("b", 2, 11, 2.0)});
+  store.flush_for(by_url);
+  EXPECT_EQ(store.base_cube().total_records(), 2u);
+  EXPECT_EQ(store.dimension_cube(by_url).total_records(), 2u);
+  // The other dimension cube lags until background flush (§4.1).
+  EXPECT_EQ(store.dimension_cube(by_region).total_records(), 0u);
+  store.flush_background();
+  EXPECT_EQ(store.dimension_cube(by_region).total_records(), 2u);
+  EXPECT_EQ(store.buffered_count(), 0u);
+}
+
+TEST(DatasetCubesTest, FlushBackgroundIsIdempotent) {
+  DatasetCubes store = make_store();
+  const QueryTypeId by_url = store.register_query_type({0});
+  store.buffer_rows(std::vector<Row>{make_row("a", 1, 10, 1.0)});
+  store.flush_background();
+  store.flush_background();
+  EXPECT_EQ(store.dimension_cube(by_url).total_records(), 1u);
+  EXPECT_EQ(store.base_cube().total_records(), 1u);
+}
+
+TEST(DatasetCubesTest, FlushForTwiceDoesNotDoubleCount) {
+  DatasetCubes store = make_store();
+  const QueryTypeId by_url = store.register_query_type({0});
+  store.buffer_rows(std::vector<Row>{make_row("a", 1, 10, 1.0)});
+  store.flush_for(by_url);
+  store.flush_for(by_url);
+  EXPECT_EQ(store.base_cube().total_records(), 1u);
+  EXPECT_EQ(store.dimension_cube(by_url).total_records(), 1u);
+}
+
+TEST(DatasetCubesTest, RebuildDimensionCubeMatchesIncremental) {
+  DatasetCubes store = make_store();
+  const QueryTypeId by_rd = store.register_query_type({1, 2});
+  store.add_rows(std::vector<Row>{make_row("a", 1, 10, 1.0),
+                                  make_row("b", 1, 10, 2.0),
+                                  make_row("c", 2, 11, 3.0)});
+  const OlapCube rebuilt = store.rebuild_dimension_cube(by_rd);
+  EXPECT_EQ(rebuilt.cell_count(), store.dimension_cube(by_rd).cell_count());
+  EXPECT_EQ(rebuilt.total_records(),
+            store.dimension_cube(by_rd).total_records());
+}
+
+TEST(DatasetCubesTest, StorageAccounting) {
+  DatasetCubes store = make_store();
+  store.register_query_type({0});
+  store.add_rows(std::vector<Row>{make_row("a", 1, 10, 1.0)});
+  EXPECT_GT(store.base_cube_bytes(), 0u);
+  EXPECT_GT(store.dimension_cubes_bytes(), 0u);
+}
+
+TEST(DatasetCubesTest, InvalidQueryTypeThrows) {
+  DatasetCubes store = make_store();
+  EXPECT_THROW(store.dimension_cube(0), bohr::ContractViolation);
+  EXPECT_THROW(store.register_query_type({9}), bohr::ContractViolation);
+}
+
+}  // namespace
+}  // namespace bohr::olap

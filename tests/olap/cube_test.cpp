@@ -1,0 +1,181 @@
+#include "olap/cube.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace bohr::olap {
+namespace {
+
+// A 3-dim cube mirroring Figure 2: time x region x product, measure = sales.
+OlapCube sales_cube() {
+  const Dimension time("time", {{"year", 1}, {"triennium", 3}});
+  const Dimension region("region");
+  const Dimension product("product");
+  OlapCube cube({time, region, product});
+  // (year, region, product) -> sales
+  cube.insert({2012, 1, 100}, 10.0);
+  cube.insert({2012, 1, 101}, 5.0);
+  cube.insert({2013, 1, 100}, 7.0);
+  cube.insert({2014, 2, 100}, 3.0);
+  cube.insert({2014, 2, 101}, 8.0);
+  cube.insert({2014, 1, 100}, 2.0);
+  return cube;
+}
+
+TEST(CubeTest, InsertAggregatesIdenticalCoords) {
+  OlapCube cube({Dimension("k")});
+  cube.insert({7}, 1.0);
+  cube.insert({7}, 2.0);
+  cube.insert({8}, 5.0);
+  EXPECT_EQ(cube.cell_count(), 2u);
+  EXPECT_EQ(cube.total_records(), 3u);
+  const CellAggregate* agg = cube.find({7});
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->count, 2u);
+  EXPECT_DOUBLE_EQ(agg->sum, 3.0);
+  EXPECT_DOUBLE_EQ(agg->min, 1.0);
+  EXPECT_DOUBLE_EQ(agg->max, 2.0);
+}
+
+TEST(CubeTest, WrongArityInsertThrows) {
+  OlapCube cube({Dimension("a"), Dimension("b")});
+  EXPECT_THROW(cube.insert({1}, 1.0), bohr::ContractViolation);
+}
+
+TEST(CubeTest, SliceFixesOneDimension) {
+  const OlapCube cube = sales_cube();
+  // Slice time = 2014 (like the paper's example: sales of all products in
+  // all regions in 2014); result loses the time dimension.
+  const OlapCube sliced = cube.slice(0, 2014);
+  EXPECT_EQ(sliced.dimension_count(), 2u);
+  EXPECT_EQ(sliced.total_records(), 3u);
+  const CellAggregate* agg = sliced.find({2, 100});
+  ASSERT_NE(agg, nullptr);
+  EXPECT_DOUBLE_EQ(agg->sum, 3.0);
+}
+
+TEST(CubeTest, DiceKeepsSelectedMembers) {
+  const OlapCube cube = sales_cube();
+  // Dice: product A (=100) only, all dims retained.
+  const OlapCube diced = cube.dice(2, {100});
+  EXPECT_EQ(diced.dimension_count(), 3u);
+  EXPECT_EQ(diced.total_records(), 4u);
+  EXPECT_EQ(diced.find({2012, 1, 101}), nullptr);
+  EXPECT_NE(diced.find({2013, 1, 100}), nullptr);
+}
+
+TEST(CubeTest, RollUpMergesCellsAtCoarserLevel) {
+  const OlapCube cube = sales_cube();
+  // Roll time up to the "triennium" level (granularity 3): 2012..2014 all
+  // map to 671 (2012/3 = 670, 2013/3=671, 2014/3=671).
+  const OlapCube rolled = cube.roll_up(0, 1);
+  EXPECT_EQ(rolled.dimension_count(), 3u);
+  EXPECT_EQ(rolled.total_records(), cube.total_records());
+  // 2013 & 2014 (region 1, product 100) merge: 2013/3 == 2014/3 == 671.
+  const CellAggregate* agg = rolled.find({671, 1, 100});
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->count, 2u);
+  EXPECT_DOUBLE_EQ(agg->sum, 9.0);
+}
+
+TEST(CubeTest, PivotReordersDimensions) {
+  const OlapCube cube = sales_cube();
+  const OlapCube pivoted = cube.pivot({2, 0, 1});
+  EXPECT_EQ(pivoted.dimension_count(), 3u);
+  EXPECT_EQ(pivoted.dimension(0).name(), "product");
+  const CellAggregate* agg = pivoted.find({100, 2012, 1});
+  ASSERT_NE(agg, nullptr);
+  EXPECT_DOUBLE_EQ(agg->sum, 10.0);
+  EXPECT_EQ(pivoted.cell_count(), cube.cell_count());
+}
+
+TEST(CubeTest, PivotRejectsNonPermutation) {
+  const OlapCube cube = sales_cube();
+  EXPECT_THROW(cube.pivot({0, 0, 1}), bohr::ContractViolation);
+  EXPECT_THROW(cube.pivot({0, 1}), bohr::ContractViolation);
+}
+
+TEST(CubeTest, ProjectBuildsDimensionCube) {
+  const OlapCube cube = sales_cube();
+  // Dimension cube over (product, time) — region aggregated away (§2.2).
+  const OlapCube dim_cube = cube.project({2, 0});
+  EXPECT_EQ(dim_cube.dimension_count(), 2u);
+  EXPECT_EQ(dim_cube.total_records(), cube.total_records());
+  const CellAggregate* agg = dim_cube.find({100, 2014});
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->count, 2u);  // regions 1 and 2 merged
+  EXPECT_DOUBLE_EQ(agg->sum, 5.0);
+}
+
+TEST(CubeTest, ProjectionPreservesTotalCount) {
+  const OlapCube cube = sales_cube();
+  for (std::size_t d = 0; d < 3; ++d) {
+    const OlapCube p = cube.project({d});
+    std::uint64_t total = 0;
+    for (const auto& [coords, agg] : p.cells()) total += agg.count;
+    EXPECT_EQ(total, cube.total_records());
+  }
+}
+
+TEST(CubeTest, TopCellsSortedByCountDeterministically) {
+  OlapCube cube({Dimension("k")});
+  for (int i = 0; i < 5; ++i) cube.insert({1}, 1.0);
+  for (int i = 0; i < 3; ++i) cube.insert({2}, 1.0);
+  cube.insert({3}, 1.0);
+  const auto top = cube.top_cells(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].coords, CellCoords{1});
+  EXPECT_EQ(top[0].agg.count, 5u);
+  EXPECT_EQ(top[1].coords, CellCoords{2});
+  // k=0 returns all.
+  EXPECT_EQ(cube.top_cells(0).size(), 3u);
+}
+
+TEST(CubeTest, CombineEffectiveness) {
+  OlapCube cube({Dimension("k")});
+  EXPECT_DOUBLE_EQ(cube.combine_effectiveness(), 0.0);
+  cube.insert({1}, 1.0);
+  cube.insert({2}, 1.0);
+  EXPECT_DOUBLE_EQ(cube.combine_effectiveness(), 0.0);  // all unique
+  cube.insert({1}, 1.0);
+  cube.insert({1}, 1.0);
+  // 4 records, 2 cells -> 0.5 of records removed by combining.
+  EXPECT_DOUBLE_EQ(cube.combine_effectiveness(), 0.5);
+}
+
+TEST(CubeTest, MergeAddsCellwise) {
+  OlapCube a({Dimension("k")});
+  a.insert({1}, 1.0);
+  OlapCube b({Dimension("k")});
+  b.insert({1}, 2.0);
+  b.insert({2}, 3.0);
+  a.merge(b);
+  EXPECT_EQ(a.total_records(), 3u);
+  EXPECT_EQ(a.find({1})->count, 2u);
+  EXPECT_DOUBLE_EQ(a.find({1})->sum, 3.0);
+}
+
+TEST(CubeTest, MemoryBytesGrowsWithCells) {
+  OlapCube cube({Dimension("k")});
+  const auto empty_bytes = cube.memory_bytes();
+  for (int i = 0; i < 100; ++i) cube.insert({static_cast<MemberId>(i)}, 1.0);
+  EXPECT_GT(cube.memory_bytes(), empty_bytes);
+}
+
+TEST(DimensionTest, HierarchyValidation) {
+  EXPECT_THROW(Dimension("d", {{"base", 2}}), bohr::ContractViolation);
+  EXPECT_THROW(Dimension("d", {{"base", 1}, {"l1", 1}}),
+               bohr::ContractViolation);
+  const Dimension ok("d", {{"base", 1}, {"month", 30}, {"year", 365}});
+  EXPECT_EQ(ok.level_count(), 3u);
+  EXPECT_EQ(ok.coarsen(400, 2), 1u);
+}
+
+TEST(DimensionTest, HashedCoarsenBuckets) {
+  const Dimension d("h", {{"base", 1}, {"bucket", 16}}, /*hashed=*/true);
+  EXPECT_EQ(d.coarsen(35, 1), 35u % 16u);
+}
+
+}  // namespace
+}  // namespace bohr::olap

@@ -1,0 +1,146 @@
+#include "olap/sql.h"
+
+#include <gtest/gtest.h>
+
+namespace bohr::olap {
+namespace {
+
+// (year, region, product) -> revenue, dimension names usable from SQL.
+OlapCube sales() {
+  OlapCube cube({Dimension("year"), Dimension("region"),
+                 Dimension("product")});
+  // Members are hashed exactly as CubeBuilder would hash row values, so
+  // SQL literals resolve to the same cells.
+  const auto txt = [](const char* name) {
+    return value_to_member(Value(std::string(name)));
+  };
+  const auto num = [](std::int64_t v) {
+    return value_to_member(Value(v));
+  };
+  cube.insert({num(2021), txt("emea"), num(1)}, 10.0);
+  cube.insert({num(2021), txt("emea"), num(1)}, 20.0);
+  cube.insert({num(2021), txt("apac"), num(1)}, 5.0);
+  cube.insert({num(2022), txt("emea"), num(2)}, 50.0);
+  cube.insert({num(2022), txt("apac"), num(2)}, 25.0);
+  cube.insert({num(2022), txt("apac"), num(3)}, 1.0);
+  return cube;
+}
+
+TEST(SqlParseTest, FullQueryParses) {
+  const SqlQuery q = parse_sql(
+      "SELECT sum(revenue) FROM sales WHERE year = 2022 AND region IN "
+      "('emea', 'apac') GROUP BY product HAVING count >= 1 ORDER BY value "
+      "DESC LIMIT 5");
+  EXPECT_EQ(q.aggregate, CubeAggregate::Sum);
+  EXPECT_EQ(q.aggregate_column, "revenue");
+  EXPECT_EQ(q.table, "sales");
+  ASSERT_EQ(q.predicates.size(), 2u);
+  EXPECT_EQ(q.predicates[0].column, "year");
+  EXPECT_EQ(q.predicates[1].values.size(), 2u);
+  EXPECT_EQ(q.group_by, (std::vector<std::string>{"product"}));
+  EXPECT_EQ(q.having_min_count, 1u);
+  EXPECT_TRUE(q.order_descending);
+  EXPECT_EQ(q.limit, 5u);
+}
+
+TEST(SqlParseTest, KeywordsAreCaseInsensitive) {
+  const SqlQuery q =
+      parse_sql("select COUNT(*) from t group by product");
+  EXPECT_EQ(q.aggregate, CubeAggregate::Count);
+  EXPECT_EQ(q.aggregate_column, "*");
+}
+
+TEST(SqlParseTest, AllAggregates) {
+  EXPECT_EQ(parse_sql("SELECT min(x) FROM t GROUP BY a").aggregate,
+            CubeAggregate::Min);
+  EXPECT_EQ(parse_sql("SELECT max(x) FROM t GROUP BY a").aggregate,
+            CubeAggregate::Max);
+  EXPECT_EQ(parse_sql("SELECT avg(x) FROM t GROUP BY a").aggregate,
+            CubeAggregate::Avg);
+}
+
+TEST(SqlParseTest, ErrorsCarryPosition) {
+  try {
+    parse_sql("SELECT nope(x) FROM t GROUP BY a");
+    FAIL() << "expected SqlError";
+  } catch (const SqlError& e) {
+    EXPECT_EQ(e.position(), 7u);
+  }
+}
+
+TEST(SqlParseTest, MalformedQueriesThrow) {
+  EXPECT_THROW(parse_sql(""), SqlError);
+  EXPECT_THROW(parse_sql("SELECT sum(x)"), SqlError);  // missing FROM
+  EXPECT_THROW(parse_sql("SELECT sum(x) FROM t GROUP BY"), SqlError);
+  EXPECT_THROW(parse_sql("SELECT sum(x) FROM t WHERE a > 3 GROUP BY a"),
+               SqlError);  // only = and IN
+  EXPECT_THROW(parse_sql("SELECT sum(x) FROM t GROUP BY a extra"),
+               SqlError);  // trailing tokens
+  EXPECT_THROW(parse_sql("SELECT sum(x) FROM t WHERE a = 'oops GROUP BY a"),
+               SqlError);  // unterminated string
+}
+
+TEST(SqlRunTest, GroupBySum) {
+  const auto rows =
+      run_sql(sales(), "SELECT sum(revenue) FROM sales GROUP BY product");
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(rows[0].value, 75.0);  // product 2
+  EXPECT_DOUBLE_EQ(rows[1].value, 35.0);  // product 1
+}
+
+TEST(SqlRunTest, WhereEqualsInteger) {
+  const auto rows = run_sql(
+      sales(),
+      "SELECT sum(revenue) FROM sales WHERE year = 2021 GROUP BY product");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].value, 35.0);
+}
+
+TEST(SqlRunTest, WhereStringLiteralMatchesHashedMember) {
+  const auto rows = run_sql(sales(),
+                            "SELECT sum(revenue) FROM sales WHERE region = "
+                            "'apac' GROUP BY product");
+  // apac: product 1 -> 5, product 2 -> 25, product 3 -> 1.
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(rows[0].value, 25.0);
+}
+
+TEST(SqlRunTest, InListAndLimit) {
+  const auto rows = run_sql(
+      sales(),
+      "SELECT count(*) FROM sales WHERE product IN (1, 2) GROUP BY year "
+      "ORDER BY value DESC LIMIT 1");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].value, 3.0);  // 2021 has 3 records of product 1
+}
+
+TEST(SqlRunTest, HavingFiltersThinGroups) {
+  const auto rows = run_sql(sales(),
+                            "SELECT sum(revenue) FROM sales GROUP BY "
+                            "product HAVING count >= 2");
+  ASSERT_EQ(rows.size(), 2u);  // product 3 (1 record) dropped
+}
+
+TEST(SqlRunTest, OrderAscending) {
+  const auto rows = run_sql(sales(),
+                            "SELECT sum(revenue) FROM sales GROUP BY "
+                            "product ORDER BY value ASC");
+  EXPECT_DOUBLE_EQ(rows.front().value, 1.0);
+}
+
+TEST(SqlRunTest, UnknownDimensionThrows) {
+  EXPECT_THROW(
+      run_sql(sales(), "SELECT sum(revenue) FROM sales GROUP BY nothere"),
+      SqlError);
+  EXPECT_THROW(run_sql(sales(),
+                       "SELECT sum(x) FROM sales WHERE bogus = 1 GROUP BY "
+                       "year"),
+               SqlError);
+}
+
+TEST(SqlRunTest, MissingGroupByThrows) {
+  EXPECT_THROW(run_sql(sales(), "SELECT sum(revenue) FROM sales"), SqlError);
+}
+
+}  // namespace
+}  // namespace bohr::olap

@@ -1,0 +1,89 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bohr::sim {
+namespace {
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(3.0, [&] { order.push_back(3); });
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.schedule_at(2.0, [&] { order.push_back(2); });
+  const double end = s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(end, 3.0);
+}
+
+TEST(SimulatorTest, FifoTieBreakAtEqualTimes) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(1.0, [&] { order.push_back(0); });
+  s.schedule_at(1.0, [&] { order.push_back(1); });
+  s.schedule_at(1.0, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SimulatorTest, HandlersCanScheduleMoreEvents) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(1.0, [&] {
+    ++fired;
+    s.schedule_after(0.5, [&] { ++fired; });
+  });
+  const double end = s.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(end, 1.5);
+}
+
+TEST(SimulatorTest, ClockAdvancesDuringRun) {
+  Simulator s;
+  double observed = -1.0;
+  s.schedule_at(2.5, [&] { observed = s.now(); });
+  s.run();
+  EXPECT_DOUBLE_EQ(observed, 2.5);
+}
+
+TEST(SimulatorTest, SchedulingInPastThrows) {
+  Simulator s;
+  s.schedule_at(5.0, [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(1.0, [] {}), ContractViolation);
+}
+
+TEST(SimulatorTest, NegativeDelayThrows) {
+  Simulator s;
+  EXPECT_THROW(s.schedule_after(-0.1, [] {}), ContractViolation);
+}
+
+TEST(SimulatorTest, RunUntilLeavesLaterEventsQueued) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(1.0, [&] { ++fired; });
+  s.schedule_at(10.0, [&] { ++fired; });
+  s.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.pending(), 1u);
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);
+  s.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, CountsProcessedEvents) {
+  Simulator s;
+  for (int i = 0; i < 10; ++i) s.schedule_at(i, [] {});
+  s.run();
+  EXPECT_EQ(s.events_processed(), 10u);
+}
+
+TEST(SimulatorTest, EmptyRunReturnsCurrentClock) {
+  Simulator s;
+  EXPECT_DOUBLE_EQ(s.run(), 0.0);
+}
+
+}  // namespace
+}  // namespace bohr::sim

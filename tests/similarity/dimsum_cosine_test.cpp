@@ -1,0 +1,183 @@
+#include "similarity/dimsum_cosine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "similarity/minhash.h"
+
+namespace bohr::similarity {
+namespace {
+
+/// Dense helper: rows[r][c] -> SparseRow list.
+std::vector<SparseRow> from_dense(
+    const std::vector<std::vector<double>>& dense) {
+  std::vector<SparseRow> rows;
+  for (const auto& r : dense) {
+    SparseRow row;
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (r[c] != 0.0) row.entries.emplace_back(c, r[c]);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+TEST(DimsumCosineTest, ExactMatchesClosedForm) {
+  // Columns: c0 = (1,0,2), c1 = (2,0,4) (parallel), c2 = (0,3,0)
+  // (orthogonal to both).
+  const auto rows = from_dense({{1, 2, 0}, {0, 0, 3}, {2, 4, 0}});
+  const SimilarityMatrix m = exact_column_cosine(rows, 3);
+  EXPECT_NEAR(m.get(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(m.get(0, 2), 0.0, 1e-12);
+  EXPECT_NEAR(m.get(1, 2), 0.0, 1e-12);
+}
+
+TEST(DimsumCosineTest, ExactOnRandomMatrix) {
+  Rng rng(9);
+  std::vector<std::vector<double>> dense(40, std::vector<double>(6, 0.0));
+  for (auto& row : dense) {
+    for (auto& v : row) {
+      if (rng.bernoulli(0.4)) v = rng.uniform(-2.0, 2.0);
+    }
+  }
+  const auto rows = from_dense(dense);
+  const SimilarityMatrix m = exact_column_cosine(rows, 6);
+  // Check one pair against the direct formula.
+  double dot = 0.0;
+  double n0 = 0.0;
+  double n1 = 0.0;
+  for (const auto& r : dense) {
+    dot += r[0] * r[1];
+    n0 += r[0] * r[0];
+    n1 += r[1] * r[1];
+  }
+  const double expected =
+      (n0 > 0 && n1 > 0) ? dot / std::sqrt(n0 * n1) : 0.0;
+  EXPECT_NEAR(m.get(0, 1), expected, 1e-9);
+}
+
+TEST(DimsumCosineTest, SampledEstimateIsClose) {
+  Rng rng(12);
+  // Tall matrix: 3000 rows, 5 columns, correlated pairs (0,1) and (2,3).
+  std::vector<SparseRow> rows;
+  for (int r = 0; r < 3000; ++r) {
+    SparseRow row;
+    const double base = rng.normal();
+    row.entries.emplace_back(0, base + 0.2 * rng.normal());
+    row.entries.emplace_back(1, base + 0.2 * rng.normal());
+    const double other = rng.normal();
+    row.entries.emplace_back(2, other);
+    row.entries.emplace_back(3, other + 0.3 * rng.normal());
+    row.entries.emplace_back(4, rng.normal());
+    rows.push_back(std::move(row));
+  }
+  const SimilarityMatrix truth = exact_column_cosine(rows, 5);
+  DimsumCosineParams params;
+  params.gamma = 1000.0;  // sampling probability ~0.3 at these norms
+  const auto result = dimsum_cosine(rows, 5, params);
+  EXPECT_GT(result.skipped, 0u);  // sampling actually pruned work
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = i + 1; j < 5; ++j) {
+      EXPECT_NEAR(result.matrix.get(i, j), truth.get(i, j), 0.12)
+          << i << "," << j;
+    }
+  }
+  // The correlated pairs must clearly rank above the noise pair.
+  EXPECT_GT(result.matrix.get(0, 1), 0.7);
+  EXPECT_GT(result.matrix.get(2, 3), 0.6);
+  EXPECT_LT(std::abs(result.matrix.get(0, 4)), 0.4);
+}
+
+TEST(DimsumCosineTest, HigherGammaExaminesMore) {
+  Rng rng(3);
+  std::vector<SparseRow> rows;
+  for (int r = 0; r < 500; ++r) {
+    SparseRow row;
+    for (std::size_t c = 0; c < 4; ++c) {
+      row.entries.emplace_back(c, rng.uniform(0.5, 2.0));
+    }
+    rows.push_back(std::move(row));
+  }
+  DimsumCosineParams low;
+  low.gamma = 0.5;
+  DimsumCosineParams high;
+  high.gamma = 100.0;
+  const auto a = dimsum_cosine(rows, 4, low);
+  const auto b = dimsum_cosine(rows, 4, high);
+  EXPECT_LT(a.emissions, b.emissions);
+}
+
+TEST(DimsumCosineTest, ZeroColumnSimilarityZero) {
+  const auto rows = from_dense({{1, 0}, {2, 0}});
+  const SimilarityMatrix m = exact_column_cosine(rows, 2);
+  EXPECT_DOUBLE_EQ(m.get(0, 1), 0.0);
+}
+
+TEST(DimsumCosineTest, DeterministicForSeed) {
+  Rng rng(5);
+  std::vector<SparseRow> rows;
+  for (int r = 0; r < 200; ++r) {
+    SparseRow row;
+    for (std::size_t c = 0; c < 3; ++c) {
+      row.entries.emplace_back(c, rng.uniform(0.1, 1.0));
+    }
+    rows.push_back(std::move(row));
+  }
+  DimsumCosineParams params;
+  params.gamma = 1.0;
+  params.seed = 99;
+  const auto a = dimsum_cosine(rows, 3, params);
+  const auto b = dimsum_cosine(rows, 3, params);
+  EXPECT_DOUBLE_EQ(a.matrix.get(0, 1), b.matrix.get(0, 1));
+  EXPECT_EQ(a.emissions, b.emissions);
+}
+
+TEST(BbitMinhashTest, CompressionPreservesEstimate) {
+  std::vector<std::uint64_t> xs;
+  std::vector<std::uint64_t> ys;
+  for (std::uint64_t i = 0; i < 300; ++i) xs.push_back(i);
+  for (std::uint64_t i = 150; i < 450; ++i) ys.push_back(i);
+  const auto full_x = MinHashSignature::of(xs, 512);
+  const auto full_y = MinHashSignature::of(ys, 512);
+  const double full_estimate = full_x.estimate_jaccard(full_y);
+
+  for (const std::size_t bits : {1u, 2u, 4u, 8u}) {
+    const auto bx = BbitSignature::of(full_x, bits);
+    const auto by = BbitSignature::of(full_y, bits);
+    EXPECT_NEAR(bx.estimate_jaccard(by), full_estimate, 0.12)
+        << bits << " bits";
+  }
+}
+
+TEST(BbitMinhashTest, IdenticalSetsEstimateOne) {
+  std::vector<std::uint64_t> keys{1, 2, 3, 4, 5};
+  const auto sig = MinHashSignature::of(keys, 128);
+  const auto b = BbitSignature::of(sig, 2);
+  EXPECT_DOUBLE_EQ(b.estimate_jaccard(b), 1.0);
+}
+
+TEST(BbitMinhashTest, WireBytesShrink) {
+  const auto sig =
+      MinHashSignature::of(std::vector<std::uint64_t>{1, 2, 3}, 128);
+  const auto b1 = BbitSignature::of(sig, 1);
+  const auto b8 = BbitSignature::of(sig, 8);
+  EXPECT_EQ(b1.wire_bytes(), 16u);   // 128 bits / 8
+  EXPECT_EQ(b8.wire_bytes(), 128u);  // 128 bytes
+  EXPECT_LT(b1.wire_bytes(), 128 * 8u);  // vs 1KiB for the full signature
+}
+
+TEST(BbitMinhashTest, MismatchedWidthsThrow) {
+  const auto sig =
+      MinHashSignature::of(std::vector<std::uint64_t>{1}, 16);
+  const auto b2 = BbitSignature::of(sig, 2);
+  const auto b4 = BbitSignature::of(sig, 4);
+  EXPECT_THROW(b2.estimate_jaccard(b4), bohr::ContractViolation);
+  EXPECT_THROW(BbitSignature::of(sig, 0), bohr::ContractViolation);
+  EXPECT_THROW(BbitSignature::of(sig, 17), bohr::ContractViolation);
+}
+
+}  // namespace
+}  // namespace bohr::similarity

@@ -1,0 +1,224 @@
+#include "similarity/dimsum.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "similarity/kmeans.h"
+#include "similarity/lsh.h"
+#include "similarity/metrics.h"
+
+namespace bohr::similarity {
+namespace {
+
+std::vector<std::uint64_t> iota_keys(std::uint64_t from, std::uint64_t count) {
+  std::vector<std::uint64_t> keys(count);
+  for (std::uint64_t i = 0; i < count; ++i) keys[i] = from + i;
+  return keys;
+}
+
+TEST(SimilarityMatrixTest, DiagonalIsOne) {
+  SimilarityMatrix m(4);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(m.get(i, i), 1.0);
+}
+
+TEST(SimilarityMatrixTest, SymmetricStorage) {
+  SimilarityMatrix m(5);
+  m.set(1, 3, 0.7);
+  EXPECT_DOUBLE_EQ(m.get(3, 1), 0.7);
+  m.set(4, 0, 0.2);
+  EXPECT_DOUBLE_EQ(m.get(0, 4), 0.2);
+}
+
+TEST(SimilarityMatrixTest, RowExtraction) {
+  SimilarityMatrix m(3);
+  m.set(0, 1, 0.5);
+  m.set(0, 2, 0.25);
+  const auto row = m.row(0);
+  EXPECT_EQ(row, (std::vector<double>{1.0, 0.5, 0.25}));
+}
+
+TEST(DimsumTest, ExactModeMatchesJaccard) {
+  std::vector<std::vector<std::uint64_t>> parts{
+      iota_keys(0, 100), iota_keys(50, 100), iota_keys(500, 100)};
+  DimsumParams params;
+  params.exact = true;
+  params.gamma = 1e9;  // examine everything
+  const auto result = dimsum_jaccard(parts, params);
+  EXPECT_DOUBLE_EQ(result.matrix.get(0, 1), jaccard(parts[0], parts[1]));
+  EXPECT_DOUBLE_EQ(result.matrix.get(0, 2), 0.0);
+  EXPECT_EQ(result.pairs_examined, 3u);
+  EXPECT_EQ(result.pairs_skipped, 0u);
+}
+
+TEST(DimsumTest, MinHashEstimateApproximatesTruth) {
+  std::vector<std::vector<std::uint64_t>> parts{iota_keys(0, 200),
+                                                iota_keys(100, 200)};
+  DimsumParams params;
+  params.num_hashes = 256;
+  params.gamma = 1e9;
+  const auto result = dimsum_jaccard(parts, params);
+  const double truth = jaccard(parts[0], parts[1]);
+  EXPECT_NEAR(result.matrix.get(0, 1), truth, 0.1);
+}
+
+TEST(DimsumTest, LowGammaPrunesDissimilarSizedPairs) {
+  // One huge and one tiny partition: ceiling = 10/10000, so with small
+  // gamma the pair is almost surely skipped.
+  std::vector<std::vector<std::uint64_t>> parts{iota_keys(0, 10000),
+                                                iota_keys(0, 10)};
+  DimsumParams params;
+  params.gamma = 0.5;
+  params.seed = 9;
+  const auto result = dimsum_jaccard(parts, params);
+  EXPECT_EQ(result.pairs_skipped, 1u);
+  EXPECT_DOUBLE_EQ(result.matrix.get(0, 1), 0.0);
+}
+
+TEST(DimsumTest, HighGammaExaminesEverything) {
+  std::vector<std::vector<std::uint64_t>> parts{
+      iota_keys(0, 50), iota_keys(0, 500), iota_keys(0, 5)};
+  DimsumParams params;
+  params.gamma = 1e12;
+  const auto result = dimsum_jaccard(parts, params);
+  EXPECT_EQ(result.pairs_examined, 3u);
+}
+
+TEST(DimsumTest, DeterministicForSeed) {
+  std::vector<std::vector<std::uint64_t>> parts;
+  for (int p = 0; p < 8; ++p) parts.push_back(iota_keys(p * 20, 60));
+  DimsumParams params;
+  params.gamma = 1.0;
+  params.seed = 1234;
+  const auto a = dimsum_jaccard(parts, params);
+  const auto b = dimsum_jaccard(parts, params);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    for (std::size_t j = 0; j < parts.size(); ++j) {
+      EXPECT_DOUBLE_EQ(a.matrix.get(i, j), b.matrix.get(i, j));
+    }
+  }
+  EXPECT_EQ(a.pairs_examined, b.pairs_examined);
+}
+
+TEST(DimsumTest, EmptyPartitionSkipped) {
+  std::vector<std::vector<std::uint64_t>> parts{{}, iota_keys(0, 10)};
+  DimsumParams params;
+  const auto result = dimsum_jaccard(parts, params);
+  EXPECT_DOUBLE_EQ(result.matrix.get(0, 1), 0.0);
+  EXPECT_EQ(result.pairs_skipped, 1u);
+}
+
+TEST(DimsumTest, SinglePartitionTrivial) {
+  std::vector<std::vector<std::uint64_t>> parts{iota_keys(0, 10)};
+  const auto result = dimsum_jaccard(parts, DimsumParams{});
+  EXPECT_EQ(result.matrix.size(), 1u);
+  EXPECT_EQ(result.pairs_examined, 0u);
+}
+
+TEST(LshTest, SimilarItemsBecomeCandidates) {
+  LshIndex index(8, 4);  // 32-hash signatures
+  const auto base = iota_keys(0, 100);
+  auto near = base;
+  near[0] = 9999;  // ~99% similar
+  index.insert(1, MinHashSignature::of(base, 32));
+  index.insert(2, MinHashSignature::of(near, 32));
+  const auto pairs = index.candidate_pairs();
+  ASSERT_EQ(pairs.size(), 1u);
+  const std::pair<std::uint64_t, std::uint64_t> expected{1, 2};
+  EXPECT_EQ(pairs[0], expected);
+}
+
+TEST(LshTest, DissimilarItemsRarelyCandidates) {
+  LshIndex index(4, 8);
+  index.insert(1, MinHashSignature::of(iota_keys(0, 100), 32));
+  index.insert(2, MinHashSignature::of(iota_keys(10000, 100), 32));
+  EXPECT_TRUE(index.candidate_pairs().empty());
+}
+
+TEST(LshTest, CandidatesQueryWithoutInsert) {
+  LshIndex index(8, 4);
+  const auto keys = iota_keys(0, 50);
+  index.insert(7, MinHashSignature::of(keys, 32));
+  const auto cands = index.candidates(MinHashSignature::of(keys, 32));
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_EQ(cands[0], 7u);
+}
+
+TEST(LshTest, SignatureLengthMismatchThrows) {
+  LshIndex index(4, 4);
+  EXPECT_THROW(index.insert(1, MinHashSignature(8)),
+               bohr::ContractViolation);
+}
+
+TEST(KMeansTest, SeparatesTwoObviousClusters) {
+  std::vector<std::vector<double>> points;
+  Rng rng(17);
+  for (int i = 0; i < 20; ++i) {
+    points.push_back({rng.normal(0.0, 0.1), rng.normal(0.0, 0.1)});
+  }
+  for (int i = 0; i < 20; ++i) {
+    points.push_back({rng.normal(10.0, 0.1), rng.normal(10.0, 0.1)});
+  }
+  KMeansParams params;
+  params.k = 2;
+  const auto result = kmeans(points, params);
+  // All of the first 20 share a cluster, all of the last 20 the other.
+  for (int i = 1; i < 20; ++i) {
+    EXPECT_EQ(result.assignments[i], result.assignments[0]);
+  }
+  for (int i = 21; i < 40; ++i) {
+    EXPECT_EQ(result.assignments[i], result.assignments[20]);
+  }
+  EXPECT_NE(result.assignments[0], result.assignments[20]);
+}
+
+TEST(KMeansTest, KEqualsPointsGivesSingletons) {
+  const std::vector<std::vector<double>> points{{0.0}, {1.0}, {2.0}};
+  KMeansParams params;
+  params.k = 3;
+  const auto result = kmeans(points, params);
+  EXPECT_EQ(result.assignments[0], 0u);
+  EXPECT_EQ(result.assignments[1], 1u);
+  EXPECT_EQ(result.assignments[2], 2u);
+  EXPECT_DOUBLE_EQ(result.inertia, 0.0);
+}
+
+TEST(KMeansTest, KLargerThanPointsClamped) {
+  const std::vector<std::vector<double>> points{{0.0}, {5.0}};
+  KMeansParams params;
+  params.k = 10;
+  const auto result = kmeans(points, params);
+  EXPECT_EQ(result.centroids.size(), 2u);
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  std::vector<std::vector<double>> points;
+  Rng rng(3);
+  for (int i = 0; i < 30; ++i) points.push_back({rng.uniform(), rng.uniform()});
+  KMeansParams params;
+  params.k = 4;
+  params.seed = 55;
+  const auto a = kmeans(points, params);
+  const auto b = kmeans(points, params);
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  std::vector<std::vector<double>> points;
+  Rng rng(29);
+  for (int i = 0; i < 60; ++i) {
+    points.push_back({rng.uniform(0, 10), rng.uniform(0, 10)});
+  }
+  KMeansParams p2;
+  p2.k = 2;
+  KMeansParams p8;
+  p8.k = 8;
+  EXPECT_GE(kmeans(points, p2).inertia, kmeans(points, p8).inertia);
+}
+
+TEST(KMeansTest, EmptyPointsThrow) {
+  EXPECT_THROW(kmeans({}, KMeansParams{}), bohr::ContractViolation);
+}
+
+}  // namespace
+}  // namespace bohr::similarity

@@ -1,0 +1,116 @@
+// bohr_sim — command-line driver for the Bohr experiment harness.
+//
+// Examples:
+//   bohr_sim --workload=bigdata --datasets=12 --schemes=iridium-c,bohr
+//   bohr_sim --workload=tpcds --placement=locality --runs=5 --csv
+//   bohr_sim --workload=facebook --probe-k=100 --lag=30 --seed=7
+//
+// Flags (defaults in brackets):
+//   --workload    bigdata | tpcds | facebook            [bigdata]
+//   --schemes     comma list of centralized,iridium,iridium-c,bohr-sim,
+//                 bohr-joint,bohr-rdd,bohr              [iridium,iridium-c,bohr]
+//   --datasets    dataset count                         [12]
+//   --rows        rows per site per dataset             [480]
+//   --gb-per-site total GB per site across datasets     [40]
+//   --bandwidth   base-tier uplink, MB/s                [125]
+//   --lag         seconds between recurring queries     [60]
+//   --probe-k     probe records per dataset             [30]
+//   --placement   random | locality                     [random]
+//   --executors   executors per machine                 [4]
+//   --seed        experiment seed                       [20181204]
+//   --runs        repeated runs (mean +/- std output)   [1]
+//   --csv         emit CSV instead of an aligned table
+#include <cstdio>
+#include <sstream>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "core/experiment.h"
+
+namespace {
+
+using namespace bohr;
+
+workload::WorkloadKind parse_workload(const std::string& name) {
+  if (name == "bigdata") return workload::WorkloadKind::BigData;
+  if (name == "tpcds") return workload::WorkloadKind::TpcDs;
+  if (name == "facebook") return workload::WorkloadKind::Facebook;
+  throw ContractViolation("unknown --workload=" + name);
+}
+
+core::Strategy parse_strategy(const std::string& name) {
+  if (name == "centralized") return core::Strategy::Centralized;
+  if (name == "iridium") return core::Strategy::Iridium;
+  if (name == "iridium-c") return core::Strategy::IridiumC;
+  if (name == "bohr-sim") return core::Strategy::BohrSim;
+  if (name == "bohr-joint") return core::Strategy::BohrJoint;
+  if (name == "bohr-rdd") return core::Strategy::BohrRdd;
+  if (name == "bohr") return core::Strategy::Bohr;
+  throw ContractViolation("unknown scheme '" + name + "'");
+}
+
+std::vector<core::Strategy> parse_schemes(const std::string& list) {
+  std::vector<core::Strategy> out;
+  std::stringstream stream(list);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.push_back(parse_strategy(item));
+  }
+  if (out.empty()) throw ContractViolation("--schemes resolved to nothing");
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Flags flags(argc, argv);
+
+    core::ExperimentConfig cfg;
+    cfg.workload = parse_workload(flags.get("workload", "bigdata"));
+    cfg.n_datasets = static_cast<std::size_t>(flags.get_int("datasets", 12));
+    cfg.generator.sites = 10;
+    cfg.generator.rows_per_site =
+        static_cast<std::size_t>(flags.get_int("rows", 480));
+    cfg.generator.gb_per_site =
+        flags.get_double("gb-per-site", 40.0) /
+        static_cast<double>(cfg.n_datasets);
+    cfg.generator.placement = flags.get("placement", "random") == "locality"
+                                  ? workload::InitialPlacement::LocalityAware
+                                  : workload::InitialPlacement::Random;
+    cfg.base_bandwidth = flags.get_double("bandwidth", 125.0) * 1e6;
+    cfg.lag_seconds = flags.get_double("lag", 60.0);
+    cfg.probe_k = static_cast<std::size_t>(flags.get_int("probe-k", 30));
+    cfg.job.machine.executors =
+        static_cast<std::size_t>(flags.get_int("executors", 4));
+    cfg.job.partition_records = 24;
+    cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 20181204));
+
+    const auto schemes =
+        parse_schemes(flags.get("schemes", "iridium,iridium-c,bohr"));
+    const auto runs = static_cast<std::size_t>(flags.get_int("runs", 1));
+    const bool csv = flags.get_bool("csv", false);
+
+    for (const auto& unknown : flags.unused()) {
+      std::fprintf(stderr, "error: unknown flag --%s\n", unknown.c_str());
+      return 2;
+    }
+
+    TablePrinter table({"scheme", "QCT mean (s)", "QCT std", "reduction mean (%)",
+                        "reduction std"});
+    for (const auto& outcome :
+         core::run_workload_repeated(cfg, schemes, runs)) {
+      table.add_row({core::to_string(outcome.strategy),
+                     TablePrinter::num(outcome.mean_qct_seconds, 3),
+                     TablePrinter::num(outcome.stddev_qct_seconds, 3),
+                     TablePrinter::num(outcome.mean_reduction_percent, 2),
+                     TablePrinter::num(outcome.stddev_reduction_percent, 2)});
+    }
+    std::printf("%s", csv ? table.to_csv().c_str()
+                          : table.to_string().c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
