@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_centralized.dir/bench_ablation_centralized.cpp.o"
+  "CMakeFiles/bench_ablation_centralized.dir/bench_ablation_centralized.cpp.o.d"
+  "bench_ablation_centralized"
+  "bench_ablation_centralized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_centralized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dimsum_gamma.dir/bench_ablation_dimsum_gamma.cpp.o"
+  "CMakeFiles/bench_ablation_dimsum_gamma.dir/bench_ablation_dimsum_gamma.cpp.o.d"
+  "bench_ablation_dimsum_gamma"
+  "bench_ablation_dimsum_gamma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dimsum_gamma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

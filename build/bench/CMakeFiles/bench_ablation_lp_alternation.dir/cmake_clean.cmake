@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lp_alternation.dir/bench_ablation_lp_alternation.cpp.o"
+  "CMakeFiles/bench_ablation_lp_alternation.dir/bench_ablation_lp_alternation.cpp.o.d"
+  "bench_ablation_lp_alternation"
+  "bench_ablation_lp_alternation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lp_alternation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_objectives.dir/bench_ablation_objectives.cpp.o"
+  "CMakeFiles/bench_ablation_objectives.dir/bench_ablation_objectives.cpp.o.d"
+  "bench_ablation_objectives"
+  "bench_ablation_objectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_objectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_components_qct.dir/bench_fig10_components_qct.cpp.o"
+  "CMakeFiles/bench_fig10_components_qct.dir/bench_fig10_components_qct.cpp.o.d"
+  "bench_fig10_components_qct"
+  "bench_fig10_components_qct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_components_qct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

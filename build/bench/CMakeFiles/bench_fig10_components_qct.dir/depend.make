@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10_components_qct.
+# This may be replaced when dependencies are built.

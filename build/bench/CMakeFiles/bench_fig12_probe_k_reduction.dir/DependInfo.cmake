@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig12_probe_k_reduction.cpp" "bench/CMakeFiles/bench_fig12_probe_k_reduction.dir/bench_fig12_probe_k_reduction.cpp.o" "gcc" "bench/CMakeFiles/bench_fig12_probe_k_reduction.dir/bench_fig12_probe_k_reduction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bohr_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bohr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/bohr_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bohr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/bohr_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bohr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/similarity/CMakeFiles/bohr_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bohr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/olap/CMakeFiles/bohr_olap.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bohr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_qct_random.dir/bench_fig6_qct_random.cpp.o"
+  "CMakeFiles/bench_fig6_qct_random.dir/bench_fig6_qct_random.cpp.o.d"
+  "bench_fig6_qct_random"
+  "bench_fig6_qct_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_qct_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_datareduction_random.dir/bench_fig8_datareduction_random.cpp.o"
+  "CMakeFiles/bench_fig8_datareduction_random.dir/bench_fig8_datareduction_random.cpp.o.d"
+  "bench_fig8_datareduction_random"
+  "bench_fig8_datareduction_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_datareduction_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_datareduction_locality.dir/bench_fig9_datareduction_locality.cpp.o"
+  "CMakeFiles/bench_fig9_datareduction_locality.dir/bench_fig9_datareduction_locality.cpp.o.d"
+  "bench_fig9_datareduction_locality"
+  "bench_fig9_datareduction_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_datareduction_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sensitivity_bandwidth.dir/bench_sensitivity_bandwidth.cpp.o"
+  "CMakeFiles/bench_sensitivity_bandwidth.dir/bench_sensitivity_bandwidth.cpp.o.d"
+  "bench_sensitivity_bandwidth"
+  "bench_sensitivity_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sensitivity_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sensitivity_scale.dir/bench_sensitivity_scale.cpp.o"
+  "CMakeFiles/bench_sensitivity_scale.dir/bench_sensitivity_scale.cpp.o.d"
+  "bench_sensitivity_scale"
+  "bench_sensitivity_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sensitivity_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

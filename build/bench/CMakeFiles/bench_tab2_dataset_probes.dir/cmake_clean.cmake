@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_dataset_probes.dir/bench_tab2_dataset_probes.cpp.o"
+  "CMakeFiles/bench_tab2_dataset_probes.dir/bench_tab2_dataset_probes.cpp.o.d"
+  "bench_tab2_dataset_probes"
+  "bench_tab2_dataset_probes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_dataset_probes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

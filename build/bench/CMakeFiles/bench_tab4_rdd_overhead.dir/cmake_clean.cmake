@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab4_rdd_overhead.dir/bench_tab4_rdd_overhead.cpp.o"
+  "CMakeFiles/bench_tab4_rdd_overhead.dir/bench_tab4_rdd_overhead.cpp.o.d"
+  "bench_tab4_rdd_overhead"
+  "bench_tab4_rdd_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_rdd_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

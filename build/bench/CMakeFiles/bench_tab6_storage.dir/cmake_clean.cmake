@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab6_storage.dir/bench_tab6_storage.cpp.o"
+  "CMakeFiles/bench_tab6_storage.dir/bench_tab6_storage.cpp.o.d"
+  "bench_tab6_storage"
+  "bench_tab6_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab6_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab7_dynamic.dir/bench_tab7_dynamic.cpp.o"
+  "CMakeFiles/bench_tab7_dynamic.dir/bench_tab7_dynamic.cpp.o.d"
+  "bench_tab7_dynamic"
+  "bench_tab7_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab7_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

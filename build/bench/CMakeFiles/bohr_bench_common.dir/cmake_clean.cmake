@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bohr_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/bohr_bench_common.dir/bench_common.cpp.o.d"
+  "libbohr_bench_common.a"
+  "libbohr_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bohr_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

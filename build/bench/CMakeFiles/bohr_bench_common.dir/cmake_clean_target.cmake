@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbohr_bench_common.a"
+)

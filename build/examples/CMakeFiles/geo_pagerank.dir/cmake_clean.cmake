@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_pagerank.dir/geo_pagerank.cpp.o"
+  "CMakeFiles/geo_pagerank.dir/geo_pagerank.cpp.o.d"
+  "geo_pagerank"
+  "geo_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

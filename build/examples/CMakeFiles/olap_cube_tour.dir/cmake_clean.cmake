@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_cube_tour.dir/olap_cube_tour.cpp.o"
+  "CMakeFiles/olap_cube_tour.dir/olap_cube_tour.cpp.o.d"
+  "olap_cube_tour"
+  "olap_cube_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_cube_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

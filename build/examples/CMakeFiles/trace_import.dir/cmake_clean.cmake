@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_import.dir/trace_import.cpp.o"
+  "CMakeFiles/trace_import.dir/trace_import.cpp.o.d"
+  "trace_import"
+  "trace_import.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_import.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

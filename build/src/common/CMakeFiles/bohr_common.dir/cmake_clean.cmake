@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bohr_common.dir/flags.cpp.o"
+  "CMakeFiles/bohr_common.dir/flags.cpp.o.d"
+  "CMakeFiles/bohr_common.dir/stats.cpp.o"
+  "CMakeFiles/bohr_common.dir/stats.cpp.o.d"
+  "CMakeFiles/bohr_common.dir/table.cpp.o"
+  "CMakeFiles/bohr_common.dir/table.cpp.o.d"
+  "CMakeFiles/bohr_common.dir/zipf.cpp.o"
+  "CMakeFiles/bohr_common.dir/zipf.cpp.o.d"
+  "libbohr_common.a"
+  "libbohr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bohr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/bohr_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/bohr_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/bohr_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/bohr_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/movement.cpp" "src/core/CMakeFiles/bohr_core.dir/movement.cpp.o" "gcc" "src/core/CMakeFiles/bohr_core.dir/movement.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "src/core/CMakeFiles/bohr_core.dir/placement.cpp.o" "gcc" "src/core/CMakeFiles/bohr_core.dir/placement.cpp.o.d"
+  "/root/repo/src/core/similarity_service.cpp" "src/core/CMakeFiles/bohr_core.dir/similarity_service.cpp.o" "gcc" "src/core/CMakeFiles/bohr_core.dir/similarity_service.cpp.o.d"
+  "/root/repo/src/core/state.cpp" "src/core/CMakeFiles/bohr_core.dir/state.cpp.o" "gcc" "src/core/CMakeFiles/bohr_core.dir/state.cpp.o.d"
+  "/root/repo/src/core/strategy.cpp" "src/core/CMakeFiles/bohr_core.dir/strategy.cpp.o" "gcc" "src/core/CMakeFiles/bohr_core.dir/strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bohr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/bohr_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/bohr_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bohr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/olap/CMakeFiles/bohr_olap.dir/DependInfo.cmake"
+  "/root/repo/build/src/similarity/CMakeFiles/bohr_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bohr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bohr_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

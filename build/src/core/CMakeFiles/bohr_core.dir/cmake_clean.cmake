@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bohr_core.dir/controller.cpp.o"
+  "CMakeFiles/bohr_core.dir/controller.cpp.o.d"
+  "CMakeFiles/bohr_core.dir/experiment.cpp.o"
+  "CMakeFiles/bohr_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/bohr_core.dir/movement.cpp.o"
+  "CMakeFiles/bohr_core.dir/movement.cpp.o.d"
+  "CMakeFiles/bohr_core.dir/placement.cpp.o"
+  "CMakeFiles/bohr_core.dir/placement.cpp.o.d"
+  "CMakeFiles/bohr_core.dir/similarity_service.cpp.o"
+  "CMakeFiles/bohr_core.dir/similarity_service.cpp.o.d"
+  "CMakeFiles/bohr_core.dir/state.cpp.o"
+  "CMakeFiles/bohr_core.dir/state.cpp.o.d"
+  "CMakeFiles/bohr_core.dir/strategy.cpp.o"
+  "CMakeFiles/bohr_core.dir/strategy.cpp.o.d"
+  "libbohr_core.a"
+  "libbohr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bohr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/combiner.cpp" "src/engine/CMakeFiles/bohr_engine.dir/combiner.cpp.o" "gcc" "src/engine/CMakeFiles/bohr_engine.dir/combiner.cpp.o.d"
+  "/root/repo/src/engine/dag_runner.cpp" "src/engine/CMakeFiles/bohr_engine.dir/dag_runner.cpp.o" "gcc" "src/engine/CMakeFiles/bohr_engine.dir/dag_runner.cpp.o.d"
+  "/root/repo/src/engine/job_runner.cpp" "src/engine/CMakeFiles/bohr_engine.dir/job_runner.cpp.o" "gcc" "src/engine/CMakeFiles/bohr_engine.dir/job_runner.cpp.o.d"
+  "/root/repo/src/engine/machine.cpp" "src/engine/CMakeFiles/bohr_engine.dir/machine.cpp.o" "gcc" "src/engine/CMakeFiles/bohr_engine.dir/machine.cpp.o.d"
+  "/root/repo/src/engine/partitioner.cpp" "src/engine/CMakeFiles/bohr_engine.dir/partitioner.cpp.o" "gcc" "src/engine/CMakeFiles/bohr_engine.dir/partitioner.cpp.o.d"
+  "/root/repo/src/engine/query.cpp" "src/engine/CMakeFiles/bohr_engine.dir/query.cpp.o" "gcc" "src/engine/CMakeFiles/bohr_engine.dir/query.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bohr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bohr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/olap/CMakeFiles/bohr_olap.dir/DependInfo.cmake"
+  "/root/repo/build/src/similarity/CMakeFiles/bohr_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bohr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

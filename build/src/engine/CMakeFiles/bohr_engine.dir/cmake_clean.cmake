@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bohr_engine.dir/combiner.cpp.o"
+  "CMakeFiles/bohr_engine.dir/combiner.cpp.o.d"
+  "CMakeFiles/bohr_engine.dir/dag_runner.cpp.o"
+  "CMakeFiles/bohr_engine.dir/dag_runner.cpp.o.d"
+  "CMakeFiles/bohr_engine.dir/job_runner.cpp.o"
+  "CMakeFiles/bohr_engine.dir/job_runner.cpp.o.d"
+  "CMakeFiles/bohr_engine.dir/machine.cpp.o"
+  "CMakeFiles/bohr_engine.dir/machine.cpp.o.d"
+  "CMakeFiles/bohr_engine.dir/partitioner.cpp.o"
+  "CMakeFiles/bohr_engine.dir/partitioner.cpp.o.d"
+  "CMakeFiles/bohr_engine.dir/query.cpp.o"
+  "CMakeFiles/bohr_engine.dir/query.cpp.o.d"
+  "libbohr_engine.a"
+  "libbohr_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bohr_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

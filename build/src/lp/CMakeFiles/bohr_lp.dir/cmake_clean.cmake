@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bohr_lp.dir/problem.cpp.o"
+  "CMakeFiles/bohr_lp.dir/problem.cpp.o.d"
+  "CMakeFiles/bohr_lp.dir/simplex.cpp.o"
+  "CMakeFiles/bohr_lp.dir/simplex.cpp.o.d"
+  "libbohr_lp.a"
+  "libbohr_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bohr_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bohr_net.dir/bandwidth_estimator.cpp.o"
+  "CMakeFiles/bohr_net.dir/bandwidth_estimator.cpp.o.d"
+  "CMakeFiles/bohr_net.dir/topology.cpp.o"
+  "CMakeFiles/bohr_net.dir/topology.cpp.o.d"
+  "CMakeFiles/bohr_net.dir/transfer.cpp.o"
+  "CMakeFiles/bohr_net.dir/transfer.cpp.o.d"
+  "libbohr_net.a"
+  "libbohr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bohr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/olap/cube.cpp" "src/olap/CMakeFiles/bohr_olap.dir/cube.cpp.o" "gcc" "src/olap/CMakeFiles/bohr_olap.dir/cube.cpp.o.d"
+  "/root/repo/src/olap/cube_builder.cpp" "src/olap/CMakeFiles/bohr_olap.dir/cube_builder.cpp.o" "gcc" "src/olap/CMakeFiles/bohr_olap.dir/cube_builder.cpp.o.d"
+  "/root/repo/src/olap/cube_io.cpp" "src/olap/CMakeFiles/bohr_olap.dir/cube_io.cpp.o" "gcc" "src/olap/CMakeFiles/bohr_olap.dir/cube_io.cpp.o.d"
+  "/root/repo/src/olap/cube_query.cpp" "src/olap/CMakeFiles/bohr_olap.dir/cube_query.cpp.o" "gcc" "src/olap/CMakeFiles/bohr_olap.dir/cube_query.cpp.o.d"
+  "/root/repo/src/olap/cube_store.cpp" "src/olap/CMakeFiles/bohr_olap.dir/cube_store.cpp.o" "gcc" "src/olap/CMakeFiles/bohr_olap.dir/cube_store.cpp.o.d"
+  "/root/repo/src/olap/dimension.cpp" "src/olap/CMakeFiles/bohr_olap.dir/dimension.cpp.o" "gcc" "src/olap/CMakeFiles/bohr_olap.dir/dimension.cpp.o.d"
+  "/root/repo/src/olap/schema.cpp" "src/olap/CMakeFiles/bohr_olap.dir/schema.cpp.o" "gcc" "src/olap/CMakeFiles/bohr_olap.dir/schema.cpp.o.d"
+  "/root/repo/src/olap/sql.cpp" "src/olap/CMakeFiles/bohr_olap.dir/sql.cpp.o" "gcc" "src/olap/CMakeFiles/bohr_olap.dir/sql.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bohr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

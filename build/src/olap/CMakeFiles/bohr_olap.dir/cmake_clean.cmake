@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bohr_olap.dir/cube.cpp.o"
+  "CMakeFiles/bohr_olap.dir/cube.cpp.o.d"
+  "CMakeFiles/bohr_olap.dir/cube_builder.cpp.o"
+  "CMakeFiles/bohr_olap.dir/cube_builder.cpp.o.d"
+  "CMakeFiles/bohr_olap.dir/cube_io.cpp.o"
+  "CMakeFiles/bohr_olap.dir/cube_io.cpp.o.d"
+  "CMakeFiles/bohr_olap.dir/cube_query.cpp.o"
+  "CMakeFiles/bohr_olap.dir/cube_query.cpp.o.d"
+  "CMakeFiles/bohr_olap.dir/cube_store.cpp.o"
+  "CMakeFiles/bohr_olap.dir/cube_store.cpp.o.d"
+  "CMakeFiles/bohr_olap.dir/dimension.cpp.o"
+  "CMakeFiles/bohr_olap.dir/dimension.cpp.o.d"
+  "CMakeFiles/bohr_olap.dir/schema.cpp.o"
+  "CMakeFiles/bohr_olap.dir/schema.cpp.o.d"
+  "CMakeFiles/bohr_olap.dir/sql.cpp.o"
+  "CMakeFiles/bohr_olap.dir/sql.cpp.o.d"
+  "libbohr_olap.a"
+  "libbohr_olap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bohr_olap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

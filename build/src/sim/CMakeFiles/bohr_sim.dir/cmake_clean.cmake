@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bohr_sim.dir/simulator.cpp.o"
+  "CMakeFiles/bohr_sim.dir/simulator.cpp.o.d"
+  "libbohr_sim.a"
+  "libbohr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bohr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

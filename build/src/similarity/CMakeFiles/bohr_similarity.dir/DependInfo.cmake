@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/similarity/dimsum.cpp" "src/similarity/CMakeFiles/bohr_similarity.dir/dimsum.cpp.o" "gcc" "src/similarity/CMakeFiles/bohr_similarity.dir/dimsum.cpp.o.d"
+  "/root/repo/src/similarity/dimsum_cosine.cpp" "src/similarity/CMakeFiles/bohr_similarity.dir/dimsum_cosine.cpp.o" "gcc" "src/similarity/CMakeFiles/bohr_similarity.dir/dimsum_cosine.cpp.o.d"
+  "/root/repo/src/similarity/kmeans.cpp" "src/similarity/CMakeFiles/bohr_similarity.dir/kmeans.cpp.o" "gcc" "src/similarity/CMakeFiles/bohr_similarity.dir/kmeans.cpp.o.d"
+  "/root/repo/src/similarity/lsh.cpp" "src/similarity/CMakeFiles/bohr_similarity.dir/lsh.cpp.o" "gcc" "src/similarity/CMakeFiles/bohr_similarity.dir/lsh.cpp.o.d"
+  "/root/repo/src/similarity/metrics.cpp" "src/similarity/CMakeFiles/bohr_similarity.dir/metrics.cpp.o" "gcc" "src/similarity/CMakeFiles/bohr_similarity.dir/metrics.cpp.o.d"
+  "/root/repo/src/similarity/minhash.cpp" "src/similarity/CMakeFiles/bohr_similarity.dir/minhash.cpp.o" "gcc" "src/similarity/CMakeFiles/bohr_similarity.dir/minhash.cpp.o.d"
+  "/root/repo/src/similarity/probe.cpp" "src/similarity/CMakeFiles/bohr_similarity.dir/probe.cpp.o" "gcc" "src/similarity/CMakeFiles/bohr_similarity.dir/probe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bohr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/olap/CMakeFiles/bohr_olap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

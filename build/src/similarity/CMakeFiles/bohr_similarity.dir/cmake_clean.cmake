@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bohr_similarity.dir/dimsum.cpp.o"
+  "CMakeFiles/bohr_similarity.dir/dimsum.cpp.o.d"
+  "CMakeFiles/bohr_similarity.dir/dimsum_cosine.cpp.o"
+  "CMakeFiles/bohr_similarity.dir/dimsum_cosine.cpp.o.d"
+  "CMakeFiles/bohr_similarity.dir/kmeans.cpp.o"
+  "CMakeFiles/bohr_similarity.dir/kmeans.cpp.o.d"
+  "CMakeFiles/bohr_similarity.dir/lsh.cpp.o"
+  "CMakeFiles/bohr_similarity.dir/lsh.cpp.o.d"
+  "CMakeFiles/bohr_similarity.dir/metrics.cpp.o"
+  "CMakeFiles/bohr_similarity.dir/metrics.cpp.o.d"
+  "CMakeFiles/bohr_similarity.dir/minhash.cpp.o"
+  "CMakeFiles/bohr_similarity.dir/minhash.cpp.o.d"
+  "CMakeFiles/bohr_similarity.dir/probe.cpp.o"
+  "CMakeFiles/bohr_similarity.dir/probe.cpp.o.d"
+  "libbohr_similarity.a"
+  "libbohr_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bohr_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/dataset.cpp" "src/workload/CMakeFiles/bohr_workload.dir/dataset.cpp.o" "gcc" "src/workload/CMakeFiles/bohr_workload.dir/dataset.cpp.o.d"
+  "/root/repo/src/workload/dynamic.cpp" "src/workload/CMakeFiles/bohr_workload.dir/dynamic.cpp.o" "gcc" "src/workload/CMakeFiles/bohr_workload.dir/dynamic.cpp.o.d"
+  "/root/repo/src/workload/query_mix.cpp" "src/workload/CMakeFiles/bohr_workload.dir/query_mix.cpp.o" "gcc" "src/workload/CMakeFiles/bohr_workload.dir/query_mix.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/workload/CMakeFiles/bohr_workload.dir/trace_io.cpp.o" "gcc" "src/workload/CMakeFiles/bohr_workload.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bohr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/olap/CMakeFiles/bohr_olap.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/bohr_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bohr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/similarity/CMakeFiles/bohr_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bohr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

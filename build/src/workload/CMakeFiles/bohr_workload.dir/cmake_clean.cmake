@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bohr_workload.dir/dataset.cpp.o"
+  "CMakeFiles/bohr_workload.dir/dataset.cpp.o.d"
+  "CMakeFiles/bohr_workload.dir/dynamic.cpp.o"
+  "CMakeFiles/bohr_workload.dir/dynamic.cpp.o.d"
+  "CMakeFiles/bohr_workload.dir/query_mix.cpp.o"
+  "CMakeFiles/bohr_workload.dir/query_mix.cpp.o.d"
+  "CMakeFiles/bohr_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/bohr_workload.dir/trace_io.cpp.o.d"
+  "libbohr_workload.a"
+  "libbohr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bohr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/centralized_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/centralized_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/controller_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/controller_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/motivating_example_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/motivating_example_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/movement_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/movement_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/placement_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/placement_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/state_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/state_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

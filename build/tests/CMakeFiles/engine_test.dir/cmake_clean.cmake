@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_test.dir/engine/combiner_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/combiner_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/engine/conservation_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/conservation_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/engine/dag_runner_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/dag_runner_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/engine/job_runner_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/job_runner_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/engine/machine_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/machine_test.cpp.o.d"
+  "CMakeFiles/engine_test.dir/engine/straggler_test.cpp.o"
+  "CMakeFiles/engine_test.dir/engine/straggler_test.cpp.o.d"
+  "engine_test"
+  "engine_test.pdb"
+  "engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/similarity_test.dir/similarity/dimsum_cosine_test.cpp.o"
+  "CMakeFiles/similarity_test.dir/similarity/dimsum_cosine_test.cpp.o.d"
+  "CMakeFiles/similarity_test.dir/similarity/dimsum_test.cpp.o"
+  "CMakeFiles/similarity_test.dir/similarity/dimsum_test.cpp.o.d"
+  "CMakeFiles/similarity_test.dir/similarity/metrics_test.cpp.o"
+  "CMakeFiles/similarity_test.dir/similarity/metrics_test.cpp.o.d"
+  "CMakeFiles/similarity_test.dir/similarity/probe_test.cpp.o"
+  "CMakeFiles/similarity_test.dir/similarity/probe_test.cpp.o.d"
+  "similarity_test"
+  "similarity_test.pdb"
+  "similarity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/similarity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

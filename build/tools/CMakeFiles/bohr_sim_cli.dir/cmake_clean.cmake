@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bohr_sim_cli.dir/bohr_sim.cpp.o"
+  "CMakeFiles/bohr_sim_cli.dir/bohr_sim.cpp.o.d"
+  "bohr_sim"
+  "bohr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bohr_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
