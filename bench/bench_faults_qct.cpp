@@ -1,0 +1,109 @@
+// Robustness: QCT degradation of every §8.1 scheme as WAN fault
+// intensity rises. At intensity x the plan schedules a site outage
+// (covering the probe exchange and the start of movement/shuffle), a
+// degraded link, probe-report loss, and one mid-flight flow kill, all
+// scaled by x. Intensity 0 is the pristine WAN — by the inert-plan
+// guarantee it must match the no-fault path exactly.
+//
+// Alongside the table, the epilogue emits a machine-readable JSON array
+// (one object per scheme x intensity) for downstream tooling.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "net/faults.h"
+
+namespace {
+
+using namespace bohr;
+using namespace bohr::bench;
+
+net::FaultPlan fault_plan(double intensity) {
+  net::FaultPlan plan;
+  if (intensity <= 0.0) return plan;
+  // Site 6 goes dark from t=0: its probes are lost, and movement /
+  // shuffle flows touching it must wait out the outage and retry.
+  plan.outages.push_back(net::OutageWindow{6, 0.0, 12.0 * intensity});
+  // Site 3's access link sags for the first 90 seconds of each phase.
+  plan.degradations.push_back(
+      net::LinkDegradation{3, 0.0, 90.0, 1.0 - 0.6 * intensity});
+  // Additionally lose a fraction of probe reports at random (stable
+  // hash, so every scheme sees the same losses).
+  plan.probe_loss_probability = 0.3 * intensity;
+  // One kill against everything in flight shortly into each phase.
+  plan.kills.push_back(net::FlowKill{2.0});
+  return plan;
+}
+
+struct Row {
+  double intensity;
+  std::string strategy;
+  double qct_seconds;
+  double bytes_moved;
+  std::size_t probe_pairs_lost;
+  std::size_t lp_fallbacks;
+  std::size_t retries;  // movement + shuffle
+  double shortfall_bytes;
+};
+std::vector<Row> g_rows;
+
+void BM_FaultIntensity(benchmark::State& state) {
+  const double intensity = static_cast<double>(state.range(0)) / 100.0;
+  auto cfg = bench_config(workload::WorkloadKind::BigData);
+  cfg.faults = fault_plan(intensity);
+  for (auto _ : state) {
+    const auto run = core::run_workload(cfg, all_strategies());
+    for (const core::Strategy s : all_strategies()) {
+      const core::StrategyOutcome& o = run.outcome(s);
+      Row row;
+      row.intensity = intensity;
+      row.strategy = core::to_string(s);
+      row.qct_seconds = o.avg_qct_seconds;
+      row.bytes_moved = o.prep.bytes_moved;
+      row.probe_pairs_lost = o.prep.faults.probe_pairs_lost;
+      row.lp_fallbacks = o.prep.faults.lp_fallbacks;
+      row.retries = o.prep.faults.movement_retries + o.shuffle_retries;
+      row.shortfall_bytes = o.prep.faults.deadline_shortfall_bytes;
+      g_rows.push_back(row);
+    }
+  }
+}
+BENCHMARK(BM_FaultIntensity)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1)
+    ->Arg(0)
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(100);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, [] {
+    ResultTable table({"intensity", "scheme", "QCT (s)", "moved (GB)",
+                       "probes lost", "LP fallbacks", "retries",
+                       "shortfall (GB)"});
+    for (const auto& row : g_rows) {
+      table.add_row({TablePrinter::num(row.intensity, 2), row.strategy,
+                     TablePrinter::num(row.qct_seconds, 2),
+                     TablePrinter::num(row.bytes_moved / 1e9, 2),
+                     TablePrinter::num(static_cast<double>(row.probe_pairs_lost), 0),
+                     TablePrinter::num(static_cast<double>(row.lp_fallbacks), 0),
+                     TablePrinter::num(static_cast<double>(row.retries), 0),
+                     TablePrinter::num(row.shortfall_bytes / 1e9, 2)});
+    }
+    table.print("Robustness: QCT vs fault intensity");
+
+    std::printf("JSON: [");
+    for (std::size_t i = 0; i < g_rows.size(); ++i) {
+      const Row& r = g_rows[i];
+      std::printf(
+          "%s{\"intensity\":%.2f,\"strategy\":\"%s\",\"qct_seconds\":%.6f,"
+          "\"bytes_moved\":%.0f,\"probe_pairs_lost\":%zu,"
+          "\"lp_fallbacks\":%zu,\"retries\":%zu,\"shortfall_bytes\":%.0f}",
+          i == 0 ? "" : ",", r.intensity, r.strategy.c_str(), r.qct_seconds,
+          r.bytes_moved, r.probe_pairs_lost, r.lp_fallbacks, r.retries,
+          r.shortfall_bytes);
+    }
+    std::printf("]\n");
+  });
+}

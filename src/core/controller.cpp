@@ -1,6 +1,8 @@
 #include "core/controller.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <utility>
 
 #include "common/check.h"
@@ -15,8 +17,11 @@ Controller::Controller(net::WanTopology topology,
     : topology_(std::move(topology)),
       datasets_(std::move(datasets)),
       options_(options),
+      probe_faults_(options.faults.restricted_to(net::kPhaseProbe)),
+      query_faults_(options.faults.restricted_to(net::kPhaseQuery)),
       rng_(options.seed) {
   BOHR_EXPECTS(!datasets_.empty());
+  options_.faults.validate();
   const StrategyTraits traits = traits_of(options_.strategy);
   for (const auto& d : datasets_) {
     BOHR_EXPECTS(d.site_count() == topology_.site_count());
@@ -108,53 +113,150 @@ const PrepareReport& Controller::prepare() {
   if (prepared_) return *prepared_;
   const StrategyTraits traits = traits_of(options_.strategy);
   PrepareReport report;
+  report.faults.outages_injected = options_.faults.outages.size();
+  report.faults.degradations_injected = options_.faults.degradations.size();
+  report.faults.kills_injected = options_.faults.kills.size();
 
   // 1. Similarity checking (§4) for cube-backed similarity strategies.
   if (traits.similarity_movement) {
+    SimilarityOptions sim_options = options_.similarity;
+    if (!probe_faults_.empty()) sim_options.faults = &probe_faults_;
     similarity_.reserve(datasets_.size());
     for (const auto& d : datasets_) {
-      DatasetSimilarity sim = check_similarity(d, options_.similarity);
+      DatasetSimilarity sim = check_similarity(d, sim_options);
       report.similarity_seconds += sim.checking_seconds;
       report.probe_bytes += sim.probe_bytes;
+      report.faults.probe_pairs_lost += sim.probe_pairs_lost;
       similarity_.push_back(std::move(sim));
     }
   }
 
   // 2. Placement: joint LP (§5), the Iridium heuristic, or §1's
-  // ship-everything strawman.
+  // ship-everything strawman. A joint LP that fails to converge (or is
+  // failure-injected) falls back to the Iridium heuristic — one rung
+  // down the degraded-mode ladder, never a crash.
   const PlacementProblem problem = build_placement_problem();
   if (centralizes(options_.strategy)) {
     report.decision = centralized_placement(problem);
   } else if (minimizes_bandwidth(options_.strategy)) {
     report.decision = geode_placement(problem);
   } else if (traits.joint_lp) {
-    report.decision = joint_lp_placement(problem);
+    PlacementDecision joint;
+    bool fall_back = options_.faults.lp_failure;
+    if (!fall_back) {
+      joint = joint_lp_placement(problem);
+      fall_back = !joint.lp_converged;
+    }
+    if (fall_back) {
+      const double lp_seconds = joint.lp_seconds;
+      report.decision = iridium_placement(problem);
+      report.decision.lp_seconds += lp_seconds;  // the failed attempt's cost
+      report.decision.lp_converged = false;
+      ++report.faults.lp_fallbacks;
+    } else {
+      report.decision = std::move(joint);
+    }
   } else {
     report.decision = iridium_placement(problem);
   }
 
   // 3. Movement in the lag before the next query (§3). All datasets
-  // move concurrently and share the WAN, so their flows are simulated
-  // together.
+  // move concurrently and share the WAN, so their flows are planned
+  // first and simulated together — the lag verdict sees the shared-WAN
+  // contention, not each dataset in isolation.
+  const net::FaultPlan move_faults =
+      options_.faults.restricted_to(net::kPhaseMovement);
+  // A faulted run must not pretend bytes that missed the deadline (or
+  // died with their flow) arrived; a pristine run keeps the historical
+  // behaviour unless truncation is explicitly requested.
+  const bool enforce =
+      options_.enforce_lag_deadline || !options_.faults.empty();
+
+  std::vector<MovementPlan> plans;
+  plans.reserve(datasets_.size());
   std::vector<net::Flow> all_flows;
+  std::vector<std::pair<std::size_t, std::size_t>> origin;  // dataset, flow
   for (std::size_t a = 0; a < datasets_.size(); ++a) {
     const DatasetSimilarity* sim =
         similarity_.empty() ? nullptr : &similarity_[a];
-    MovementReport moved = apply_movement(
-        datasets_[a], report.decision.move_bytes[a], sim,
-        traits.similarity_movement, topology_, options_.lag_seconds, rng_);
-    report.bytes_moved += moved.bytes_moved;
-    report.rows_moved += moved.rows_moved;
-    all_flows.insert(all_flows.end(), moved.flows.begin(), moved.flows.end());
+    plans.push_back(plan_movement(datasets_[a], report.decision.move_bytes[a],
+                                  sim, traits.similarity_movement, rng_));
+    for (std::size_t f = 0; f < plans.back().flows.size(); ++f) {
+      const PlannedFlow& pf = plans.back().flows[f];
+      all_flows.push_back(net::Flow{pf.src, pf.dst, pf.bytes, 0.0});
+      origin.emplace_back(a, f);
+    }
+  }
+
+  std::vector<std::vector<std::size_t>> delivered(datasets_.size());
+  for (std::size_t a = 0; a < datasets_.size(); ++a) {
+    delivered[a].assign(plans[a].flows.size(), 0);
   }
   if (!all_flows.empty()) {
-    for (const auto& r : net::simulate_flows(topology_, all_flows)) {
-      report.movement_seconds =
-          std::max(report.movement_seconds, r.finish_time);
+    const double deadline =
+        enforce ? options_.lag_seconds
+                : std::numeric_limits<double>::infinity();
+    const net::FaultSimReport sim = net::simulate_flows_with_faults(
+        topology_, all_flows, move_faults, deadline);
+    report.faults.movement_interruptions = sim.interruptions;
+    report.faults.movement_retries = sim.retries;
+    report.faults.movement_flows_failed = sim.failures;
+    report.movement_seconds = sim.makespan;
+    for (std::size_t f = 0; f < all_flows.size(); ++f) {
+      const auto [a, i] = origin[f];
+      const PlannedFlow& pf = plans[a].flows[i];
+      std::size_t rows = pf.row_indices.size();
+      if (enforce) {
+        const net::FaultyFlowResult& fr = sim.flows[f];
+        const bool landed_in_time =
+            fr.completed && fr.finish_time <= options_.lag_seconds + 1e-9;
+        if (!landed_in_time) {
+          rows = std::min(
+              rows, static_cast<std::size_t>(std::floor(
+                        fr.delivered_by_deadline /
+                            datasets_[a].bundle().bytes_per_row +
+                        1e-9)));
+        }
+      }
+      delivered[a][i] = rows;
     }
+  }
+
+  for (std::size_t a = 0; a < datasets_.size(); ++a) {
+    const AppliedMovement applied = apply_movement_plan(
+        datasets_[a], plans[a], enforce ? &delivered[a] : nullptr);
+    report.bytes_moved += applied.bytes_moved;
+    report.rows_moved += applied.rows_moved;
+    report.faults.rows_truncated += applied.rows_truncated;
+    report.faults.deadline_shortfall_bytes += applied.shortfall_bytes;
   }
   report.movement_within_lag =
       report.movement_seconds <= options_.lag_seconds + 1e-9;
+
+  // 4. If the deadline (or a dead flow) cut the plan short, the reduce
+  // placement was optimized for data that never arrived: record the
+  // shortfall honestly and re-solve task placement for what landed.
+  if (report.faults.rows_truncated > 0) {
+    std::vector<std::vector<std::vector<double>>> actual =
+        report.decision.move_bytes;
+    for (auto& per_dataset : actual) {
+      for (auto& row : per_dataset) std::fill(row.begin(), row.end(), 0.0);
+    }
+    for (std::size_t a = 0; a < datasets_.size(); ++a) {
+      for (std::size_t i = 0; i < plans[a].flows.size(); ++i) {
+        const PlannedFlow& pf = plans[a].flows[i];
+        actual[a][pf.src][pf.dst] +=
+            static_cast<double>(delivered[a][i]) *
+            datasets_[a].bundle().bytes_per_row;
+      }
+    }
+    const TaskPlacementResult replan = solve_task_placement(problem, actual);
+    report.decision.move_bytes = std::move(actual);
+    if (replan.optimal) {
+      report.decision.reduce_fractions = replan.reduce_fractions;
+      ++report.faults.movement_replans;
+    }
+  }
 
   prepared_ = std::move(report);
   return *prepared_;
@@ -191,6 +293,9 @@ std::vector<QueryExecution> Controller::run_all_queries() {
   // recurring queries the one placement serves.
   job.controller_overhead_seconds =
       prep.decision.lp_seconds / static_cast<double>(total_queries_);
+  // Query-phase faults hit the shuffle; the runner takes the pristine
+  // path when the projection has no WAN events.
+  job.faults = &query_faults_;
 
   std::vector<QueryExecution> executions;
   for (std::size_t a = 0; a < datasets_.size(); ++a) {

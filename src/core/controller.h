@@ -8,6 +8,7 @@
 
 #include "core/movement.h"
 
+#include "net/faults.h"
 #include "net/transfer.h"
 #include "core/placement.h"
 #include "core/similarity_service.h"
@@ -27,6 +28,41 @@ struct ControllerOptions {
   /// logical bytes_per_row into intermediate-record sizes.
   double physical_record_bytes = 256.0;
   std::uint64_t seed = 7;
+  /// Injected WAN/control-plane faults (empty plan = provably inert:
+  /// the pristine code path is taken everywhere).
+  net::FaultPlan faults;
+  /// Truncate movement at the lag deadline T and re-plan reduce tasks
+  /// for what actually landed. Forced on whenever `faults` is non-empty
+  /// (a faulted run must not pretend late bytes arrived); off by default
+  /// so the Centralized strawman keeps its defining ship-everything
+  /// behaviour.
+  bool enforce_lag_deadline = false;
+};
+
+/// Fault accounting for one controller run: what the plan injected and
+/// which degraded modes the control plane actually took.
+struct FaultReport {
+  // Injected by the plan.
+  std::size_t outages_injected = 0;
+  std::size_t degradations_injected = 0;
+  std::size_t kills_injected = 0;
+  // Fallbacks and recoveries taken.
+  std::size_t probe_pairs_lost = 0;   ///< pairs downgraded to agnostic
+  std::size_t lp_fallbacks = 0;       ///< joint LP -> Iridium heuristic
+  std::size_t movement_interruptions = 0;
+  std::size_t movement_retries = 0;
+  std::size_t movement_flows_failed = 0;  ///< abandoned after max retries
+  std::size_t movement_replans = 0;   ///< reduce placement re-solved
+  std::size_t rows_truncated = 0;     ///< planned rows cut by deadline
+  double deadline_shortfall_bytes = 0.0;
+
+  /// True when any degraded mode fired.
+  bool any_fallback() const {
+    return probe_pairs_lost > 0 || lp_fallbacks > 0 ||
+           movement_interruptions > 0 || movement_retries > 0 ||
+           movement_flows_failed > 0 || movement_replans > 0 ||
+           rows_truncated > 0;
+  }
 };
 
 /// What prepare() did before queries arrive.
@@ -38,6 +74,7 @@ struct PrepareReport {
   double bytes_moved = 0.0;
   std::size_t rows_moved = 0;
   bool movement_within_lag = true;
+  FaultReport faults;
 };
 
 /// Result of one recurring query type over one dataset.
@@ -90,6 +127,10 @@ class Controller {
   net::WanTopology topology_;
   std::vector<DatasetState> datasets_;
   ControllerOptions options_;
+  /// Phase projections of options_.faults (stable storage for the
+  /// pointers handed to the similarity service and job runner).
+  net::FaultPlan probe_faults_;
+  net::FaultPlan query_faults_;
   std::vector<DatasetSimilarity> similarity_;  // per dataset (if computed)
   std::optional<PrepareReport> prepared_;
   std::size_t total_queries_ = 0;

@@ -57,6 +57,8 @@ ControllerOptions make_controller_options(const ExperimentConfig& config,
   options.job = config.job;
   options.physical_record_bytes = config.physical_record_bytes;
   options.seed = hash_combine(config.seed, static_cast<int>(strategy));
+  options.faults = config.faults;
+  options.enforce_lag_deadline = config.enforce_lag_deadline;
   return options;
 }
 
@@ -156,6 +158,10 @@ WorkloadRun run_workload(const ExperimentConfig& config,
       }
       outcome.wan_shuffle_bytes += exec.result.wan_shuffle_bytes *
                                    static_cast<double>(exec.recurrences);
+      outcome.shuffle_retries +=
+          exec.result.shuffle_retries * exec.recurrences;
+      outcome.shuffle_flows_failed +=
+          exec.result.shuffle_flows_failed * exec.recurrences;
     }
     outcome.avg_qct_seconds = qct_all.mean();
     for (const auto& [kind, stats] : qct_kind) {

@@ -26,6 +26,10 @@ struct ExperimentConfig {
   engine::JobConfig job;
   double physical_record_bytes = 256.0;
   std::uint64_t seed = 1;
+  /// Injected WAN/control-plane faults; every scheme sees the same plan.
+  net::FaultPlan faults;
+  /// Truncate movement at the lag deadline (see ControllerOptions).
+  bool enforce_lag_deadline = false;
 
   net::WanTopology make_topology() const;
 };
@@ -42,6 +46,10 @@ struct StrategyOutcome {
   /// WAN bytes actually shuffled (after reduce placement).
   double wan_shuffle_bytes = 0.0;
   PrepareReport prep;
+  /// Shuffle-phase fault counters summed over the query mix
+  /// (recurrence-weighted like the byte counters above).
+  std::size_t shuffle_retries = 0;
+  std::size_t shuffle_flows_failed = 0;
 };
 
 /// One full workload comparison (one column group of Fig 6/7 plus the

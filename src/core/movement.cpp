@@ -88,20 +88,14 @@ std::vector<std::size_t> select_rows_for_move(
   return chosen;
 }
 
-MovementReport apply_movement(
-    DatasetState& state, const std::vector<std::vector<double>>& move_bytes,
-    const DatasetSimilarity* similarity, bool similarity_aware,
-    const net::WanTopology& topology, double lag_seconds, Rng& rng) {
+MovementPlan plan_movement(const DatasetState& state,
+                           const std::vector<std::vector<double>>& move_bytes,
+                           const DatasetSimilarity* similarity,
+                           bool similarity_aware, Rng& rng) {
   const std::size_t n = state.site_count();
   BOHR_EXPECTS(move_bytes.size() == n);
-  BOHR_EXPECTS(lag_seconds > 0.0);
 
-  MovementReport report;
-  std::vector<net::Flow> flows;
-
-  // Plan all sources first (indices into each source's current rows),
-  // then apply, so one source's removals don't invalidate another's plan.
-  std::vector<std::vector<DatasetState::MoveTarget>> plan(n);
+  MovementPlan plan;
   for (std::size_t src = 0; src < n; ++src) {
     std::vector<bool> taken(state.rows_at(src).size(), false);
     // Serve destinations in decreasing byte order so the best-matched
@@ -122,16 +116,68 @@ MovementReport apply_movement(
       if (indices.empty()) continue;
       const double bytes = static_cast<double>(indices.size()) *
                            state.bundle().bytes_per_row;
-      report.rows_moved += indices.size();
-      report.bytes_moved += bytes;
-      flows.push_back(net::Flow{src, dst, bytes, 0.0});
-      plan[src].push_back(DatasetState::MoveTarget{dst, std::move(indices)});
+      plan.planned_rows += indices.size();
+      plan.planned_bytes += bytes;
+      plan.flows.push_back(PlannedFlow{src, dst, bytes, std::move(indices)});
     }
   }
+  return plan;
+}
 
-  for (std::size_t src = 0; src < n; ++src) {
-    if (!plan[src].empty()) state.move_rows_multi(src, std::move(plan[src]));
+AppliedMovement apply_movement_plan(
+    DatasetState& state, const MovementPlan& plan,
+    const std::vector<std::size_t>* rows_delivered) {
+  BOHR_EXPECTS(rows_delivered == nullptr ||
+               rows_delivered->size() == plan.flows.size());
+  AppliedMovement applied;
+  const std::size_t n = state.site_count();
+  // Group per source so one source's removals don't invalidate another
+  // flow's indices (move_rows_multi handles all of a source at once).
+  std::vector<std::vector<DatasetState::MoveTarget>> per_src(n);
+  for (std::size_t f = 0; f < plan.flows.size(); ++f) {
+    const PlannedFlow& flow = plan.flows[f];
+    std::size_t keep = flow.row_indices.size();
+    if (rows_delivered != nullptr) {
+      keep = std::min(keep, (*rows_delivered)[f]);
+    }
+    applied.rows_truncated += flow.row_indices.size() - keep;
+    if (keep == 0) continue;
+    std::vector<std::size_t> indices(flow.row_indices.begin(),
+                                     flow.row_indices.begin() +
+                                         static_cast<std::ptrdiff_t>(keep));
+    applied.rows_moved += keep;
+    applied.bytes_moved +=
+        static_cast<double>(keep) * state.bundle().bytes_per_row;
+    per_src[flow.src].push_back(
+        DatasetState::MoveTarget{flow.dst, std::move(indices)});
   }
+  applied.shortfall_bytes = std::max(0.0, plan.planned_bytes -
+                                              applied.bytes_moved);
+  for (std::size_t src = 0; src < n; ++src) {
+    if (!per_src[src].empty()) {
+      state.move_rows_multi(src, std::move(per_src[src]));
+    }
+  }
+  return applied;
+}
+
+MovementReport apply_movement(
+    DatasetState& state, const std::vector<std::vector<double>>& move_bytes,
+    const DatasetSimilarity* similarity, bool similarity_aware,
+    const net::WanTopology& topology, double lag_seconds, Rng& rng) {
+  BOHR_EXPECTS(lag_seconds > 0.0);
+  const MovementPlan plan =
+      plan_movement(state, move_bytes, similarity, similarity_aware, rng);
+
+  MovementReport report;
+  std::vector<net::Flow> flows;
+  flows.reserve(plan.flows.size());
+  for (const auto& f : plan.flows) {
+    flows.push_back(net::Flow{f.src, f.dst, f.bytes, 0.0});
+  }
+  const AppliedMovement applied = apply_movement_plan(state, plan);
+  report.bytes_moved = applied.bytes_moved;
+  report.rows_moved = applied.rows_moved;
 
   if (!flows.empty()) {
     const auto results = net::simulate_flows(topology, flows);

@@ -1,6 +1,12 @@
 // Executing a placement decision: picking the concrete rows that leave
 // each site (similarity-aware or not) and accounting for the WAN cost of
 // moving them within the lag T.
+//
+// Movement is split into plan / simulate / apply so the controller can
+// collect every dataset's planned flows, simulate them TOGETHER on the
+// shared WAN (with or without injected faults), and only then apply the
+// rows that actually arrived — truncating per-flow to the delivered
+// prefix when the lag deadline cuts a transfer short.
 #pragma once
 
 #include <vector>
@@ -11,12 +17,39 @@
 
 namespace bohr::core {
 
+/// One planned WAN transfer: which of `src`'s rows leave for `dst`.
+struct PlannedFlow {
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  double bytes = 0.0;
+  /// Indices into state.rows_at(src), in delivery-priority order —
+  /// probe-matched clusters first, so a truncated prefix keeps the rows
+  /// that combine best at the receiver.
+  std::vector<std::size_t> row_indices;
+};
+
+/// A dataset's movement, planned but not yet applied.
+struct MovementPlan {
+  std::vector<PlannedFlow> flows;
+  double planned_bytes = 0.0;
+  std::size_t planned_rows = 0;
+};
+
+/// What applying a (possibly truncated) plan actually did.
+struct AppliedMovement {
+  double bytes_moved = 0.0;
+  std::size_t rows_moved = 0;
+  /// Planned-but-undelivered bytes (0 unless the plan was truncated).
+  double shortfall_bytes = 0.0;
+  std::size_t rows_truncated = 0;
+};
+
 struct MovementReport {
   double bytes_moved = 0.0;
   std::size_t rows_moved = 0;
   /// Simulated time for THIS dataset's flows alone (max-min shared WAN).
-  /// Movement of multiple datasets shares the WAN: collect the `flows`
-  /// of every dataset and simulate them together for the real figure.
+  /// The controller simulates all datasets' plans jointly instead; this
+  /// single-dataset figure remains for the standalone wrapper below.
   double movement_seconds = 0.0;
   /// Whether this dataset's movement alone fit into the lag.
   bool within_lag = true;
@@ -36,10 +69,26 @@ std::vector<std::size_t> select_rows_for_move(
     std::size_t max_rows, const DatasetSimilarity* similarity,
     bool similarity_aware, std::vector<bool>& taken, Rng& rng);
 
-/// Applies one dataset's movement matrix (move_bytes[src][dst]) to its
-/// state and returns what was moved. Movement happens "in the lag": the
-/// report says whether the simulated transfer finished within
-/// `lag_seconds`.
+/// Plans one dataset's movement matrix (move_bytes[src][dst]) without
+/// touching the state: which rows would leave each site, and the WAN
+/// flows that would carry them.
+MovementPlan plan_movement(const DatasetState& state,
+                           const std::vector<std::vector<double>>& move_bytes,
+                           const DatasetSimilarity* similarity,
+                           bool similarity_aware, Rng& rng);
+
+/// Applies a plan to the state. `rows_delivered`, when given, is
+/// index-aligned with plan.flows and caps each flow at its delivered
+/// prefix (lag-deadline truncation / fault-abandoned flows); null means
+/// everything landed.
+AppliedMovement apply_movement_plan(
+    DatasetState& state, const MovementPlan& plan,
+    const std::vector<std::size_t>* rows_delivered = nullptr);
+
+/// Plan + apply in one step for a single dataset, simulating only its
+/// own flows for the lag verdict. The controller's prepare() path uses
+/// the split API above instead; this remains for standalone callers
+/// (e.g. the dynamic-dataset experiment).
 MovementReport apply_movement(DatasetState& state,
                               const std::vector<std::vector<double>>& move_bytes,
                               const DatasetSimilarity* similarity,

@@ -523,13 +523,19 @@ PlacementDecision alternate_from(const PlacementProblem& problem,
     // x-step for fixed r.
     XStepResult x_step = solve_x_step(problem, decision.reduce_fractions);
     lp_iterations += x_step.iterations;
-    if (!x_step.optimal) break;
+    if (!x_step.optimal) {
+      decision.lp_converged = false;
+      break;
+    }
 
     // r-step for the new x.
     TaskPlacementResult r_step =
         solve_task_placement(problem, x_step.move_bytes);
     lp_iterations += r_step.iterations;
-    if (!r_step.optimal) break;
+    if (!r_step.optimal) {
+      decision.lp_converged = false;
+      break;
+    }
 
     PlacementDecision candidate;
     candidate.move_bytes = std::move(x_step.move_bytes);

@@ -47,6 +47,10 @@ struct PlacementDecision {
   /// Wall-clock LP solving time (Table 5) — 0 for the pure heuristic.
   double lp_seconds = 0.0;
   std::size_t lp_iterations = 0;
+  /// False when the alternating joint LP broke off on a non-optimal
+  /// simplex step (the controller then falls back to Iridium).
+  /// Heuristic placements are trivially converged.
+  bool lp_converged = true;
 
   double moved_bytes_total() const;
 };

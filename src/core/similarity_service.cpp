@@ -33,8 +33,19 @@ DatasetSimilarity check_similarity(const DatasetState& dataset,
   // it. (The paper sends probes from the bottleneck site; building them
   // everywhere lets the joint LP consider moving data out of any site.
   // Probes are tiny — k records — so the extra traffic is negligible.)
+  const net::FaultPlan* faults = options.faults;
   for (std::size_t i = 0; i < n; ++i) {
     if (dataset.rows_at(i).empty()) continue;
+    if (faults != nullptr && faults->site_dark_at(i, 0.0)) {
+      // A dark sender never ships a probe: every pair (i, *) times out
+      // and degrades to the similarity-agnostic assumption below.
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        result.pair[i][j] = result.self[j];
+        ++result.probe_pairs_lost;
+      }
+      continue;
+    }
     const similarity::Probe probe =
         options.random_probe_records
             ? similarity::build_probe_random(dataset.dataset_id(),
@@ -47,6 +58,17 @@ DatasetSimilarity check_similarity(const DatasetState& dataset,
     for (std::size_t j = 0; j < n; ++j) {
       if (j == i) continue;
       result.probe_bytes += static_cast<double>(probe.wire_bytes());
+      if (faults != nullptr &&
+          (faults->site_dark_at(j, 0.0) ||
+           faults->probe_lost(dataset.dataset_id(), i, j))) {
+        // Report lost in flight (the bytes were still spent). Degrade
+        // the pair to Eq. (1)'s assumption — data moved i -> j combines
+        // like local data — and leave movement for it unguided, exactly
+        // the similarity-agnostic baselines' behaviour.
+        result.pair[i][j] = result.self[j];
+        ++result.probe_pairs_lost;
+        continue;
+      }
       const similarity::ProbeEvaluation eval =
           similarity::evaluate_probe(probe, dataset.cubes_at(j));
       result.pair[i][j] = eval.similarity;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/state.h"
+#include "net/faults.h"
 
 namespace bohr::core {
 
@@ -25,6 +26,10 @@ struct DatasetSimilarity {
   double checking_seconds = 0.0;
   /// Total probe traffic on the WAN.
   double probe_bytes = 0.0;
+  /// (i, j) probe reports that never arrived (sender/receiver dark or
+  /// message lost). Each lost pair is downgraded to the Eq. (1)
+  /// similarity-agnostic assumption with no matched-cluster guidance.
+  std::size_t probe_pairs_lost = 0;
 };
 
 struct SimilarityOptions {
@@ -33,6 +38,10 @@ struct SimilarityOptions {
   /// Ablation: sample probe records uniformly instead of by cluster size.
   bool random_probe_records = false;
   std::uint64_t seed = 77;
+  /// Optional fault model for the probe exchange (not owned). Only the
+  /// probe-phase projection matters: outages at t=0 silence a site,
+  /// probe_lost drops individual reports. Null or empty = pristine.
+  const net::FaultPlan* faults = nullptr;
 };
 
 /// Runs the full probe exchange for a dataset. Requires cubes.

@@ -62,7 +62,22 @@ JobResult run_job(const net::WanTopology& topo,
       result.wan_shuffle_bytes += bytes;
     }
   }
-  const auto flow_results = net::simulate_flows(topo, flows);
+  std::vector<double> flow_finish(flows.size(), 0.0);
+  if (config.faults != nullptr && !config.faults->wan_quiet()) {
+    const net::FaultSimReport faulted =
+        net::simulate_flows_with_faults(topo, flows, *config.faults);
+    result.shuffle_interruptions = faulted.interruptions;
+    result.shuffle_retries = faulted.retries;
+    result.shuffle_flows_failed = faulted.failures;
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      flow_finish[f] = faulted.flows[f].finish_time;
+    }
+  } else {
+    const auto flow_results = net::simulate_flows(topo, flows);
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      flow_finish[f] = flow_results[f].finish_time;
+    }
+  }
 
   std::vector<double> shuffle_finish(n, 0.0);
   for (net::SiteId j = 0; j < n; ++j) {
@@ -73,7 +88,7 @@ JobResult run_job(const net::WanTopology& topo,
   }
   for (std::size_t f = 0; f < flows.size(); ++f) {
     shuffle_finish[flows[f].dst] =
-        std::max(shuffle_finish[flows[f].dst], flow_results[f].finish_time);
+        std::max(shuffle_finish[flows[f].dst], flow_finish[f]);
   }
 
   // ---- Reduce ------------------------------------------------------------

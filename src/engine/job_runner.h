@@ -9,6 +9,7 @@
 #include "engine/machine.h"
 #include "engine/partitioner.h"
 #include "engine/query.h"
+#include "net/faults.h"
 #include "net/topology.h"
 
 namespace bohr::engine {
@@ -23,6 +24,12 @@ struct JobConfig {
   /// Query-time controller overhead added to QCT (LP solving for the
   /// joint strategies; §8.5 includes it in QCT).
   double controller_overhead_seconds = 0.0;
+  /// Optional WAN fault model for the shuffle (not owned; the shuffle
+  /// clock starts at 0 when the first map finishes feeding it). Null or
+  /// WAN-quiet plans take the pristine simulator path. Shuffle flows cut
+  /// by an outage retry after recovery; retry and backoff time lands in
+  /// QCT via the flows' finish times.
+  const net::FaultPlan* faults = nullptr;
 };
 
 struct SiteJobMetrics {
@@ -44,6 +51,12 @@ struct JobResult {
   double total_shuffle_bytes() const;
   /// Bytes actually crossing the WAN given the reduce placement used.
   double wan_shuffle_bytes = 0.0;
+  /// Fault accounting for the shuffle (0 on the pristine path).
+  std::size_t shuffle_interruptions = 0;
+  std::size_t shuffle_retries = 0;
+  /// Shuffle flows abandoned after max retries: the reduce ran with
+  /// incomplete input — recorded, never silently dropped.
+  std::size_t shuffle_flows_failed = 0;
 };
 
 /// `site_inputs[i]` holds the already-mapped key/value stream at site i

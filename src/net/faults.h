@@ -1,0 +1,168 @@
+// Deterministic WAN fault injection: timed site outages, link
+// degradations, probe-message loss, and mid-flight flow kills, plus the
+// retry policy that governs how interrupted transfers recover.
+//
+// Faults are a *plan*, not a random process: every event is fixed up
+// front and probe loss is decided by a stable hash of (dataset, sender,
+// receiver, seed), so a faulted run is exactly as reproducible as a
+// clean one. An empty plan is guaranteed inert — `simulate_flows`
+// delegates to the same engine with an empty plan, so the no-fault path
+// is literally the same arithmetic.
+//
+// Times inside a plan are phase-local: the probe exchange, the movement
+// window, and each query's shuffle all start their own clock at 0.
+// Events carry a phase mask so one spec can target (say) only the probe
+// phase; `restricted_to` projects a plan onto one phase.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "net/topology.h"
+#include "net/transfer.h"
+
+namespace bohr::net {
+
+/// Wildcard site id for FlowKill endpoints ("any src"/"any dst").
+inline constexpr SiteId kAnySite = static_cast<SiteId>(-1);
+
+/// Phases of the recurring-query lifecycle a fault can apply to.
+enum FaultPhase : unsigned {
+  kPhaseProbe = 1u << 0,     ///< similarity probe exchange (§4.2)
+  kPhaseMovement = 1u << 1,  ///< pre-query data movement in the lag T
+  kPhaseQuery = 1u << 2,     ///< query-time shuffle
+  kPhaseAll = kPhaseProbe | kPhaseMovement | kPhaseQuery,
+};
+
+/// Site `site` is unreachable in [start, end): it neither sends nor
+/// receives, and in-flight flows touching it are interrupted at `start`.
+struct OutageWindow {
+  SiteId site = 0;
+  double start = 0.0;
+  double end = 0.0;
+  unsigned phases = kPhaseAll;
+};
+
+/// The site's access link runs at `factor` of its nominal capacity in
+/// [start, end). factor in [0, 1]; 0 behaves like an outage of the link.
+struct LinkDegradation {
+  SiteId site = 0;
+  double start = 0.0;
+  double end = 0.0;
+  double factor = 1.0;
+  bool uplink = true;
+  bool downlink = true;
+  unsigned phases = kPhaseAll;
+};
+
+/// Kill every in-flight flow matching (src, dst) at `time`; kAnySite
+/// matches any endpoint. Killed flows retry per the RetryPolicy.
+struct FlowKill {
+  double time = 0.0;
+  SiteId src = kAnySite;
+  SiteId dst = kAnySite;
+  unsigned phases = kPhaseAll;
+};
+
+/// How interrupted flows recover. An interrupted flow becomes eligible
+/// again at max(interruption + backoff, outage recovery); with `resume`
+/// it keeps the bytes already delivered, otherwise it restarts from
+/// zero. A flow interrupted more than `max_retries` times is abandoned
+/// (recorded as a failure, never a hang).
+struct RetryPolicy {
+  std::size_t max_retries = 8;
+  double backoff_base_seconds = 0.5;  ///< doubles per retry (exponential)
+  double backoff_cap_seconds = 60.0;
+  bool resume = true;
+};
+
+/// A full fault schedule plus the control-plane faults that have no
+/// timeline (probe loss probability, forced LP failure).
+struct FaultPlan {
+  std::vector<OutageWindow> outages;
+  std::vector<LinkDegradation> degradations;
+  std::vector<FlowKill> kills;
+  /// Per-probe-report loss probability in [0, 1]; decided by a stable
+  /// hash of (dataset, sender, receiver, seed) — no RNG draws.
+  double probe_loss_probability = 0.0;
+  /// Force the joint LP to report non-convergence (tests the Iridium
+  /// fallback without relying on simplex numerics).
+  bool lp_failure = false;
+  std::uint64_t seed = 0xB04AFA17u;
+  RetryPolicy retry;
+
+  /// True iff the plan injects nothing at all (the inert plan).
+  bool empty() const;
+  /// True iff no WAN-level events exist (the flow simulator's fast path
+  /// even when control-plane faults like lp_failure are set).
+  bool wan_quiet() const;
+  std::size_t event_count() const {
+    return outages.size() + degradations.size() + kills.size();
+  }
+
+  /// Projection of this plan onto one phase's local clock.
+  FaultPlan restricted_to(unsigned phase) const;
+
+  /// Is `site` inside an outage window at time `t`?
+  bool site_dark_at(SiteId site, double t) const;
+  /// Earliest time > t at which the end of an outage covering (site, t)
+  /// passes; returns `t` when the site is not dark.
+  double recovery_time(SiteId site, double t) const;
+  /// Capacity multipliers at time `t` (0 while the site is dark).
+  double uplink_factor(SiteId site, double t) const;
+  double downlink_factor(SiteId site, double t) const;
+  /// Next event edge (window start/end or kill time) strictly after `t`;
+  /// +inf when none remain.
+  double next_event_after(double t) const;
+  /// Stable-hash decision: is the probe report `from` -> `to` for
+  /// dataset `dataset_id` lost?
+  bool probe_lost(std::size_t dataset_id, SiteId from, SiteId to) const;
+
+  /// Throws ContractViolation unless every window is well-formed
+  /// (finite, end > start, factor in [0,1], probability in [0,1]).
+  void validate() const;
+};
+
+/// Parses the `--faults` mini-language. Clauses are ';'-separated:
+///   outage:site=S,start=A,end=B[,phases=P]
+///   degrade:site=S,start=A,end=B,factor=F[,link=up|down|both][,phases=P]
+///   kill:time=T[,src=S][,dst=S][,phases=P]
+///   probe-loss:p=F[,seed=N]
+///   retry:max=N,base=S[,cap=S][,mode=resume|restart]
+///   lp-failure
+/// where P is '+'-joined phase names from {probe, move, query}.
+/// Throws ContractViolation with a message naming the bad clause.
+FaultPlan parse_fault_plan(const std::string& spec);
+
+/// Per-flow outcome of a faulted simulation, index-aligned with input.
+struct FaultyFlowResult {
+  double finish_time = 0.0;  ///< completion, or abandonment time if failed
+  double mean_rate = 0.0;    ///< delivered bytes / wall duration
+  /// Bytes that reached the destination (== bytes when completed).
+  double delivered_bytes = 0.0;
+  /// Bytes that had reached the destination by the deadline.
+  double delivered_by_deadline = 0.0;
+  std::size_t retries = 0;
+  bool completed = true;
+};
+
+struct FaultSimReport {
+  std::vector<FaultyFlowResult> flows;
+  std::size_t interruptions = 0;  ///< outage/kill hits on in-flight flows
+  std::size_t retries = 0;        ///< re-attempts scheduled
+  std::size_t failures = 0;       ///< flows abandoned after max_retries
+  double makespan = 0.0;          ///< last finish (or abandonment) time
+};
+
+/// Fluid simulation under a fault plan: piecewise-constant link
+/// capacities, interrupted flows retrying under exponential backoff.
+/// With an empty plan and an infinite deadline this reproduces
+/// `simulate_flows` bit for bit. `deadline` only affects the
+/// delivered_by_deadline bookkeeping, never the dynamics.
+FaultSimReport simulate_flows_with_faults(
+    const WanTopology& topo, std::vector<Flow> flows, const FaultPlan& plan,
+    double deadline = std::numeric_limits<double>::infinity());
+
+}  // namespace bohr::net

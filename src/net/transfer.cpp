@@ -1,9 +1,11 @@
 #include "net/transfer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/check.h"
+#include "net/faults.h"
 
 namespace bohr::net {
 
@@ -17,17 +19,13 @@ std::size_t downlink_index(std::size_t site_count, SiteId s) {
   return site_count + s;
 }
 
-}  // namespace
-
-std::vector<double> max_min_rates(const WanTopology& topo,
-                                  const std::vector<Flow>& flows) {
-  const std::size_t n_sites = topo.site_count();
-  const std::size_t n_links = 2 * n_sites;
-  std::vector<double> capacity(n_links, 0.0);
-  for (SiteId s = 0; s < n_sites; ++s) {
-    capacity[uplink_index(s)] = topo.uplink(s);
-    capacity[downlink_index(n_sites, s)] = topo.downlink(s);
-  }
+/// Progressive filling against explicit per-link capacities (2S entries:
+/// uplinks then downlinks). Shared by the pristine and faulted paths so
+/// both see the identical allocation arithmetic.
+std::vector<double> max_min_rates_capacity(const std::vector<double>& capacity,
+                                           const std::vector<Flow>& flows) {
+  const std::size_t n_links = capacity.size();
+  const std::size_t n_sites = n_links / 2;
 
   std::vector<double> rates(flows.size(), 0.0);
   std::vector<bool> fixed(flows.size(), false);
@@ -45,6 +43,8 @@ std::vector<double> max_min_rates(const WanTopology& topo,
   // Progressive filling: raise the common rate `level` of all undetermined
   // flows until some link saturates; freeze flows on saturated links;
   // repeat. Each iteration freezes at least one flow, so it terminates.
+  // A zero-capacity link (site outage) saturates at level 0, freezing its
+  // flows at rate 0.
   double level = 0.0;
   while (undetermined > 0) {
     // For each link, the level at which it would saturate.
@@ -94,52 +94,166 @@ std::vector<double> max_min_rates(const WanTopology& topo,
   return rates;
 }
 
-std::vector<FlowResult> simulate_flows(const WanTopology& topo,
-                                       std::vector<Flow> flows) {
-  std::vector<FlowResult> results(flows.size());
+}  // namespace
+
+std::vector<double> max_min_rates(const WanTopology& topo,
+                                  const std::vector<Flow>& flows) {
+  const std::size_t n_sites = topo.site_count();
+  std::vector<double> capacity(2 * n_sites, 0.0);
+  for (SiteId s = 0; s < n_sites; ++s) {
+    capacity[uplink_index(s)] = topo.uplink(s);
+    capacity[downlink_index(n_sites, s)] = topo.downlink(s);
+  }
+  return max_min_rates_capacity(capacity, flows);
+}
+
+FaultSimReport simulate_flows_with_faults(const WanTopology& topo,
+                                          std::vector<Flow> flows,
+                                          const FaultPlan& plan,
+                                          double deadline) {
+  const std::size_t n_sites = topo.site_count();
+  plan.validate();
+
+  FaultSimReport report;
+  report.flows.assign(flows.size(), FaultyFlowResult{});
   std::vector<double> remaining(flows.size());
   std::vector<bool> done(flows.size(), false);
+  std::vector<bool> failed(flows.size(), false);
+  std::vector<std::size_t> attempts(flows.size(), 0);
+  // Time from which a flow may (re)transmit: its arrival, then pushed
+  // forward by backoff + outage recovery on each interruption.
+  std::vector<double> eligible(flows.size(), 0.0);
+  std::vector<bool> kill_fired(plan.kills.size(), false);
   std::size_t unfinished = 0;
   for (std::size_t f = 0; f < flows.size(); ++f) {
     BOHR_EXPECTS(flows[f].bytes >= 0.0);
     BOHR_EXPECTS(flows[f].start_time >= 0.0);
     remaining[f] = flows[f].bytes;
+    eligible[f] = flows[f].start_time;
     if (flows[f].bytes <= 0.0 || flows[f].src == flows[f].dst) {
       // Local or empty transfers never touch the WAN.
-      results[f].finish_time = flows[f].start_time;
-      results[f].mean_rate = 0.0;
+      report.flows[f].finish_time = flows[f].start_time;
+      report.flows[f].mean_rate = 0.0;
+      report.flows[f].delivered_bytes = flows[f].bytes;
+      report.flows[f].delivered_by_deadline = flows[f].bytes;
       done[f] = true;
     } else {
       ++unfinished;
     }
   }
 
-  double now = 0.0;
-  while (unfinished > 0) {
-    // Active = started and not done. Pending = not yet started.
-    std::vector<std::size_t> active_ids;
-    double next_arrival = kInf;
+  const bool have_deadline = deadline < kInf;
+  bool deadline_recorded = !have_deadline;
+  const auto snapshot_deadline = [&] {
     for (std::size_t f = 0; f < flows.size(); ++f) {
-      if (done[f]) continue;
-      if (flows[f].start_time <= now + 1e-15) {
-        active_ids.push_back(f);
+      if (done[f]) {
+        report.flows[f].delivered_by_deadline = flows[f].bytes;
+      } else if (plan.retry.resume) {
+        report.flows[f].delivered_by_deadline =
+            std::max(0.0, flows[f].bytes - remaining[f]);
       } else {
-        next_arrival = std::min(next_arrival, flows[f].start_time);
+        // Restart semantics: an attempt delivers nothing until it
+        // completes, so in-flight progress does not count.
+        report.flows[f].delivered_by_deadline = 0.0;
       }
     }
+    deadline_recorded = true;
+  };
+
+  const auto interrupt = [&](std::size_t f, double now) {
+    ++report.interruptions;
+    if (attempts[f] >= plan.retry.max_retries) {
+      failed[f] = true;
+      --unfinished;
+      ++report.failures;
+      report.flows[f].completed = false;
+      report.flows[f].finish_time = now;
+      report.flows[f].delivered_bytes =
+          plan.retry.resume ? std::max(0.0, flows[f].bytes - remaining[f])
+                            : 0.0;
+      return;
+    }
+    ++attempts[f];
+    ++report.retries;
+    ++report.flows[f].retries;
+    const double backoff =
+        std::min(plan.retry.backoff_base_seconds *
+                     std::pow(2.0, static_cast<double>(attempts[f] - 1)),
+                 plan.retry.backoff_cap_seconds);
+    double resume_at = now + backoff;
+    resume_at = std::max(resume_at, plan.recovery_time(flows[f].src, now));
+    resume_at = std::max(resume_at, plan.recovery_time(flows[f].dst, now));
+    eligible[f] = resume_at;
+    if (!plan.retry.resume) remaining[f] = flows[f].bytes;
+  };
+
+  double now = 0.0;
+  while (unfinished > 0) {
+    if (!deadline_recorded && now >= deadline - 1e-15) snapshot_deadline();
+
+    // Fire due kill events against in-flight flows.
+    for (std::size_t k = 0; k < plan.kills.size(); ++k) {
+      if (kill_fired[k] || plan.kills[k].time > now + 1e-15) continue;
+      kill_fired[k] = true;
+      for (std::size_t f = 0; f < flows.size(); ++f) {
+        if (done[f] || failed[f] || eligible[f] > now + 1e-15) continue;
+        const bool src_match =
+            plan.kills[k].src == kAnySite || plan.kills[k].src == flows[f].src;
+        const bool dst_match =
+            plan.kills[k].dst == kAnySite || plan.kills[k].dst == flows[f].dst;
+        if (src_match && dst_match) interrupt(f, now);
+      }
+    }
+    // A flow whose endpoint just went dark is interrupted (connection
+    // reset), even if it only became eligible inside the outage.
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      if (done[f] || failed[f] || eligible[f] > now + 1e-15) continue;
+      if (plan.site_dark_at(flows[f].src, now) ||
+          plan.site_dark_at(flows[f].dst, now)) {
+        interrupt(f, now);
+      }
+    }
+    if (unfinished == 0) break;
+
+    // Active = eligible and not finished. Pending = eligible later.
+    std::vector<std::size_t> active_ids;
+    double next_event = kInf;
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      if (done[f] || failed[f]) continue;
+      if (eligible[f] <= now + 1e-15) {
+        active_ids.push_back(f);
+      } else {
+        next_event = std::min(next_event, eligible[f]);
+      }
+    }
+    next_event = std::min(next_event, plan.next_event_after(now));
+    if (!deadline_recorded && deadline > now + 1e-15) {
+      next_event = std::min(next_event, deadline);
+    }
     if (active_ids.empty()) {
-      BOHR_CHECK(next_arrival < kInf);
-      now = next_arrival;
+      BOHR_CHECK(next_event < kInf);
+      now = next_event;
       continue;
+    }
+
+    // Effective capacities for this epoch (piecewise constant between
+    // fault boundaries; factor 1 reproduces the nominal value exactly).
+    std::vector<double> capacity(2 * n_sites, 0.0);
+    for (SiteId s = 0; s < n_sites; ++s) {
+      capacity[uplink_index(s)] =
+          topo.uplink(s) * plan.uplink_factor(s, now);
+      capacity[downlink_index(n_sites, s)] =
+          topo.downlink(s) * plan.downlink_factor(s, now);
     }
 
     std::vector<Flow> active;
     active.reserve(active_ids.size());
     for (const auto f : active_ids) active.push_back(flows[f]);
-    const std::vector<double> rates = max_min_rates(topo, active);
+    const std::vector<double> rates = max_min_rates_capacity(capacity, active);
 
-    // Earliest event: a completion among active flows or the next arrival.
-    double dt = next_arrival - now;
+    // Earliest event: a completion, an arrival/retry, a fault boundary,
+    // or the deadline snapshot point.
+    double dt = next_event - now;
     for (std::size_t k = 0; k < active_ids.size(); ++k) {
       if (rates[k] > 0.0) {
         dt = std::min(dt, remaining[active_ids[k]] / rates[k]);
@@ -154,12 +268,35 @@ std::vector<FlowResult> simulate_flows(const WanTopology& topo,
         remaining[f] = 0.0;
         done[f] = true;
         --unfinished;
-        results[f].finish_time = now + dt;
-        const double duration = results[f].finish_time - flows[f].start_time;
-        results[f].mean_rate = duration > 0.0 ? flows[f].bytes / duration : 0.0;
+        report.flows[f].finish_time = now + dt;
+        report.flows[f].delivered_bytes = flows[f].bytes;
+        const double duration =
+            report.flows[f].finish_time - flows[f].start_time;
+        report.flows[f].mean_rate =
+            duration > 0.0 ? flows[f].bytes / duration : 0.0;
       }
     }
     now += dt;
+  }
+  if (!deadline_recorded) snapshot_deadline();
+
+  for (const auto& fr : report.flows) {
+    report.makespan = std::max(report.makespan, fr.finish_time);
+  }
+  return report;
+}
+
+std::vector<FlowResult> simulate_flows(const WanTopology& topo,
+                                       std::vector<Flow> flows) {
+  // Delegate to the fault-aware engine with the inert plan: no events,
+  // no deadline — the arithmetic is exactly the historical simulator's.
+  const FaultPlan no_faults;
+  const FaultSimReport report =
+      simulate_flows_with_faults(topo, std::move(flows), no_faults);
+  std::vector<FlowResult> results(report.flows.size());
+  for (std::size_t f = 0; f < results.size(); ++f) {
+    results[f].finish_time = report.flows[f].finish_time;
+    results[f].mean_rate = report.flows[f].mean_rate;
   }
   return results;
 }

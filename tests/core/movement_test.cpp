@@ -157,6 +157,79 @@ TEST(MovementTest, SelectRowsRespectsTakenMarks) {
   }
 }
 
+TEST(MovementTest, SelectRowsNeverDoubleTakesPremarkedRows) {
+  // Regression: rows already promised to another destination (marked in
+  // `taken` by a previous call) must never be picked again — on either
+  // the similarity-aware or the agnostic path.
+  DatasetState state = make_state();
+  const auto sim = check_similarity(state, SimilarityOptions{30});
+  for (const bool aware : {false, true}) {
+    SCOPED_TRACE(aware ? "similarity-aware" : "agnostic");
+    std::vector<bool> taken(state.rows_at(0).size(), false);
+    std::size_t premarked = 0;
+    for (std::size_t i = 0; i < taken.size(); i += 3) {
+      taken[i] = true;  // already promised elsewhere
+      ++premarked;
+    }
+    Rng rng(11);
+    const auto chosen = select_rows_for_move(
+        state, 0, 1, /*max_rows=*/taken.size(), &sim, aware, taken, rng);
+    // Everything still free is selectable — and nothing more.
+    EXPECT_EQ(chosen.size(), taken.size() - premarked);
+    std::vector<bool> seen(taken.size(), false);
+    for (const auto idx : chosen) {
+      ASSERT_LT(idx, taken.size());
+      EXPECT_NE(idx % 3, 0u) << "re-took a premarked row";
+      EXPECT_FALSE(seen[idx]) << "row chosen twice in one call";
+      seen[idx] = true;
+      EXPECT_TRUE(taken[idx]);  // the mark is updated for the caller
+    }
+  }
+}
+
+TEST(MovementTest, PlanApplySplitMatchesLegacyWrapper) {
+  // plan_movement + apply_movement_plan with full delivery must act
+  // exactly like the one-shot wrapper (same RNG draw order, same rows).
+  std::vector<std::vector<double>> move(3, std::vector<double>(3, 0.0));
+  DatasetState a = make_state();
+  move[0][1] = 20 * a.bundle().bytes_per_row;
+  move[0][2] = 15 * a.bundle().bytes_per_row;
+  Rng rng_a(7);
+  const auto legacy =
+      apply_movement(a, move, nullptr, false, topo(), 1e9, rng_a);
+
+  DatasetState b = make_state();
+  Rng rng_b(7);
+  const MovementPlan plan = plan_movement(b, move, nullptr, false, rng_b);
+  const AppliedMovement applied = apply_movement_plan(b, plan);
+  EXPECT_EQ(applied.rows_moved, legacy.rows_moved);
+  EXPECT_DOUBLE_EQ(applied.bytes_moved, legacy.bytes_moved);
+  EXPECT_EQ(applied.rows_truncated, 0u);
+  EXPECT_DOUBLE_EQ(applied.shortfall_bytes, 0.0);
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(a.rows_at(s).size(), b.rows_at(s).size()) << "site " << s;
+  }
+}
+
+TEST(MovementTest, TruncatedApplyKeepsPriorityPrefixAndRecordsShortfall) {
+  DatasetState state = make_state();
+  const double bpr = state.bundle().bytes_per_row;
+  std::vector<std::vector<double>> move(3, std::vector<double>(3, 0.0));
+  move[0][1] = 10 * bpr;
+  Rng rng(3);
+  const MovementPlan plan = plan_movement(state, move, nullptr, false, rng);
+  ASSERT_EQ(plan.flows.size(), 1u);
+  ASSERT_EQ(plan.flows[0].row_indices.size(), 10u);
+  const std::size_t rows_before = state.rows_at(0).size();
+  const std::vector<std::size_t> delivered{4};  // deadline cut it short
+  const AppliedMovement applied =
+      apply_movement_plan(state, plan, &delivered);
+  EXPECT_EQ(applied.rows_moved, 4u);
+  EXPECT_EQ(applied.rows_truncated, 6u);
+  EXPECT_NEAR(applied.shortfall_bytes, 6 * bpr, 1.0);
+  EXPECT_EQ(state.rows_at(0).size(), rows_before - 4);
+}
+
 TEST(MovementTest, ZeroMatrixMovesNothing) {
   DatasetState state = make_state();
   std::vector<std::vector<double>> move(3, std::vector<double>(3, 0.0));

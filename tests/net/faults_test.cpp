@@ -1,0 +1,414 @@
+#include "net/faults.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace bohr::net {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+WanTopology two_sites(double cap = 10.0) {
+  return WanTopology({Site{"A", cap, cap}, Site{"B", cap, cap}});
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan helpers.
+
+TEST(FaultPlanTest, EmptyAndWanQuiet) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_TRUE(plan.wan_quiet());
+  EXPECT_EQ(plan.event_count(), 0u);
+
+  plan.lp_failure = true;
+  EXPECT_FALSE(plan.empty());
+  EXPECT_TRUE(plan.wan_quiet());  // lp_failure is control-plane only
+
+  plan.lp_failure = false;
+  plan.probe_loss_probability = 0.1;
+  EXPECT_FALSE(plan.empty());
+  EXPECT_TRUE(plan.wan_quiet());
+
+  plan.probe_loss_probability = 0.0;
+  plan.kills.push_back(FlowKill{2.0});
+  EXPECT_FALSE(plan.empty());
+  EXPECT_FALSE(plan.wan_quiet());
+  EXPECT_EQ(plan.event_count(), 1u);
+}
+
+TEST(FaultPlanTest, SiteDarkWindowsAreHalfOpen) {
+  FaultPlan plan;
+  plan.outages.push_back(OutageWindow{2, 1.0, 5.0});
+  EXPECT_FALSE(plan.site_dark_at(2, 0.5));
+  EXPECT_TRUE(plan.site_dark_at(2, 1.0));
+  EXPECT_TRUE(plan.site_dark_at(2, 4.999));
+  EXPECT_FALSE(plan.site_dark_at(2, 5.0));
+  EXPECT_FALSE(plan.site_dark_at(3, 2.0));  // other sites unaffected
+}
+
+TEST(FaultPlanTest, RecoveryTimeChasesOverlappingWindows) {
+  FaultPlan plan;
+  plan.outages.push_back(OutageWindow{2, 0.0, 5.0});
+  plan.outages.push_back(OutageWindow{2, 4.0, 9.0});
+  EXPECT_DOUBLE_EQ(plan.recovery_time(2, 1.0), 9.0);
+  // Not dark -> returns t unchanged.
+  EXPECT_DOUBLE_EQ(plan.recovery_time(2, 9.0), 9.0);
+  EXPECT_DOUBLE_EQ(plan.recovery_time(0, 1.0), 1.0);
+}
+
+TEST(FaultPlanTest, CapacityFactorsComposeWithOutages) {
+  FaultPlan plan;
+  plan.outages.push_back(OutageWindow{1, 0.0, 4.0});
+  plan.degradations.push_back(LinkDegradation{1, 0.0, 10.0, 0.5,
+                                              /*uplink=*/true,
+                                              /*downlink=*/false});
+  // Dark dominates everything.
+  EXPECT_DOUBLE_EQ(plan.uplink_factor(1, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(plan.downlink_factor(1, 2.0), 0.0);
+  // After recovery only the degraded direction is scaled.
+  EXPECT_DOUBLE_EQ(plan.uplink_factor(1, 5.0), 0.5);
+  EXPECT_DOUBLE_EQ(plan.downlink_factor(1, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(plan.uplink_factor(1, 10.0), 1.0);  // window closed
+}
+
+TEST(FaultPlanTest, NextEventAfterWalksAllEdges) {
+  FaultPlan plan;
+  plan.outages.push_back(OutageWindow{0, 1.0, 5.0});
+  plan.degradations.push_back(LinkDegradation{1, 3.0, 7.0, 0.5});
+  plan.kills.push_back(FlowKill{6.0});
+  EXPECT_DOUBLE_EQ(plan.next_event_after(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(plan.next_event_after(1.0), 3.0);  // strictly after
+  EXPECT_DOUBLE_EQ(plan.next_event_after(5.5), 6.0);
+  EXPECT_DOUBLE_EQ(plan.next_event_after(7.0), kInf);
+}
+
+TEST(FaultPlanTest, RestrictedToProjectsPhases) {
+  FaultPlan plan;
+  plan.outages.push_back(OutageWindow{0, 0.0, 5.0, kPhaseProbe});
+  plan.degradations.push_back(
+      LinkDegradation{1, 0.0, 5.0, 0.5, true, true, kPhaseQuery});
+  plan.kills.push_back(FlowKill{2.0});  // all phases
+  plan.probe_loss_probability = 0.2;
+  plan.lp_failure = true;
+
+  const FaultPlan probe = plan.restricted_to(kPhaseProbe);
+  EXPECT_EQ(probe.outages.size(), 1u);
+  EXPECT_EQ(probe.degradations.size(), 0u);
+  EXPECT_EQ(probe.kills.size(), 1u);
+  EXPECT_DOUBLE_EQ(probe.probe_loss_probability, 0.2);
+
+  const FaultPlan query = plan.restricted_to(kPhaseQuery);
+  EXPECT_EQ(query.outages.size(), 0u);
+  EXPECT_EQ(query.degradations.size(), 1u);
+  EXPECT_EQ(query.kills.size(), 1u);
+  // Probe loss is meaningless outside the probe exchange.
+  EXPECT_DOUBLE_EQ(query.probe_loss_probability, 0.0);
+  EXPECT_TRUE(query.lp_failure);  // control-plane flags survive projection
+
+  const FaultPlan move = plan.restricted_to(kPhaseMovement);
+  EXPECT_EQ(move.event_count(), 1u);  // only the wildcard kill
+}
+
+TEST(FaultPlanTest, ProbeLossIsDeterministicAndCalibrated) {
+  FaultPlan plan;
+  plan.probe_loss_probability = 0.35;
+  std::size_t lost = 0, total = 0;
+  for (std::size_t d = 0; d < 10; ++d) {
+    for (SiteId i = 0; i < 10; ++i) {
+      for (SiteId j = 0; j < 10; ++j) {
+        if (i == j) continue;
+        const bool first = plan.probe_lost(d, i, j);
+        EXPECT_EQ(first, plan.probe_lost(d, i, j));  // stable hash
+        lost += first ? 1u : 0u;
+        ++total;
+      }
+    }
+  }
+  const double fraction = static_cast<double>(lost) / total;
+  EXPECT_GT(fraction, 0.2);
+  EXPECT_LT(fraction, 0.5);
+
+  plan.probe_loss_probability = 0.0;
+  EXPECT_FALSE(plan.probe_lost(0, 0, 1));
+  plan.probe_loss_probability = 1.0;
+  EXPECT_TRUE(plan.probe_lost(0, 0, 1));
+
+  // A different seed must shuffle which pairs are lost.
+  FaultPlan reseeded;
+  reseeded.probe_loss_probability = 0.35;
+  reseeded.seed = plan.seed + 1;
+  std::size_t differs = 0;
+  for (SiteId i = 0; i < 10; ++i) {
+    for (SiteId j = 0; j < 10; ++j) {
+      plan.probe_loss_probability = 0.35;
+      if (plan.probe_lost(0, i, j) != reseeded.probe_lost(0, i, j)) ++differs;
+    }
+  }
+  EXPECT_GT(differs, 0u);
+}
+
+TEST(FaultPlanTest, ValidateRejectsMalformedWindows) {
+  FaultPlan plan;
+  plan.outages.push_back(OutageWindow{0, 5.0, 5.0});  // empty window
+  EXPECT_THROW(plan.validate(), ContractViolation);
+
+  plan.outages.clear();
+  plan.outages.push_back(OutageWindow{0, 0.0, kInf});  // would hang the sim
+  EXPECT_THROW(plan.validate(), ContractViolation);
+
+  plan.outages.clear();
+  plan.degradations.push_back(LinkDegradation{0, 0.0, 1.0, 1.5});
+  EXPECT_THROW(plan.validate(), ContractViolation);
+
+  plan.degradations.clear();
+  plan.probe_loss_probability = -0.1;
+  EXPECT_THROW(plan.validate(), ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Spec parser.
+
+TEST(FaultParseTest, ParsesFullGrammar) {
+  const FaultPlan plan = parse_fault_plan(
+      "outage:site=6,start=0,end=15,phases=probe+move;"
+      "degrade:site=3,start=1,end=4,factor=0.5,link=up;"
+      "kill:time=2,src=1;"
+      "probe-loss:p=0.3,seed=99;"
+      "retry:max=3,base=0.1,cap=2,mode=restart;"
+      "lp-failure");
+  ASSERT_EQ(plan.outages.size(), 1u);
+  EXPECT_EQ(plan.outages[0].site, 6u);
+  EXPECT_DOUBLE_EQ(plan.outages[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(plan.outages[0].end, 15.0);
+  EXPECT_EQ(plan.outages[0].phases, kPhaseProbe | kPhaseMovement);
+  ASSERT_EQ(plan.degradations.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.degradations[0].factor, 0.5);
+  EXPECT_TRUE(plan.degradations[0].uplink);
+  EXPECT_FALSE(plan.degradations[0].downlink);
+  EXPECT_EQ(plan.degradations[0].phases, kPhaseAll);
+  ASSERT_EQ(plan.kills.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.kills[0].time, 2.0);
+  EXPECT_EQ(plan.kills[0].src, 1u);
+  EXPECT_EQ(plan.kills[0].dst, kAnySite);
+  EXPECT_DOUBLE_EQ(plan.probe_loss_probability, 0.3);
+  EXPECT_EQ(plan.seed, 99u);
+  EXPECT_EQ(plan.retry.max_retries, 3u);
+  EXPECT_DOUBLE_EQ(plan.retry.backoff_base_seconds, 0.1);
+  EXPECT_DOUBLE_EQ(plan.retry.backoff_cap_seconds, 2.0);
+  EXPECT_FALSE(plan.retry.resume);
+  EXPECT_TRUE(plan.lp_failure);
+}
+
+TEST(FaultParseTest, EmptySpecIsInert) {
+  EXPECT_TRUE(parse_fault_plan("").empty());
+}
+
+TEST(FaultParseTest, RejectsMalformedClauses) {
+  // Unknown clause type.
+  EXPECT_THROW(parse_fault_plan("nonsense"), ContractViolation);
+  // Missing required key.
+  EXPECT_THROW(parse_fault_plan("outage:site=1,end=4"), ContractViolation);
+  // Unknown key.
+  EXPECT_THROW(parse_fault_plan("kill:time=2,wat=3"), ContractViolation);
+  // Empty window.
+  EXPECT_THROW(parse_fault_plan("outage:site=1,start=5,end=5"),
+               ContractViolation);
+  // Factor and probability ranges.
+  EXPECT_THROW(parse_fault_plan("degrade:site=0,start=0,end=1,factor=1.5"),
+               ContractViolation);
+  EXPECT_THROW(parse_fault_plan("probe-loss:p=2"), ContractViolation);
+  // Bad enumerations.
+  EXPECT_THROW(
+      parse_fault_plan("degrade:site=0,start=0,end=1,factor=0.5,link=sideways"),
+      ContractViolation);
+  EXPECT_THROW(parse_fault_plan("retry:max=1,base=0.1,mode=panic"),
+               ContractViolation);
+  EXPECT_THROW(parse_fault_plan("outage:site=1,start=0,end=2,phases=lunch"),
+               ContractViolation);
+  // Not a number / trailing junk.
+  EXPECT_THROW(parse_fault_plan("kill:time=soon"), ContractViolation);
+  EXPECT_THROW(parse_fault_plan("kill:time=2x"), ContractViolation);
+  // lp-failure takes no body.
+  EXPECT_THROW(parse_fault_plan("lp-failure:x=1"), ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Faulted flow simulation.
+
+TEST(FaultSimTest, EmptyPlanMatchesPristineSimulatorExactly) {
+  const WanTopology topo = make_paper_topology(1e6);
+  std::vector<Flow> flows;
+  for (SiteId i = 0; i < topo.site_count(); ++i) {
+    for (SiteId j = 0; j < topo.site_count(); ++j) {
+      flows.push_back(Flow{i, j, 5e5, static_cast<double>(i) * 0.25});
+    }
+  }
+  const auto pristine = simulate_flows(topo, flows);
+  const auto faulted = simulate_flows_with_faults(topo, flows, FaultPlan{});
+  ASSERT_EQ(faulted.flows.size(), pristine.size());
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    EXPECT_DOUBLE_EQ(faulted.flows[f].finish_time, pristine[f].finish_time);
+    EXPECT_DOUBLE_EQ(faulted.flows[f].mean_rate, pristine[f].mean_rate);
+    EXPECT_DOUBLE_EQ(faulted.flows[f].delivered_bytes, flows[f].bytes);
+    EXPECT_TRUE(faulted.flows[f].completed);
+    EXPECT_EQ(faulted.flows[f].retries, 0u);
+  }
+  EXPECT_EQ(faulted.interruptions, 0u);
+  EXPECT_EQ(faulted.retries, 0u);
+  EXPECT_EQ(faulted.failures, 0u);
+}
+
+TEST(FaultSimTest, FactorOneDegradationIsBitIdentical) {
+  // A factor-1.0 multiply is exact, so a "degradation" that changes
+  // nothing must reproduce the pristine trajectory bit for bit.
+  const WanTopology topo = WanTopology({Site{"A", 10, 1000},
+                                        Site{"B", 1000, 1000},
+                                        Site{"C", 1000, 1000}});
+  const std::vector<Flow> flows{{0, 1, 25, 0}, {0, 2, 75, 0}, {1, 2, 40, 0.5}};
+  FaultPlan plan;
+  plan.degradations.push_back(LinkDegradation{0, 0.0, 1e6, 1.0});
+  const auto pristine = simulate_flows(topo, flows);
+  const auto faulted = simulate_flows_with_faults(topo, flows, plan);
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    EXPECT_DOUBLE_EQ(faulted.flows[f].finish_time, pristine[f].finish_time);
+    EXPECT_DOUBLE_EQ(faulted.flows[f].mean_rate, pristine[f].mean_rate);
+  }
+}
+
+TEST(FaultSimTest, OutageDelaysFlowUntilRecovery) {
+  // Receiver dark in [0, 5): the flow is interrupted at activation and
+  // becomes eligible at recovery, then runs at the full 10 B/s.
+  FaultPlan plan;
+  plan.outages.push_back(OutageWindow{1, 0.0, 5.0});
+  const auto report =
+      simulate_flows_with_faults(two_sites(), {{0, 1, 50, 0}}, plan);
+  EXPECT_DOUBLE_EQ(report.flows[0].finish_time, 10.0);
+  EXPECT_DOUBLE_EQ(report.flows[0].delivered_bytes, 50.0);
+  EXPECT_TRUE(report.flows[0].completed);
+  EXPECT_EQ(report.flows[0].retries, 1u);
+  EXPECT_EQ(report.interruptions, 1u);
+  EXPECT_DOUBLE_EQ(report.makespan, 10.0);
+}
+
+TEST(FaultSimTest, DegradationSlowsButDoesNotInterrupt) {
+  // Sender uplink at 50% in [0, 2): 10 bytes land in the window, the
+  // remaining 40 at full rate. No retry is consumed.
+  FaultPlan plan;
+  plan.degradations.push_back(LinkDegradation{0, 0.0, 2.0, 0.5,
+                                              /*uplink=*/true,
+                                              /*downlink=*/false});
+  const auto report =
+      simulate_flows_with_faults(two_sites(), {{0, 1, 50, 0}}, plan);
+  EXPECT_DOUBLE_EQ(report.flows[0].finish_time, 6.0);
+  EXPECT_EQ(report.flows[0].retries, 0u);
+  EXPECT_EQ(report.interruptions, 0u);
+}
+
+TEST(FaultSimTest, ZeroFactorStallsWithoutConsumingRetries) {
+  // factor=0 parks the link (flows idle at rate 0) — unlike an outage it
+  // is not a connection reset, so no retry budget is spent.
+  FaultPlan plan;
+  plan.degradations.push_back(LinkDegradation{0, 0.0, 3.0, 0.0});
+  const auto report =
+      simulate_flows_with_faults(two_sites(), {{0, 1, 50, 0}}, plan);
+  EXPECT_DOUBLE_EQ(report.flows[0].finish_time, 8.0);
+  EXPECT_EQ(report.flows[0].retries, 0u);
+}
+
+TEST(FaultSimTest, KillTriggersBackoffThenResume) {
+  // Killed at t=2 with 20 bytes delivered; backoff 0.5s, then the
+  // remaining 30 bytes finish: 2 + 0.5 + 3 = 5.5.
+  FaultPlan plan;
+  plan.kills.push_back(FlowKill{2.0});
+  const auto report =
+      simulate_flows_with_faults(two_sites(), {{0, 1, 50, 0}}, plan);
+  EXPECT_DOUBLE_EQ(report.flows[0].finish_time, 5.5);
+  EXPECT_DOUBLE_EQ(report.flows[0].delivered_bytes, 50.0);
+  EXPECT_EQ(report.flows[0].retries, 1u);
+  EXPECT_EQ(report.retries, 1u);
+}
+
+TEST(FaultSimTest, RestartModeLosesInFlightProgress) {
+  // Same kill, but restart semantics re-send the full 50 bytes:
+  // 2 + 0.5 + 5 = 7.5.
+  FaultPlan plan;
+  plan.kills.push_back(FlowKill{2.0});
+  plan.retry.resume = false;
+  const auto report =
+      simulate_flows_with_faults(two_sites(), {{0, 1, 50, 0}}, plan);
+  EXPECT_DOUBLE_EQ(report.flows[0].finish_time, 7.5);
+  EXPECT_DOUBLE_EQ(report.flows[0].delivered_bytes, 50.0);
+}
+
+TEST(FaultSimTest, KillMatchesEndpointsSelectively) {
+  FaultPlan plan;
+  plan.kills.push_back(FlowKill{2.0, /*src=*/0, /*dst=*/1});
+  const auto report = simulate_flows_with_faults(
+      WanTopology({Site{"A", 10, 10}, Site{"B", 10, 10}, Site{"C", 10, 10}}),
+      {{0, 1, 50, 0}, {2, 1, 50, 0}}, plan);
+  EXPECT_EQ(report.flows[0].retries, 1u);   // matched
+  EXPECT_EQ(report.flows[1].retries, 0u);   // different src, spared
+  EXPECT_EQ(report.interruptions, 1u);
+}
+
+TEST(FaultSimTest, ExhaustedRetriesRecordFailureNotHang) {
+  // Three outage windows hit the flow; max_retries=1 means the third
+  // interruption abandons it with the 5 bytes delivered between windows.
+  FaultPlan plan;
+  plan.outages.push_back(OutageWindow{1, 0.0, 10.0});
+  plan.outages.push_back(OutageWindow{1, 10.5, 50.0});
+  plan.outages.push_back(OutageWindow{1, 51.0, 90.0});
+  plan.retry.max_retries = 1;
+  plan.retry.backoff_base_seconds = 0.25;
+  const auto report =
+      simulate_flows_with_faults(two_sites(), {{0, 1, 100, 0}}, plan);
+  EXPECT_FALSE(report.flows[0].completed);
+  EXPECT_DOUBLE_EQ(report.flows[0].finish_time, 10.5);  // abandonment time
+  EXPECT_DOUBLE_EQ(report.flows[0].delivered_bytes, 5.0);
+  EXPECT_EQ(report.flows[0].retries, 1u);
+  EXPECT_EQ(report.failures, 1u);
+  EXPECT_EQ(report.interruptions, 2u);
+  EXPECT_DOUBLE_EQ(report.makespan, 10.5);
+}
+
+TEST(FaultSimTest, DeadlineSnapshotsDeliveredBytes) {
+  // The deadline never changes the dynamics — it only records how much
+  // had landed by then: 40 of 100 bytes at t=4, full delivery at t=10.
+  const auto report = simulate_flows_with_faults(
+      two_sites(), {{0, 1, 100, 0}}, FaultPlan{}, /*deadline=*/4.0);
+  EXPECT_DOUBLE_EQ(report.flows[0].delivered_by_deadline, 40.0);
+  EXPECT_DOUBLE_EQ(report.flows[0].finish_time, 10.0);
+  EXPECT_DOUBLE_EQ(report.flows[0].delivered_bytes, 100.0);
+  EXPECT_TRUE(report.flows[0].completed);
+}
+
+TEST(FaultSimTest, RestartModeCountsNothingUntilCompletion) {
+  // Under restart semantics an attempt that has not completed by the
+  // deadline has delivered nothing durable.
+  FaultPlan plan;
+  plan.retry.resume = false;
+  const auto report = simulate_flows_with_faults(
+      two_sites(), {{0, 1, 100, 0}, {0, 1, 10, 0}}, plan, /*deadline=*/4.0);
+  EXPECT_DOUBLE_EQ(report.flows[0].delivered_by_deadline, 0.0);
+  // The small flow shares the uplink (5 B/s each), completes at t=2 —
+  // before the deadline, so its bytes count in full.
+  EXPECT_DOUBLE_EQ(report.flows[1].delivered_by_deadline, 10.0);
+}
+
+TEST(FaultSimTest, LocalAndEmptyFlowsBypassTheWan) {
+  FaultPlan plan;
+  plan.outages.push_back(OutageWindow{0, 0.0, 100.0});
+  const auto report = simulate_flows_with_faults(
+      two_sites(), {{0, 0, 50, 3.0}, {0, 1, 0.0, 2.0}}, plan);
+  EXPECT_DOUBLE_EQ(report.flows[0].finish_time, 3.0);
+  EXPECT_DOUBLE_EQ(report.flows[1].finish_time, 2.0);
+  EXPECT_EQ(report.interruptions, 0u);
+}
+
+}  // namespace
+}  // namespace bohr::net

@@ -4,49 +4,69 @@
 //   bohr_sim --workload=bigdata --datasets=12 --schemes=iridium-c,bohr
 //   bohr_sim --workload=tpcds --placement=locality --runs=5 --csv
 //   bohr_sim --workload=facebook --probe-k=100 --lag=30 --seed=7
-//
-// Flags (defaults in brackets):
-//   --workload    bigdata | tpcds | facebook            [bigdata]
-//   --schemes     comma list of centralized,iridium,iridium-c,bohr-sim,
-//                 bohr-joint,bohr-rdd,bohr              [iridium,iridium-c,bohr]
-//   --datasets    dataset count                         [12]
-//   --rows        rows per site per dataset             [480]
-//   --gb-per-site total GB per site across datasets     [40]
-//   --bandwidth   base-tier uplink, MB/s                [125]
-//   --lag         seconds between recurring queries     [60]
-//   --probe-k     probe records per dataset             [30]
-//   --placement   random | locality                     [random]
-//   --executors   executors per machine                 [4]
-//   --seed        experiment seed                       [20181204]
-//   --runs        repeated runs (mean +/- std output)   [1]
-//   --csv         emit CSV instead of an aligned table
+//   bohr_sim --faults='outage:site=6,start=0,end=15;probe-loss:p=0.3'
 #include <cstdio>
 #include <sstream>
 
 #include "common/flags.h"
 #include "common/table.h"
 #include "core/experiment.h"
+#include "net/faults.h"
 
 namespace {
 
 using namespace bohr;
 
+constexpr const char* kUsage = R"(usage: bohr_sim [flags]
+
+Flags (defaults in brackets):
+  --workload    bigdata | tpcds | facebook            [bigdata]
+  --schemes     comma list of centralized,iridium,iridium-c,bohr-sim,
+                bohr-joint,bohr-rdd,bohr              [iridium,iridium-c,bohr]
+  --datasets    dataset count (> 0)                   [12]
+  --rows        rows per site per dataset (> 0)       [480]
+  --gb-per-site total GB per site across datasets     [40]
+  --bandwidth   base-tier uplink, MB/s (> 0)          [125]
+  --lag         seconds between recurring queries     [60]
+  --probe-k     probe records per dataset (> 0)       [30]
+  --placement   random | locality                     [random]
+  --executors   executors per machine (> 0)           [4]
+  --seed        experiment seed                       [20181204]
+  --runs        repeated runs (mean +/- std output)   [1]
+  --csv         emit CSV instead of an aligned table
+  --enforce-lag truncate movement at the lag deadline
+  --faults      ';'-joined fault clauses, e.g.
+                outage:site=S,start=A,end=B[,phases=probe+move+query]
+                degrade:site=S,start=A,end=B,factor=F[,link=up|down|both]
+                kill:time=T[,src=S][,dst=S]
+                probe-loss:p=F[,seed=N]
+                retry:max=N,base=S[,cap=S][,mode=resume|restart]
+                lp-failure
+)";
+
+/// Flag/spec validation error: print usage, exit 2 (vs runtime errors,
+/// which exit 1 without the usage wall).
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 workload::WorkloadKind parse_workload(const std::string& name) {
   if (name == "bigdata") return workload::WorkloadKind::BigData;
   if (name == "tpcds") return workload::WorkloadKind::TpcDs;
   if (name == "facebook") return workload::WorkloadKind::Facebook;
-  throw ContractViolation("unknown --workload=" + name);
+  throw UsageError("unknown --workload=" + name);
 }
 
 core::Strategy parse_strategy(const std::string& name) {
   if (name == "centralized") return core::Strategy::Centralized;
+  if (name == "geode") return core::Strategy::Geode;
   if (name == "iridium") return core::Strategy::Iridium;
   if (name == "iridium-c") return core::Strategy::IridiumC;
   if (name == "bohr-sim") return core::Strategy::BohrSim;
   if (name == "bohr-joint") return core::Strategy::BohrJoint;
   if (name == "bohr-rdd") return core::Strategy::BohrRdd;
   if (name == "bohr") return core::Strategy::Bohr;
-  throw ContractViolation("unknown scheme '" + name + "'");
+  throw UsageError("unknown scheme '" + name + "'");
 }
 
 std::vector<core::Strategy> parse_schemes(const std::string& list) {
@@ -56,8 +76,12 @@ std::vector<core::Strategy> parse_schemes(const std::string& list) {
   while (std::getline(stream, item, ',')) {
     if (!item.empty()) out.push_back(parse_strategy(item));
   }
-  if (out.empty()) throw ContractViolation("--schemes resolved to nothing");
+  if (out.empty()) throw UsageError("--schemes resolved to nothing");
   return out;
+}
+
+void require(bool ok, const std::string& message) {
+  if (!ok) throw UsageError(message);
 }
 
 }  // namespace
@@ -68,38 +92,61 @@ int main(int argc, char** argv) {
 
     core::ExperimentConfig cfg;
     cfg.workload = parse_workload(flags.get("workload", "bigdata"));
-    cfg.n_datasets = static_cast<std::size_t>(flags.get_int("datasets", 12));
+    const std::int64_t datasets = flags.get_int("datasets", 12);
+    require(datasets > 0, "--datasets must be positive");
+    cfg.n_datasets = static_cast<std::size_t>(datasets);
     cfg.generator.sites = 10;
-    cfg.generator.rows_per_site =
-        static_cast<std::size_t>(flags.get_int("rows", 480));
+    const std::int64_t rows = flags.get_int("rows", 480);
+    require(rows > 0, "--rows must be positive");
+    cfg.generator.rows_per_site = static_cast<std::size_t>(rows);
+    const double gb_per_site = flags.get_double("gb-per-site", 40.0);
+    require(gb_per_site > 0.0, "--gb-per-site must be positive");
     cfg.generator.gb_per_site =
-        flags.get_double("gb-per-site", 40.0) /
-        static_cast<double>(cfg.n_datasets);
-    cfg.generator.placement = flags.get("placement", "random") == "locality"
+        gb_per_site / static_cast<double>(cfg.n_datasets);
+    const std::string placement = flags.get("placement", "random");
+    require(placement == "random" || placement == "locality",
+            "--placement must be random|locality");
+    cfg.generator.placement = placement == "locality"
                                   ? workload::InitialPlacement::LocalityAware
                                   : workload::InitialPlacement::Random;
-    cfg.base_bandwidth = flags.get_double("bandwidth", 125.0) * 1e6;
+    const double bandwidth = flags.get_double("bandwidth", 125.0);
+    require(bandwidth > 0.0, "--bandwidth must be positive");
+    cfg.base_bandwidth = bandwidth * 1e6;
     cfg.lag_seconds = flags.get_double("lag", 60.0);
-    cfg.probe_k = static_cast<std::size_t>(flags.get_int("probe-k", 30));
-    cfg.job.machine.executors =
-        static_cast<std::size_t>(flags.get_int("executors", 4));
+    require(cfg.lag_seconds > 0.0, "--lag must be positive");
+    const std::int64_t probe_k = flags.get_int("probe-k", 30);
+    require(probe_k > 0, "--probe-k must be positive");
+    cfg.probe_k = static_cast<std::size_t>(probe_k);
+    const std::int64_t executors = flags.get_int("executors", 4);
+    require(executors > 0, "--executors must be positive");
+    cfg.job.machine.executors = static_cast<std::size_t>(executors);
     cfg.job.partition_records = 24;
     cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 20181204));
+    cfg.enforce_lag_deadline = flags.get_bool("enforce-lag", false);
+
+    const std::string fault_spec = flags.get("faults", "");
+    if (!fault_spec.empty()) {
+      try {
+        cfg.faults = net::parse_fault_plan(fault_spec);
+      } catch (const std::exception& e) {
+        throw UsageError(std::string("--faults: ") + e.what());
+      }
+    }
 
     const auto schemes =
         parse_schemes(flags.get("schemes", "iridium,iridium-c,bohr"));
-    const auto runs = static_cast<std::size_t>(flags.get_int("runs", 1));
+    const std::int64_t runs = flags.get_int("runs", 1);
+    require(runs >= 1, "--runs must be at least 1");
     const bool csv = flags.get_bool("csv", false);
 
     for (const auto& unknown : flags.unused()) {
-      std::fprintf(stderr, "error: unknown flag --%s\n", unknown.c_str());
-      return 2;
+      throw UsageError("unknown flag --" + unknown);
     }
 
     TablePrinter table({"scheme", "QCT mean (s)", "QCT std", "reduction mean (%)",
                         "reduction std"});
-    for (const auto& outcome :
-         core::run_workload_repeated(cfg, schemes, runs)) {
+    for (const auto& outcome : core::run_workload_repeated(
+             cfg, schemes, static_cast<std::size_t>(runs))) {
       table.add_row({core::to_string(outcome.strategy),
                      TablePrinter::num(outcome.mean_qct_seconds, 3),
                      TablePrinter::num(outcome.stddev_qct_seconds, 3),
@@ -109,6 +156,9 @@ int main(int argc, char** argv) {
     std::printf("%s", csv ? table.to_csv().c_str()
                           : table.to_string().c_str());
     return 0;
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "error: %s\n\n%s", e.what(), kUsage);
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
