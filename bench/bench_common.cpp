@@ -2,6 +2,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/parallel.h"
+#include "common/phase_timer.h"
 
 namespace bohr::bench {
 
@@ -64,13 +69,47 @@ void ResultTable::print(const std::string& title) const {
               table_.to_string().c_str(), table_.to_csv().c_str());
 }
 
+namespace {
+
+/// Strips `--threads=N` / `--threads N` from argv (google-benchmark
+/// rejects unknown flags) and applies it to the parallel runtime.
+void consume_threads_flag(int& argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    long threads = 0;
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      threads = std::strtol(arg + 10, nullptr, 10);
+    } else if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+      threads = std::strtol(argv[++i], nullptr, 10);
+    } else {
+      argv[out++] = argv[i];
+      continue;
+    }
+    if (threads <= 0) {
+      std::fprintf(stderr, "invalid --threads value\n");
+      std::exit(2);
+    }
+    set_thread_count(static_cast<std::size_t>(threads));
+  }
+  argc = out;
+  argv[argc] = nullptr;
+}
+
+}  // namespace
+
 int run_bench_main(int argc, char** argv,
                    const std::function<void()>& epilogue) {
+  consume_threads_flag(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   if (epilogue) epilogue();
+  // Machine-readable run metadata: thread count plus accumulated
+  // per-phase wall-clock totals (grep for "BENCH_JSON:").
+  std::printf("BENCH_JSON: {\"threads\":%zu,\"phases\":%s}\n", thread_count(),
+              phase_json().c_str());
   return 0;
 }
 

@@ -1,0 +1,172 @@
+// Thread-count scaling of the two headline timing workloads: the Tab-3
+// similarity checking pass (probe exchange over every dataset, k = 100)
+// and the Tab-4 end-to-end Bohr run on TPC-DS. Sweeps 1/2/4/8 threads
+// and fingerprints every result payload so the determinism contract —
+// byte-identical outputs at every thread count — is checked by the bench
+// itself, not just asserted.
+//
+// Expected shape on a many-core box: near-linear speedup on the Tab-3
+// checking time (the probe scoring loop dominates), a more modest gain on
+// Tab-4 (the engine model and LP solves share the time). On a 1-core box
+// the speedup column degenerates to ~1.0x but the FINGERPRINT columns
+// must still match exactly.
+#include "bench_common.h"
+
+#include <cinttypes>
+#include <cstring>
+
+#include "common/hash.h"
+#include "common/parallel.h"
+#include "common/timer.h"
+#include "core/similarity_service.h"
+#include "workload/query_mix.h"
+
+namespace {
+
+using namespace bohr;
+using namespace bohr::bench;
+
+struct Row {
+  std::size_t threads;
+  double tab3_seconds = 0.0;
+  std::uint64_t tab3_fingerprint = 0;
+  double tab4_seconds = 0.0;
+  std::uint64_t tab4_fingerprint = 0;
+};
+std::vector<Row> g_rows;
+
+std::uint64_t hash_doubles(std::uint64_t h, std::span<const double> values) {
+  for (const double v : values) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    h = hash_combine(h, bits);
+  }
+  return h;
+}
+
+// Controller-side dataset states for the Tab-3 workload, built once and
+// shared by every thread-count arm (check_similarity only reads them).
+const std::vector<core::DatasetState>& tab3_states() {
+  static const std::vector<core::DatasetState> states = [] {
+    const auto cfg = bench_config(workload::WorkloadKind::BigData);
+    std::vector<core::DatasetState> out;
+    Rng mix_rng(3);
+    for (std::size_t a = 0; a < cfg.n_datasets; ++a) {
+      auto bundle = workload::generate_dataset(cfg.workload, a, cfg.generator);
+      auto mix = workload::sample_query_mix(bundle, mix_rng);
+      out.emplace_back(std::move(bundle), std::move(mix), true);
+    }
+    return out;
+  }();
+  return states;
+}
+
+void BM_ThreadsScaling(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  set_thread_count(threads);
+  Row row;
+  row.threads = threads;
+
+  for (auto _ : state) {
+    // Tab-3 arm: full probe exchange at k = 100 over every dataset.
+    {
+      const WallTimer timer;
+      std::uint64_t h = fnv1a64("tab3");
+      for (const auto& ds : tab3_states()) {
+        core::SimilarityOptions options;
+        options.probe_k = 100;
+        const auto sim = core::check_similarity(ds, options);
+        h = hash_doubles(h, sim.self);
+        for (const auto& per_site : sim.pair) h = hash_doubles(h, per_site);
+        // matched_keys drives movement: fold an order-independent digest
+        // of each pair's key set (unordered_set iteration order is not
+        // part of the contract).
+        for (const auto& per_site : sim.matched_keys) {
+          for (const auto& keys : per_site) {
+            std::uint64_t set_digest = 0;
+            for (const auto k : keys) set_digest ^= mix64(k);
+            h = hash_combine(h, set_digest);
+          }
+        }
+        h = hash_doubles(h, std::vector<double>{sim.probe_bytes});
+        h = hash_combine(h, sim.probe_pairs_lost);
+      }
+      row.tab3_seconds = timer.elapsed_seconds();
+      row.tab3_fingerprint = h;
+    }
+
+    // Tab-4 arm: end-to-end Bohr on TPC-DS.
+    {
+      const auto cfg = bench_config(workload::WorkloadKind::TpcDs);
+      const WallTimer timer;
+      const auto run = core::run_workload(cfg, {core::Strategy::Bohr});
+      row.tab4_seconds = timer.elapsed_seconds();
+      const auto& outcome = run.outcome(core::Strategy::Bohr);
+      // QCT embeds measured LP wall-clock (§8.5) — a timing field, not
+      // payload — so the fingerprint covers the simulated byte counts
+      // and reduction instead.
+      std::uint64_t h = fnv1a64("tab4");
+      h = hash_doubles(h, outcome.site_shuffle_bytes);
+      h = hash_doubles(h, std::vector<double>{
+                              outcome.wan_shuffle_bytes,
+                              run.mean_data_reduction_percent(
+                                  core::Strategy::Bohr)});
+      h = hash_combine(h, outcome.qct_by_kind.size());
+      row.tab4_fingerprint = h;
+    }
+  }
+  state.counters["tab3_s"] = row.tab3_seconds;
+  state.counters["tab4_s"] = row.tab4_seconds;
+  g_rows.push_back(row);
+}
+BENCHMARK(BM_ThreadsScaling)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, [] {
+    ResultTable table({"threads", "tab3 checking (s)", "tab3 speedup",
+                       "tab3 fingerprint", "tab4 e2e (s)", "tab4 speedup",
+                       "tab4 fingerprint"});
+    const Row* base = nullptr;
+    for (const auto& row : g_rows) {
+      if (row.threads == 1) base = &row;
+    }
+    bool identical = true;
+    char buffer[32];
+    for (const auto& row : g_rows) {
+      const double s3 =
+          base != nullptr && row.tab3_seconds > 0.0
+              ? base->tab3_seconds / row.tab3_seconds
+              : 0.0;
+      const double s4 =
+          base != nullptr && row.tab4_seconds > 0.0
+              ? base->tab4_seconds / row.tab4_seconds
+              : 0.0;
+      if (base != nullptr && (row.tab3_fingerprint != base->tab3_fingerprint ||
+                              row.tab4_fingerprint != base->tab4_fingerprint)) {
+        identical = false;
+      }
+      std::vector<std::string> cells{std::to_string(row.threads),
+                                     TablePrinter::num(row.tab3_seconds, 4),
+                                     TablePrinter::num(s3, 2)};
+      std::snprintf(buffer, sizeof(buffer), "%016" PRIx64,
+                    row.tab3_fingerprint);
+      cells.emplace_back(buffer);
+      cells.push_back(TablePrinter::num(row.tab4_seconds, 4));
+      cells.push_back(TablePrinter::num(s4, 2));
+      std::snprintf(buffer, sizeof(buffer), "%016" PRIx64,
+                    row.tab4_fingerprint);
+      cells.emplace_back(buffer);
+      table.add_row(std::move(cells));
+    }
+    table.print("Thread scaling: Tab-3 checking + Tab-4 end-to-end");
+    std::printf("PAYLOADS_%s\n", identical ? "IDENTICAL" : "DIVERGED");
+  });
+}

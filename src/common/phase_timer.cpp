@@ -1,0 +1,62 @@
+#include "common/phase_timer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+namespace bohr {
+
+namespace {
+
+struct Accumulator {
+  double seconds = 0.0;
+  std::uint64_t samples = 0;
+};
+
+std::mutex g_mu;
+std::map<std::string, Accumulator, std::less<>>& registry() {
+  static std::map<std::string, Accumulator, std::less<>> phases;
+  return phases;
+}
+
+}  // namespace
+
+void phase_add(std::string_view name, double seconds) {
+  std::lock_guard lock(g_mu);
+  auto& acc = registry()[std::string(name)];
+  acc.seconds += seconds;
+  ++acc.samples;
+}
+
+void phase_reset() {
+  std::lock_guard lock(g_mu);
+  registry().clear();
+}
+
+std::vector<PhaseTotal> phase_snapshot() {
+  std::lock_guard lock(g_mu);
+  std::vector<PhaseTotal> out;
+  out.reserve(registry().size());
+  for (const auto& [name, acc] : registry()) {
+    out.push_back(PhaseTotal{name, acc.seconds, acc.samples});
+  }
+  return out;  // map iteration is already name-sorted
+}
+
+std::string phase_json() {
+  std::string json = "{";
+  bool first = true;
+  for (const auto& phase : phase_snapshot()) {
+    char buffer[160];
+    std::snprintf(buffer, sizeof(buffer), "%s\"%s\":{\"s\":%.6f,\"n\":%llu}",
+                  first ? "" : ",", phase.name.c_str(), phase.seconds,
+                  static_cast<unsigned long long>(phase.samples));
+    json += buffer;
+    first = false;
+  }
+  json += "}";
+  return json;
+}
+
+}  // namespace bohr

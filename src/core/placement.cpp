@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
+#include "common/phase_timer.h"
 #include "common/timer.h"
 #include "lp/problem.h"
 #include <cstdio>
@@ -296,21 +298,40 @@ PlacementDecision iridium_placement(const PlacementProblem& problem) {
 
       // Try every destination; keep the best improvement. Accept a move
       // that holds t but lowers the aggregate upload load (plateau
-      // crossing).
+      // crossing). The per-destination trial solves are independent
+      // (lp::solve is pure), so they run concurrently; the winner is then
+      // picked by replaying the historical j-ascending comparison.
+      struct Trial {
+        bool valid = false;
+        double t = 0.0;
+        double score = 0.0;
+        PlacementDecision decision;
+      };
+      std::vector<Trial> trials(n);
+      {
+        ScopedPhase phase("lp.iridium_trials");
+        parallel_for(n, [&](std::size_t j) {
+          if (j == bottleneck) return;
+          if (out_budget[bottleneck] < chunk || in_budget[j] < chunk) return;
+          Trial& trial = trials[j];
+          trial.decision = decision;
+          trial.decision.move_bytes[a][bottleneck][j] += chunk;
+          const TaskPlacementResult trial_task =
+              solve_task_placement(problem, trial.decision.move_bytes);
+          trial.decision.reduce_fractions = trial_task.reduce_fractions;
+          trial.t = predicted_shuffle_seconds(problem, trial.decision);
+          trial.score = upload_load_score(problem, trial.decision);
+          trial.valid = true;
+        });
+      }
       double best_t = current_t;
       double best_score = current_score;
       std::size_t best_j = n;
       PlacementDecision best_decision;
       for (std::size_t j = 0; j < n; ++j) {
-        if (j == bottleneck) continue;
-        if (out_budget[bottleneck] < chunk || in_budget[j] < chunk) continue;
-        PlacementDecision trial = decision;
-        trial.move_bytes[a][bottleneck][j] += chunk;
-        const TaskPlacementResult trial_task =
-            solve_task_placement(problem, trial.move_bytes);
-        trial.reduce_fractions = trial_task.reduce_fractions;
-        const double trial_t = predicted_shuffle_seconds(problem, trial);
-        const double trial_score = upload_load_score(problem, trial);
+        if (!trials[j].valid) continue;
+        const double trial_t = trials[j].t;
+        const double trial_score = trials[j].score;
         const bool improves_t = trial_t < best_t - 1e-9;
         const bool holds_t_improves_score =
             trial_t < best_t + 1e-9 && trial_score < best_score - 1e-9;
@@ -318,7 +339,7 @@ PlacementDecision iridium_placement(const PlacementProblem& problem) {
           best_t = trial_t;
           best_score = trial_score;
           best_j = j;
-          best_decision = std::move(trial);
+          best_decision = std::move(trials[j].decision);
         }
       }
       if (best_j == n) break;  // no improving move for this dataset
@@ -592,14 +613,26 @@ PlacementDecision joint_lp_placement(const PlacementProblem& problem,
     seeds.emplace_back(n, 1.0 / static_cast<double>(n));
   }
 
+  // The alternation runs are independent LP candidate solves; run them
+  // concurrently with per-run iteration counters, then fold counters and
+  // pick the winner in seed order (same strict-< tie-break as the serial
+  // loop).
+  std::vector<PlacementDecision> runs(seeds.size());
+  std::vector<std::size_t> run_iterations(seeds.size(), 0);
+  {
+    ScopedPhase phase("lp.alternation");
+    parallel_for(seeds.size(), [&](std::size_t s) {
+      runs[s] = alternate_from(problem, std::move(seeds[s]), options,
+                               run_iterations[s]);
+    });
+  }
   PlacementDecision best;
   bool have_best = false;
-  for (auto& seed : seeds) {
-    PlacementDecision run =
-        alternate_from(problem, std::move(seed), options, lp_iterations);
+  for (std::size_t s = 0; s < runs.size(); ++s) {
+    lp_iterations += run_iterations[s];
     if (!have_best ||
-        run.predicted_shuffle_seconds < best.predicted_shuffle_seconds) {
-      best = std::move(run);
+        runs[s].predicted_shuffle_seconds < best.predicted_shuffle_seconds) {
+      best = std::move(runs[s]);
       have_best = true;
     }
   }

@@ -1,8 +1,11 @@
 #include "core/similarity_service.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
+#include "common/parallel.h"
+#include "common/phase_timer.h"
 #include "common/timer.h"
 #include "similarity/probe.h"
 
@@ -23,20 +26,52 @@ DatasetSimilarity check_similarity(const DatasetState& dataset,
   const WallTimer timer;
   const auto weights = dataset.cube_type_weights();
 
-  // Self-similarity straight from each site's dimension cubes.
-  for (std::size_t i = 0; i < n; ++i) {
+  // Self-similarity straight from each site's dimension cubes. Sites are
+  // independent; each index writes its own slots.
+  parallel_for(n, [&](std::size_t i) {
     result.self[i] = similarity::self_similarity(dataset.cubes_at(i), weights);
     result.pair[i][i] = result.self[i];
-  }
+  });
 
   // Probe exchange: every site builds one probe; every other site scores
   // it. (The paper sends probes from the bottleneck site; building them
   // everywhere lets the joint LP consider moving data out of any site.
   // Probes are tiny — k records — so the extra traffic is negligible.)
+  //
+  // Threaded in three passes that reproduce the serial loop bit for bit:
+  // (a) build each live sender's probe concurrently (independent inputs;
+  // the random variant derives its stream from seed ^ i, not a shared
+  // stream), (b) a serial pass that replays the historical (i, j) order
+  // for the fault/byte accounting — probe_bytes is a floating-point fold
+  // whose rounding must not depend on scheduling — and collects the
+  // surviving pairs, (c) score those pairs concurrently, each writing its
+  // own (i, j) slots.
   const net::FaultPlan* faults = options.faults;
+  std::vector<char> sends(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    sends[i] = !dataset.rows_at(i).empty() &&
+               (faults == nullptr || !faults->site_dark_at(i, 0.0));
+  }
+  std::vector<similarity::Probe> probes(n);
+  {
+    ScopedPhase phase("probe.build");
+    parallel_for(n, [&](std::size_t i) {
+      if (!sends[i]) return;
+      probes[i] = options.random_probe_records
+                      ? similarity::build_probe_random(
+                            dataset.dataset_id(), dataset.cubes_at(i), weights,
+                            options.probe_k, options.seed ^ i)
+                      : similarity::build_probe(dataset.dataset_id(),
+                                                dataset.cubes_at(i), weights,
+                                                options.probe_k);
+    });
+  }
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> delivered;
+  delivered.reserve(n * n);
   for (std::size_t i = 0; i < n; ++i) {
     if (dataset.rows_at(i).empty()) continue;
-    if (faults != nullptr && faults->site_dark_at(i, 0.0)) {
+    if (!sends[i]) {
       // A dark sender never ships a probe: every pair (i, *) times out
       // and degrades to the similarity-agnostic assumption below.
       for (std::size_t j = 0; j < n; ++j) {
@@ -46,18 +81,10 @@ DatasetSimilarity check_similarity(const DatasetState& dataset,
       }
       continue;
     }
-    const similarity::Probe probe =
-        options.random_probe_records
-            ? similarity::build_probe_random(dataset.dataset_id(),
-                                             dataset.cubes_at(i), weights,
-                                             options.probe_k,
-                                             options.seed ^ i)
-            : similarity::build_probe(dataset.dataset_id(),
-                                      dataset.cubes_at(i), weights,
-                                      options.probe_k);
+    const double wire_bytes = static_cast<double>(probes[i].wire_bytes());
     for (std::size_t j = 0; j < n; ++j) {
       if (j == i) continue;
-      result.probe_bytes += static_cast<double>(probe.wire_bytes());
+      result.probe_bytes += wire_bytes;
       if (faults != nullptr &&
           (faults->site_dark_at(j, 0.0) ||
            faults->probe_lost(dataset.dataset_id(), i, j))) {
@@ -69,6 +96,16 @@ DatasetSimilarity check_similarity(const DatasetState& dataset,
         ++result.probe_pairs_lost;
         continue;
       }
+      delivered.emplace_back(static_cast<std::uint32_t>(i),
+                             static_cast<std::uint32_t>(j));
+    }
+  }
+
+  {
+    ScopedPhase phase("probe.evaluate");
+    parallel_for(delivered.size(), [&](std::size_t p) {
+      const auto [i, j] = delivered[p];
+      const similarity::Probe& probe = probes[i];
       const similarity::ProbeEvaluation eval =
           similarity::evaluate_probe(probe, dataset.cubes_at(j));
       result.pair[i][j] = eval.similarity;
@@ -77,7 +114,7 @@ DatasetSimilarity check_similarity(const DatasetState& dataset,
         if (!eval.matched[r]) continue;
         result.matched_keys[i][j].insert(engine_key(probe.records[r].coords));
       }
-    }
+    });
   }
   result.checking_seconds = timer.elapsed_seconds();
   return result;

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "similarity/kmeans.h"
 
 namespace bohr::engine {
@@ -133,7 +134,17 @@ LocalStageResult run_local_stage(
         assign_round_robin(partitions.size(), config.executors, rng);
   }
 
-  // Per-executor map + per-partition combine.
+  // Per-executor map + per-partition combine. The combiner runs are
+  // independent per partition and thread; the executor-key / shuffle
+  // bookkeeping folds serially in partition order so shuffle_input keeps
+  // its historical record sequence.
+  std::vector<RecordStream> combined_of(partitions.size());
+  parallel_for(partitions.size(), [&](std::size_t p) {
+    combined_of[p] =
+        config.combiner_enabled
+            ? combine(partitions[p], op)
+            : RecordStream(partitions[p].begin(), partitions[p].end());
+  });
   std::vector<double> map_records(config.executors, 0.0);
   std::vector<std::unordered_set<std::uint64_t>> executor_keys(
       config.executors);
@@ -141,10 +152,7 @@ LocalStageResult run_local_stage(
     const std::size_t e = result.executor_of_partition[p];
     BOHR_CHECK(e < config.executors);
     map_records[e] += static_cast<double>(partitions[p].size());
-    RecordStream combined =
-        config.combiner_enabled
-            ? combine(partitions[p], op)
-            : RecordStream(partitions[p].begin(), partitions[p].end());
+    const RecordStream& combined = combined_of[p];
     for (const KeyValue& kv : combined) executor_keys[e].insert(kv.key);
     result.shuffle_input.insert(result.shuffle_input.end(), combined.begin(),
                                 combined.end());

@@ -1,8 +1,10 @@
 #include "olap/cube_builder.h"
 
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace bohr::olap {
 
@@ -46,7 +48,17 @@ double CubeBuilder::measure_for(const Row& row) const {
 
 OlapCube CubeBuilder::build(std::span<const Row> rows) const {
   OlapCube cube = empty_cube();
-  for (const Row& row : rows) insert(cube, row);
+  // Coordinate/measure extraction is independent per row and threads; the
+  // cube inserts fold serially in row order so cell creation order (and
+  // the floating-point sum per cell) matches a serial build exactly.
+  const std::size_t n = rows.size();
+  std::vector<CellCoords> coords(n);
+  std::vector<double> measures(n);
+  parallel_for(n, [&](std::size_t i) {
+    coords[i] = coords_for(rows[i]);
+    measures[i] = measure_for(rows[i]);
+  });
+  for (std::size_t i = 0; i < n; ++i) cube.insert(coords[i], measures[i]);
   return cube;
 }
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <vector>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace bohr::olap {
 
@@ -66,17 +68,27 @@ std::vector<CubeQueryRow> execute(const OlapCube& cube,
     }
   }
 
-  // Filter -> group -> aggregate in one pass over the cells.
-  std::unordered_map<CellCoords, GroupAggregate, CellCoordsHash> groups;
+  // Filter -> group -> aggregate. The per-cell filter evaluation and
+  // group-key computation are independent and thread over a snapshot of
+  // the cell map; the aggregate merge then folds serially in snapshot
+  // order, so the per-group floating-point sums accumulate in the same
+  // sequence as a fully serial pass.
+  struct CellRef {
+    const CellCoords* coords = nullptr;
+    const CellAggregate* agg = nullptr;
+  };
+  std::vector<CellRef> refs;
+  refs.reserve(cube.cells().size());
   for (const auto& [coords, agg] : cube.cells()) {
-    bool keep = true;
+    refs.push_back(CellRef{&coords, &agg});
+  }
+  std::vector<char> keep_of(refs.size(), 0);
+  std::vector<CellCoords> group_of(refs.size());
+  parallel_for(refs.size(), [&](std::size_t c) {
+    const CellCoords& coords = *refs[c].coords;
     for (const auto& f : query.filters) {
-      if (!f.members.contains(coords[f.dim])) {
-        keep = false;
-        break;
-      }
+      if (!f.members.contains(coords[f.dim])) return;
     }
-    if (!keep) continue;
     CellCoords group;
     group.reserve(query.group_by.size());
     for (std::size_t g = 0; g < query.group_by.size(); ++g) {
@@ -85,7 +97,13 @@ std::vector<CubeQueryRow> execute(const OlapCube& cube,
           query.group_levels.empty() ? 0 : query.group_levels[g];
       group.push_back(cube.dimension(d).coarsen(coords[d], level));
     }
-    groups[std::move(group)].merge(agg);
+    group_of[c] = std::move(group);
+    keep_of[c] = 1;
+  });
+  std::unordered_map<CellCoords, GroupAggregate, CellCoordsHash> groups;
+  for (std::size_t c = 0; c < refs.size(); ++c) {
+    if (!keep_of[c]) continue;
+    groups[std::move(group_of[c])].merge(*refs[c].agg);
   }
 
   std::vector<CubeQueryRow> rows;

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
+#include "common/parallel.h"
+#include "common/phase_timer.h"
 
 namespace bohr::olap {
 
@@ -46,10 +49,33 @@ void DatasetCubes::apply_row_to_type(TypeEntry& entry, const Row& row) const {
 }
 
 void DatasetCubes::add_rows(std::span<const Row> rows) {
-  for (const Row& row : rows) {
-    builder_.insert(base_, row);
-    for (auto& entry : types_) apply_row_to_type(entry, row);
-  }
+  ScopedPhase phase("cube.add_rows");
+  // Extract coordinates/measures once for all rows (threaded, independent
+  // per row — this also stops each dimension cube from re-deriving the
+  // full coordinates per type). The base cube then folds serially in row
+  // order, and each dimension cube aggregates its projection
+  // independently of the others — per-dimension-cube parallelism with a
+  // serial in-order fold inside each cube.
+  const std::size_t n = rows.size();
+  std::vector<CellCoords> full(n);
+  std::vector<double> measure(n);
+  parallel_for(n, [&](std::size_t i) {
+    full[i] = builder_.coords_for(rows[i]);
+    measure[i] = builder_.measure_for(rows[i]);
+  });
+  for (std::size_t i = 0; i < n; ++i) base_.insert(full[i], measure[i]);
+  parallel_for(types_.size(), [&](std::size_t ty) {
+    TypeEntry& entry = types_[ty];
+    CellCoords projected;
+    projected.reserve(entry.dim_positions.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      projected.clear();
+      for (const std::size_t p : entry.dim_positions) {
+        projected.push_back(full[i][p]);
+      }
+      entry.cube.insert(projected, measure[i]);
+    }
+  });
 }
 
 void DatasetCubes::buffer_rows(std::span<const Row> rows) {
@@ -74,16 +100,20 @@ void DatasetCubes::flush_for(QueryTypeId qt) {
 }
 
 void DatasetCubes::flush_background() {
+  ScopedPhase phase("cube.flush");
   for (std::size_t i = base_applied_; i < buffer_.size(); ++i) {
     builder_.insert(base_, buffer_[i]);
   }
   base_applied_ = buffer_.size();
-  for (auto& entry : types_) {
+  // Each dimension cube catches up from its own watermark and touches
+  // only its own state, so the entries flush concurrently.
+  parallel_for(types_.size(), [&](std::size_t ty) {
+    TypeEntry& entry = types_[ty];
     for (std::size_t i = entry.applied; i < buffer_.size(); ++i) {
       apply_row_to_type(entry, buffer_[i]);
     }
     entry.applied = 0;  // buffer is about to be cleared
-  }
+  });
   buffer_.clear();
   base_applied_ = 0;
 }

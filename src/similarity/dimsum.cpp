@@ -1,9 +1,11 @@
 #include "similarity/dimsum.h"
 
 #include <algorithm>
-#include <unordered_set>
+#include <utility>
 
 #include "common/check.h"
+#include "common/parallel.h"
+#include "common/phase_timer.h"
 #include "common/rng.h"
 #include "similarity/metrics.h"
 #include "similarity/minhash.h"
@@ -19,19 +21,31 @@ DimsumResult dimsum_jaccard(
   DimsumResult result{SimilarityMatrix(n), 0, 0};
   if (n < 2) return result;
 
-  // Deduplicated sizes and signatures, one pass per partition.
+  // Deduplicated sizes and signatures, one pass per partition. Each
+  // partition is independent, and MinHashSignature::add keeps a per-slot
+  // minimum, so neither key order nor thread count affects the output.
   std::vector<std::size_t> set_sizes(n);
-  std::vector<MinHashSignature> sigs;
-  sigs.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    std::unordered_set<std::uint64_t> dedup(partitions[i].begin(),
-                                            partitions[i].end());
-    set_sizes[i] = dedup.size();
-    MinHashSignature sig(params.num_hashes);
-    for (const auto k : dedup) sig.add(k);
-    sigs.push_back(std::move(sig));
+  std::vector<MinHashSignature> sigs(n, MinHashSignature(params.num_hashes));
+  {
+    ScopedPhase phase("dimsum.signatures");
+    parallel_for_chunks(n, 1, [&](const ChunkRange& range) {
+      std::vector<std::uint64_t> keys;
+      for (std::size_t i = range.begin; i < range.end; ++i) {
+        keys.assign(partitions[i].begin(), partitions[i].end());
+        std::sort(keys.begin(), keys.end());
+        keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+        set_sizes[i] = keys.size();
+        MinHashSignature sig(params.num_hashes);
+        for (const auto k : keys) sig.add(k);
+        sigs[i] = std::move(sig);
+      }
+    });
   }
 
+  // Sampling pre-pass: the bernoulli draws consume one shared sequential
+  // stream, so they must happen in historical (i, j) order. The draws are
+  // cheap; only the scoring of the examined pairs is worth threading.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> examined;
   Rng rng(params.seed);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
@@ -49,11 +63,21 @@ DimsumResult dimsum_jaccard(
         continue;
       }
       ++result.pairs_examined;
+      examined.emplace_back(static_cast<std::uint32_t>(i),
+                            static_cast<std::uint32_t>(j));
+    }
+  }
+
+  // Score the examined pairs; each writes a distinct matrix cell.
+  {
+    ScopedPhase phase("dimsum.scoring");
+    parallel_for(examined.size(), [&](std::size_t p) {
+      const auto [i, j] = examined[p];
       const double sim = params.exact
                              ? jaccard(partitions[i], partitions[j])
                              : sigs[i].estimate_jaccard(sigs[j]);
       result.matrix.set(i, j, sim);
-    }
+    });
   }
   return result;
 }

@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/parallel.h"
+#include "common/phase_timer.h"
 #include "common/rng.h"
 
 namespace bohr::similarity {
@@ -67,12 +69,20 @@ DimsumCosineResult dimsum_cosine(std::span<const SparseRow> rows,
     }
   }
 
-  for (std::size_t i = 0; i < n_columns; ++i) {
-    for (std::size_t j = i + 1; j < n_columns; ++j) {
-      if (norms[i] == 0.0 || norms[j] == 0.0) continue;
-      const double cosine = b[i][j - i] / (norms[i] * norms[j]);
-      result.matrix.set(i, j, std::clamp(cosine, -1.0, 1.0));
-    }
+  // Normalization is independent per column pair; each (i, j) writes a
+  // distinct matrix cell, so the rows can be scored concurrently. The
+  // mapper loop above stays serial: it consumes one sequential RNG stream
+  // and scatters into shared accumulators.
+  {
+    ScopedPhase phase("dimsum_cosine.normalize");
+    parallel_for(n_columns, [&](std::size_t i) {
+      if (norms[i] == 0.0) return;
+      for (std::size_t j = i + 1; j < n_columns; ++j) {
+        if (norms[j] == 0.0) continue;
+        const double cosine = b[i][j - i] / (norms[i] * norms[j]);
+        result.matrix.set(i, j, std::clamp(cosine, -1.0, 1.0));
+      }
+    });
   }
   return result;
 }

@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/parallel.h"
+#include "common/phase_timer.h"
 #include "common/rng.h"
 
 namespace bohr::similarity {
@@ -80,12 +82,20 @@ KMeansResult kmeans(std::span<const std::vector<double>> points,
   result.centroids = seed_centroids(points, k, rng);
   result.assignments.assign(points.size(), 0);
 
+  ScopedPhase phase("kmeans.lloyd");
+  // Per-point scratch for the assignment step, and update-step buffers,
+  // allocated once instead of per iteration.
+  std::vector<std::size_t> best_of(points.size());
+  std::vector<double> best_d_of(points.size());
+  std::vector<std::vector<double>> sums(k, std::vector<double>(dim, 0.0));
+  std::vector<std::size_t> counts(k, 0);
+
   for (std::size_t iter = 0; iter < params.max_iterations; ++iter) {
     ++result.iterations;
-    // Assignment step.
-    bool changed = false;
-    result.inertia = 0.0;
-    for (std::size_t i = 0; i < points.size(); ++i) {
+    // Assignment step: nearest-centroid search is independent per point,
+    // so it threads; the inertia sum folds serially afterwards in point
+    // order so the floating-point rounding matches the serial code.
+    parallel_for(points.size(), [&](std::size_t i) {
       std::size_t best = 0;
       double best_d = std::numeric_limits<double>::max();
       for (std::size_t c = 0; c < k; ++c) {
@@ -95,17 +105,23 @@ KMeansResult kmeans(std::span<const std::vector<double>> points,
           best = c;
         }
       }
-      if (result.assignments[i] != best) {
-        result.assignments[i] = best;
+      best_of[i] = best;
+      best_d_of[i] = best_d;
+    });
+    bool changed = false;
+    result.inertia = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (result.assignments[i] != best_of[i]) {
+        result.assignments[i] = best_of[i];
         changed = true;
       }
-      result.inertia += best_d;
+      result.inertia += best_d_of[i];
     }
     if (!changed && iter > 0) break;
 
     // Update step. Empty clusters grab the point farthest from its centroid.
-    std::vector<std::vector<double>> sums(k, std::vector<double>(dim, 0.0));
-    std::vector<std::size_t> counts(k, 0);
+    for (auto& s : sums) std::fill(s.begin(), s.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
     for (std::size_t i = 0; i < points.size(); ++i) {
       const std::size_t c = result.assignments[i];
       ++counts[c];

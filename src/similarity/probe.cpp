@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace bohr::similarity {
@@ -31,6 +32,7 @@ std::vector<std::size_t> apportion(std::span<const double> weights,
   }
   BOHR_EXPECTS(total > 0.0);
   std::vector<std::pair<double, std::size_t>> remainders;  // (frac, index)
+  remainders.reserve(n);
   std::size_t assigned = 0;
   for (std::size_t i = 0; i < n; ++i) {
     const double exact = static_cast<double>(k) * weights[i] / total;
@@ -76,12 +78,14 @@ Probe build_probe(std::size_t dataset_id, const olap::DatasetCubes& cubes,
 
   Probe probe;
   probe.dataset_id = dataset_id;
+  probe.records.reserve(k);
   for (std::size_t w = 0; w < weights.size(); ++w) {
     if (slots[w] == 0) continue;
     const olap::OlapCube& cube = cubes.dimension_cube(weights[w].query_type);
-    for (const olap::Cell& cell : cube.top_cells(slots[w])) {
-      probe.records.push_back(
-          ProbeRecord{weights[w].query_type, cell.coords, cell.agg.count});
+    for (olap::Cell& cell : cube.top_cells(slots[w])) {
+      probe.records.push_back(ProbeRecord{weights[w].query_type,
+                                          std::move(cell.coords),
+                                          cell.agg.count});
     }
   }
   return probe;
@@ -104,6 +108,7 @@ Probe build_probe_random(std::size_t dataset_id,
   Rng rng(seed);
   Probe probe;
   probe.dataset_id = dataset_id;
+  probe.records.reserve(k);
   for (std::size_t w = 0; w < weights.size(); ++w) {
     if (slots[w] == 0) continue;
     // Sample cells uniformly (deterministic order + shuffle).
@@ -113,7 +118,8 @@ Probe build_probe_random(std::size_t dataset_id,
     const std::size_t take = std::min(slots[w], all.size());
     for (std::size_t c = 0; c < take; ++c) {
       probe.records.push_back(ProbeRecord{weights[w].query_type,
-                                          all[c].coords, all[c].agg.count});
+                                          std::move(all[c].coords),
+                                          all[c].agg.count});
     }
   }
   return probe;
@@ -138,6 +144,18 @@ ProbeEvaluation evaluate_probe(const Probe& probe,
   }
   eval.similarity = total_weight > 0.0 ? matched_weight / total_weight : 0.0;
   return eval;
+}
+
+std::vector<ProbeEvaluation> evaluate_probe_at_sites(
+    const Probe& probe,
+    std::span<const olap::DatasetCubes* const> receivers) {
+  std::vector<ProbeEvaluation> evals(receivers.size());
+  // Receivers are only read; each slot is written by exactly one index.
+  parallel_for(receivers.size(), [&](std::size_t r) {
+    BOHR_EXPECTS(receivers[r] != nullptr);
+    evals[r] = evaluate_probe(probe, *receivers[r]);
+  });
+  return evals;
 }
 
 double self_similarity(const olap::DatasetCubes& cubes,

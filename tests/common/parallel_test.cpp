@@ -1,0 +1,141 @@
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace bohr {
+namespace {
+
+class ParallelTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_thread_count(1); }
+};
+
+TEST_F(ParallelTest, ChunkingIsPureFunctionOfInput) {
+  // Determinism rule 1: chunk boundaries never depend on the thread
+  // count. Compute them at 1 thread and at 8 and compare.
+  const std::size_t n = 1237;
+  set_thread_count(1);
+  const std::size_t chunks_serial = chunk_count(n);
+  std::vector<ChunkRange> serial;
+  for (std::size_t c = 0; c < chunks_serial; ++c) {
+    serial.push_back(chunk_range(n, 1, c));
+  }
+  set_thread_count(8);
+  ASSERT_EQ(chunk_count(n), chunks_serial);
+  for (std::size_t c = 0; c < chunks_serial; ++c) {
+    const ChunkRange range = chunk_range(n, 1, c);
+    EXPECT_EQ(range.begin, serial[c].begin);
+    EXPECT_EQ(range.end, serial[c].end);
+  }
+}
+
+TEST_F(ParallelTest, ChunksPartitionTheRange) {
+  for (const std::size_t n : {0UL, 1UL, 7UL, 64UL, 65UL, 1000UL}) {
+    for (const std::size_t grain : {1UL, 4UL, 100UL}) {
+      std::size_t covered = 0;
+      std::size_t expected_begin = 0;
+      for (std::size_t c = 0; c < chunk_count(n, grain); ++c) {
+        const ChunkRange range = chunk_range(n, grain, c);
+        EXPECT_EQ(range.begin, expected_begin);
+        EXPECT_LT(range.begin, range.end);
+        covered += range.end - range.begin;
+        expected_begin = range.end;
+      }
+      EXPECT_EQ(covered, n) << "n=" << n << " grain=" << grain;
+    }
+  }
+}
+
+TEST_F(ParallelTest, ParallelForVisitsEveryIndexOnce) {
+  for (const std::size_t threads : {1UL, 2UL, 8UL}) {
+    set_thread_count(threads);
+    const std::size_t n = 500;
+    std::vector<std::atomic<int>> visits(n);
+    parallel_for(n, [&](std::size_t i) { ++visits[i]; });
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "i=" << i << " threads=" << threads;
+    }
+  }
+}
+
+TEST_F(ParallelTest, ReduceMatchesSerialFoldBitwise) {
+  // Determinism rule 2: chunk partials combine in chunk order, so the
+  // floating-point result is independent of the thread count.
+  const std::size_t n = 1000;
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = 1.0 / static_cast<double>(i + 3);
+  }
+  const auto sum_at = [&](std::size_t threads) {
+    set_thread_count(threads);
+    return parallel_reduce(
+        n, std::size_t{1}, 0.0,
+        [&](const ChunkRange& range) {
+          double partial = 0.0;
+          for (std::size_t i = range.begin; i < range.end; ++i) {
+            partial += values[i];
+          }
+          return partial;
+        },
+        [](double acc, double partial) { return acc + partial; });
+  };
+  const double at1 = sum_at(1);
+  EXPECT_EQ(at1, sum_at(2));
+  EXPECT_EQ(at1, sum_at(8));
+}
+
+TEST_F(ParallelTest, ChunkRngIndependentOfThreadCount) {
+  set_thread_count(1);
+  Rng a = chunk_rng(42, 7);
+  set_thread_count(8);
+  Rng b = chunk_rng(42, 7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), b());
+  // Distinct chunks get distinct streams.
+  EXPECT_NE(chunk_rng(42, 7)(), chunk_rng(42, 8)());
+}
+
+TEST_F(ParallelTest, NestedCallsRunInline) {
+  set_thread_count(4);
+  std::vector<std::atomic<int>> visits(64);
+  parallel_for(8, [&](std::size_t i) {
+    EXPECT_TRUE(in_parallel_region());
+    parallel_for(8, [&](std::size_t j) { ++visits[i * 8 + j]; });
+  });
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST_F(ParallelTest, BodyExceptionPropagates) {
+  for (const std::size_t threads : {1UL, 4UL}) {
+    set_thread_count(threads);
+    EXPECT_THROW(
+        parallel_for(100,
+                     [&](std::size_t i) {
+                       if (i == 37) throw std::runtime_error("boom");
+                     }),
+        std::runtime_error);
+    // The pool must stay usable after a failed loop.
+    std::atomic<int> count{0};
+    parallel_for(10, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), 10);
+  }
+}
+
+TEST_F(ParallelTest, SetThreadCountResizes) {
+  set_thread_count(2);
+  EXPECT_EQ(thread_count(), 2u);
+  set_thread_count(8);
+  EXPECT_EQ(thread_count(), 8u);
+  std::atomic<int> count{0};
+  parallel_for(256, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 256);
+  set_thread_count(0);  // auto
+  EXPECT_EQ(thread_count(), default_thread_count());
+}
+
+}  // namespace
+}  // namespace bohr

@@ -1,0 +1,209 @@
+// The parallel runtime's contract: every observable result is
+// bit-identical for --threads 1, 2, and 8 (and identical to the
+// historical serial code, which the 1-thread path executes verbatim).
+// Each suite runs the same computation at the three thread counts and
+// compares outputs with exact (bitwise-on-doubles) equality.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/experiment.h"
+#include "core/placement.h"
+#include "core/similarity_service.h"
+#include "net/faults.h"
+#include "similarity/dimsum.h"
+#include "similarity/kmeans.h"
+#include "workload/query_mix.h"
+
+namespace bohr::core {
+namespace {
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_thread_count(1); }
+};
+
+template <typename Fn>
+auto results_per_thread_count(Fn&& fn) {
+  std::vector<decltype(fn())> results;
+  for (const std::size_t threads : kThreadCounts) {
+    set_thread_count(threads);
+    results.push_back(fn());
+  }
+  return results;
+}
+
+std::vector<std::vector<std::uint64_t>> synthetic_partitions() {
+  Rng rng(99);
+  std::vector<std::vector<std::uint64_t>> parts(24);
+  for (auto& part : parts) {
+    const std::size_t len = 40 + rng.below(80);
+    for (std::size_t r = 0; r < len; ++r) part.push_back(rng.below(300));
+  }
+  return parts;
+}
+
+TEST_F(DeterminismTest, SimilarityMatrixBitIdentical) {
+  const auto parts = synthetic_partitions();
+  similarity::DimsumParams params;
+  params.seed = 7;
+  const auto runs = results_per_thread_count(
+      [&] { return similarity::dimsum_jaccard(parts, params); });
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    EXPECT_EQ(runs[r].pairs_examined, runs[0].pairs_examined);
+    EXPECT_EQ(runs[r].pairs_skipped, runs[0].pairs_skipped);
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      EXPECT_EQ(runs[r].matrix.row(i), runs[0].matrix.row(i))
+          << "row " << i << " at " << kThreadCounts[r] << " threads";
+    }
+  }
+}
+
+TEST_F(DeterminismTest, KMeansLabelsBitIdentical) {
+  Rng rng(5);
+  std::vector<std::vector<double>> points(60, std::vector<double>(8));
+  for (auto& p : points) {
+    for (auto& x : p) x = rng.uniform();
+  }
+  similarity::KMeansParams params;
+  params.k = 6;
+  params.seed = 11;
+  const auto runs = results_per_thread_count(
+      [&] { return similarity::kmeans(points, params); });
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    EXPECT_EQ(runs[r].assignments, runs[0].assignments);
+    EXPECT_EQ(runs[r].centroids, runs[0].centroids);
+    EXPECT_EQ(runs[r].inertia, runs[0].inertia);
+    EXPECT_EQ(runs[r].iterations, runs[0].iterations);
+  }
+}
+
+PlacementProblem lp_problem() {
+  PlacementProblem p;
+  p.topology = net::make_paper_topology(100.0);
+  p.lag_seconds = 30.0;
+  Rng rng(17);
+  for (std::size_t a = 0; a < 6; ++a) {
+    DatasetPlacementInput d;
+    d.dataset_id = a;
+    d.reduction_ratio = rng.uniform(0.1, 0.6);
+    d.query_count = static_cast<std::size_t>(rng.range(2, 10));
+    for (std::size_t i = 0; i < p.topology.site_count(); ++i) {
+      d.input_bytes.push_back(rng.uniform(100.0, 2000.0));
+      d.self_similarity.push_back(rng.uniform(0.2, 0.8));
+    }
+    p.datasets.push_back(std::move(d));
+  }
+  return p;
+}
+
+TEST_F(DeterminismTest, JointLpObjectiveBitIdentical) {
+  const auto problem = lp_problem();
+  const auto runs = results_per_thread_count(
+      [&] { return joint_lp_placement(problem); });
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    EXPECT_EQ(runs[r].predicted_shuffle_seconds,
+              runs[0].predicted_shuffle_seconds);
+    EXPECT_EQ(runs[r].move_bytes, runs[0].move_bytes);
+    EXPECT_EQ(runs[r].reduce_fractions, runs[0].reduce_fractions);
+    EXPECT_EQ(runs[r].lp_iterations, runs[0].lp_iterations);
+  }
+}
+
+TEST_F(DeterminismTest, IridiumPlacementBitIdentical) {
+  const auto problem = lp_problem();
+  const auto runs = results_per_thread_count(
+      [&] { return iridium_placement(problem); });
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    EXPECT_EQ(runs[r].predicted_shuffle_seconds,
+              runs[0].predicted_shuffle_seconds);
+    EXPECT_EQ(runs[r].move_bytes, runs[0].move_bytes);
+    EXPECT_EQ(runs[r].reduce_fractions, runs[0].reduce_fractions);
+  }
+}
+
+ExperimentConfig e2e_config() {
+  ExperimentConfig cfg;
+  cfg.workload = workload::WorkloadKind::BigData;
+  cfg.n_datasets = 4;
+  cfg.generator.sites = 10;
+  cfg.generator.rows_per_site = 160;
+  cfg.generator.gb_per_site = 40.0 / 4.0;
+  cfg.base_bandwidth = 125e6;
+  cfg.lag_seconds = 60.0;
+  cfg.job.partition_records = 24;
+  cfg.job.machine.executors = 4;
+  cfg.seed = 5;
+  return cfg;
+}
+
+void expect_payloads_equal(const WorkloadRun& a, const WorkloadRun& b,
+                           Strategy strategy) {
+  // QCT embeds measured LP wall-clock (§8.5) amortized over queries, so
+  // the simulated payloads carry the bitwise assertion; qct_by_kind keys
+  // (which queries ran) must still agree.
+  EXPECT_EQ(a.outcome(strategy).site_shuffle_bytes,
+            b.outcome(strategy).site_shuffle_bytes);
+  EXPECT_EQ(a.outcome(strategy).wan_shuffle_bytes,
+            b.outcome(strategy).wan_shuffle_bytes);
+  EXPECT_EQ(a.mean_data_reduction_percent(strategy),
+            b.mean_data_reduction_percent(strategy));
+  EXPECT_EQ(a.outcome(strategy).qct_by_kind.size(),
+            b.outcome(strategy).qct_by_kind.size());
+}
+
+TEST_F(DeterminismTest, EndToEndQctPayloadBitIdentical) {
+  const auto cfg = e2e_config();
+  const auto runs = results_per_thread_count(
+      [&] { return run_workload(cfg, {Strategy::Bohr}); });
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    expect_payloads_equal(runs[r], runs[0], Strategy::Bohr);
+  }
+}
+
+TEST_F(DeterminismTest, EndToEndUnderFaultPlanBitIdentical) {
+  auto cfg = e2e_config();
+  cfg.faults =
+      net::parse_fault_plan("outage:site=6,start=0,end=15;probe-loss:p=0.3");
+  const auto runs = results_per_thread_count(
+      [&] { return run_workload(cfg, {Strategy::Bohr}); });
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    expect_payloads_equal(runs[r], runs[0], Strategy::Bohr);
+  }
+}
+
+TEST_F(DeterminismTest, CheckSimilarityUnderFaultsBitIdentical) {
+  const auto cfg = e2e_config();
+  const net::FaultPlan faults =
+      net::parse_fault_plan("outage:site=3,start=0,end=20;probe-loss:p=0.4");
+  workload::GeneratorConfig gen = cfg.generator;
+  auto bundle = workload::generate_dataset(cfg.workload, 0, gen);
+  Rng mix_rng(3);
+  auto mix = workload::sample_query_mix(bundle, mix_rng);
+  const DatasetState state(std::move(bundle), std::move(mix), true);
+
+  const auto runs = results_per_thread_count([&] {
+    SimilarityOptions options;
+    options.probe_k = 20;
+    options.faults = &faults;
+    return check_similarity(state, options);
+  });
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    EXPECT_EQ(runs[r].self, runs[0].self);
+    EXPECT_EQ(runs[r].pair, runs[0].pair);
+    EXPECT_EQ(runs[r].probe_bytes, runs[0].probe_bytes);
+    EXPECT_EQ(runs[r].probe_pairs_lost, runs[0].probe_pairs_lost);
+    for (std::size_t i = 0; i < runs[0].matched_keys.size(); ++i) {
+      for (std::size_t j = 0; j < runs[0].matched_keys[i].size(); ++j) {
+        EXPECT_EQ(runs[r].matched_keys[i][j], runs[0].matched_keys[i][j]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bohr::core

@@ -4,6 +4,8 @@
 
 #include <string>
 
+#include "common/parallel.h"
+
 namespace bohr::similarity {
 namespace {
 
@@ -139,6 +141,43 @@ TEST(ProbeEvalTest, MatchVectorAlignsWithRecords) {
   ASSERT_EQ(eval.matched.size(), 2u);
   EXPECT_EQ(eval.matched[0], 1);  // "hit" (bigger cluster) first
   EXPECT_EQ(eval.matched[1], 0);
+}
+
+TEST(ProbeEvalTest, AtSitesMatchesPerReceiverEvaluation) {
+  DatasetCubes sender = make_store();
+  const QueryTypeId qt = sender.register_query_type({0});
+  std::vector<Row> sender_rows;
+  for (int i = 0; i < 12; ++i) {
+    sender_rows.push_back(row("u" + std::to_string(i % 5), 1, 1.0));
+  }
+  sender.add_rows(sender_rows);
+  const std::vector<QueryTypeWeight> weights{{qt, 1.0}};
+  const Probe probe = build_probe(0, sender, weights, 4);
+
+  std::vector<DatasetCubes> stores;
+  for (int s = 0; s < 6; ++s) {
+    DatasetCubes receiver = make_store();
+    receiver.register_query_type({0});
+    std::vector<Row> rows;
+    for (int i = 0; i <= s; ++i) rows.push_back(row("u" + std::to_string(i), 1, 1.0));
+    receiver.add_rows(rows);
+    stores.push_back(std::move(receiver));
+  }
+  std::vector<const DatasetCubes*> receivers;
+  for (const auto& s : stores) receivers.push_back(&s);
+
+  for (const std::size_t threads : {1, 2, 8}) {
+    set_thread_count(threads);
+    const auto evals = evaluate_probe_at_sites(probe, receivers);
+    ASSERT_EQ(evals.size(), receivers.size());
+    for (std::size_t s = 0; s < receivers.size(); ++s) {
+      const ProbeEvaluation one = evaluate_probe(probe, *receivers[s]);
+      EXPECT_EQ(evals[s].similarity, one.similarity)
+          << "site " << s << " at " << threads << " threads";
+      EXPECT_EQ(evals[s].matched, one.matched);
+    }
+  }
+  set_thread_count(1);
 }
 
 TEST(ProbeTest, WireBytesScaleWithRecords) {

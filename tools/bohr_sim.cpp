@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "common/flags.h"
+#include "common/parallel.h"
 #include "common/table.h"
 #include "core/experiment.h"
 #include "net/faults.h"
@@ -32,6 +33,8 @@ Flags (defaults in brackets):
   --placement   random | locality                     [random]
   --executors   executors per machine (> 0)           [4]
   --seed        experiment seed                       [20181204]
+  --threads     worker threads; results are identical
+                for every value (1 = serial path)     [hardware/BOHR_THREADS]
   --runs        repeated runs (mean +/- std output)   [1]
   --csv         emit CSV instead of an aligned table
   --enforce-lag truncate movement at the lag deadline
@@ -123,6 +126,10 @@ int main(int argc, char** argv) {
     cfg.job.partition_records = 24;
     cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 20181204));
     cfg.enforce_lag_deadline = flags.get_bool("enforce-lag", false);
+    const std::int64_t threads = flags.get_int(
+        "threads", static_cast<std::int64_t>(thread_count()));
+    require(threads > 0, "--threads must be positive");
+    set_thread_count(static_cast<std::size_t>(threads));
 
     const std::string fault_spec = flags.get("faults", "");
     if (!fault_spec.empty()) {
