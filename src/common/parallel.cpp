@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -15,8 +16,21 @@ namespace {
 
 thread_local int t_parallel_depth = 0;
 
+/// One submitted parallel loop. Heap-allocated and shared between the
+/// caller and every worker that wakes for it: each job owns its chunk
+/// counter and a COPY of the body, so a worker that wakes late for an
+/// already-finished job (run() returned, next run() submitted) drains an
+/// exhausted counter and never touches another job's state or a dangling
+/// std::function.
+struct Job {
+  std::function<void(std::size_t)> fn;
+  std::size_t chunks = 0;
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr error;  // guarded by Pool::mu_
+};
+
 /// Lazily-started fixed-size worker pool. Workers claim chunk indices
-/// from a shared atomic counter; the thread that calls run() participates
+/// from the job's atomic counter; the thread that calls run() participates
 /// too, so a pool of size T uses T-1 spawned workers.
 class Pool {
  public:
@@ -45,21 +59,22 @@ class Pool {
   /// Executes fn(0) .. fn(n_chunks - 1) across the pool. Blocks until
   /// every chunk has finished; rethrows the first body exception.
   void run(std::size_t n_chunks, const std::function<void(std::size_t)>& fn) {
+    auto job = std::make_shared<Job>();
+    job->fn = fn;  // copy: a stale worker may hold the job past run()
+    job->chunks = n_chunks;
     {
       std::unique_lock lock(mu_);
       ensure_workers(lock);
-      job_fn_ = &fn;
-      job_chunks_ = n_chunks;
-      next_.store(0, std::memory_order_relaxed);
+      job_ = job;
       ++generation_;
       work_cv_.notify_all();
     }
-    drain(fn, n_chunks);
+    drain(*job);
     std::unique_lock lock(mu_);
     done_cv_.wait(lock, [&] { return active_ == 0; });
-    if (error_) {
-      std::exception_ptr error = error_;
-      error_ = nullptr;
+    if (job_ == job) job_.reset();
+    if (job->error) {
+      std::exception_ptr error = job->error;
       lock.unlock();
       std::rethrow_exception(error);
     }
@@ -89,17 +104,16 @@ class Pool {
     shutdown_ = false;
   }
 
-  void drain(const std::function<void(std::size_t)>& fn,
-             std::size_t n_chunks) {
+  void drain(Job& job) {
     ++t_parallel_depth;
     for (;;) {
-      const std::size_t chunk = next_.fetch_add(1, std::memory_order_relaxed);
-      if (chunk >= n_chunks) break;
+      const std::size_t chunk = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= job.chunks) break;
       try {
-        fn(chunk);
+        job.fn(chunk);
       } catch (...) {
         std::lock_guard lock(mu_);
-        if (!error_) error_ = std::current_exception();
+        if (!job.error) job.error = std::current_exception();
       }
     }
     --t_parallel_depth;
@@ -112,11 +126,12 @@ class Pool {
       work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
       if (shutdown_) return;
       seen = generation_;
-      const auto* fn = job_fn_;
-      const std::size_t chunks = job_chunks_;
+      std::shared_ptr<Job> job = job_;
+      if (!job) continue;  // job already finished and detached
       ++active_;
       lock.unlock();
-      drain(*fn, chunks);
+      drain(*job);
+      job.reset();
       lock.lock();
       if (--active_ == 0) done_cv_.notify_all();
     }
@@ -128,13 +143,10 @@ class Pool {
   std::vector<std::thread> workers_;
   std::size_t threads_target_ = 1;
   bool shutdown_ = false;
-  // Current job (guarded by mu_ except the chunk counter).
-  const std::function<void(std::size_t)>* job_fn_ = nullptr;
-  std::size_t job_chunks_ = 0;
+  // Latest submitted job (guarded by mu_; chunk counter lives in the Job).
+  std::shared_ptr<Job> job_;
   std::uint64_t generation_ = 0;
   std::size_t active_ = 0;
-  std::atomic<std::size_t> next_{0};
-  std::exception_ptr error_;
 };
 
 std::size_t env_or_hardware_threads() {

@@ -48,11 +48,18 @@ std::string phase_json() {
   std::string json = "{";
   bool first = true;
   for (const auto& phase : phase_snapshot()) {
-    char buffer[160];
-    std::snprintf(buffer, sizeof(buffer), "%s\"%s\":{\"s\":%.6f,\"n\":%llu}",
-                  first ? "" : ",", phase.name.c_str(), phase.seconds,
+    // Only the numeric payload goes through the fixed buffer; the name is
+    // appended as a std::string so arbitrarily long phase names cannot
+    // truncate the JSON.
+    char numbers[64];
+    std::snprintf(numbers, sizeof(numbers), "{\"s\":%.6f,\"n\":%llu}",
+                  phase.seconds,
                   static_cast<unsigned long long>(phase.samples));
-    json += buffer;
+    if (!first) json += ',';
+    json += '"';
+    json += phase.name;
+    json += "\":";
+    json += numbers;
     first = false;
   }
   json += "}";

@@ -137,25 +137,38 @@ LocalStageResult run_local_stage(
   // Per-executor map + per-partition combine. The combiner runs are
   // independent per partition and thread; the executor-key / shuffle
   // bookkeeping folds serially in partition order so shuffle_input keeps
-  // its historical record sequence.
-  std::vector<RecordStream> combined_of(partitions.size());
-  parallel_for(partitions.size(), [&](std::size_t p) {
-    combined_of[p] =
-        config.combiner_enabled
-            ? combine(partitions[p], op)
-            : RecordStream(partitions[p].begin(), partitions[p].end());
-  });
+  // its historical record sequence. Partitions are combined in bounded
+  // windows so peak memory stays O(window) combined streams instead of
+  // O(all partitions); the window size is a fixed constant, never a
+  // function of the thread count (determinism rule 1).
+  constexpr std::size_t kCombineWindow = 256;
   std::vector<double> map_records(config.executors, 0.0);
   std::vector<std::unordered_set<std::uint64_t>> executor_keys(
       config.executors);
-  for (std::size_t p = 0; p < partitions.size(); ++p) {
-    const std::size_t e = result.executor_of_partition[p];
-    BOHR_CHECK(e < config.executors);
-    map_records[e] += static_cast<double>(partitions[p].size());
-    const RecordStream& combined = combined_of[p];
-    for (const KeyValue& kv : combined) executor_keys[e].insert(kv.key);
-    result.shuffle_input.insert(result.shuffle_input.end(), combined.begin(),
-                                combined.end());
+  std::vector<RecordStream> combined_of(
+      std::min(kCombineWindow, partitions.size()));
+  for (std::size_t base = 0; base < partitions.size();
+       base += kCombineWindow) {
+    const std::size_t window =
+        std::min(kCombineWindow, partitions.size() - base);
+    parallel_for(window, [&](std::size_t i) {
+      const std::size_t p = base + i;
+      combined_of[i] =
+          config.combiner_enabled
+              ? combine(partitions[p], op)
+              : RecordStream(partitions[p].begin(), partitions[p].end());
+    });
+    for (std::size_t i = 0; i < window; ++i) {
+      const std::size_t p = base + i;
+      const std::size_t e = result.executor_of_partition[p];
+      BOHR_CHECK(e < config.executors);
+      map_records[e] += static_cast<double>(partitions[p].size());
+      RecordStream& combined = combined_of[i];
+      for (const KeyValue& kv : combined) executor_keys[e].insert(kv.key);
+      result.shuffle_input.insert(result.shuffle_input.end(), combined.begin(),
+                                  combined.end());
+      RecordStream().swap(combined);  // release this partition's stream
+    }
   }
 
   // Executor cost: map scan plus per-distinct-key aggregation state.

@@ -125,6 +125,23 @@ TEST_F(ParallelTest, BodyExceptionPropagates) {
   }
 }
 
+TEST_F(ParallelTest, BackToBackSmallLoopsNeverDropOrRepeatWork) {
+  // Regression for a stale-generation race: a notified worker that wakes
+  // after run() already returned must not invoke the previous (destroyed)
+  // job body or steal chunks from the next job. Many tiny consecutive
+  // loops maximize the window where workers lag a generation behind.
+  set_thread_count(4);
+  constexpr std::size_t kLoops = 2000;
+  constexpr std::size_t kItems = 3;  // fewer chunks than workers
+  for (std::size_t loop = 0; loop < kLoops; ++loop) {
+    std::vector<std::atomic<int>> visits(kItems);
+    parallel_for(kItems, [&](std::size_t i) { ++visits[i]; });
+    for (std::size_t i = 0; i < kItems; ++i) {
+      ASSERT_EQ(visits[i].load(), 1) << "loop=" << loop << " i=" << i;
+    }
+  }
+}
+
 TEST_F(ParallelTest, SetThreadCountResizes) {
   set_thread_count(2);
   EXPECT_EQ(thread_count(), 2u);
