@@ -141,6 +141,28 @@ class Rng {
   /// streams that must not interleave).
   Rng fork() { return Rng(operator()()); }
 
+  /// Complete generator state, exposed so checkpointing can persist a
+  /// generator mid-stream and restore() can continue the exact sequence.
+  struct State {
+    std::uint64_t words[4] = {};
+    double spare = 0.0;
+    bool has_spare = false;
+  };
+
+  State state() const {
+    State s;
+    for (int i = 0; i < 4; ++i) s.words[i] = state_[i];
+    s.spare = spare_;
+    s.has_spare = has_spare_;
+    return s;
+  }
+
+  void restore(const State& s) {
+    for (int i = 0; i < 4; ++i) state_[i] = s.words[i];
+    spare_ = s.spare;
+    has_spare_ = s.has_spare;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

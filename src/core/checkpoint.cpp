@@ -1,0 +1,818 @@
+#include "core/checkpoint.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/crc32.h"
+#include "common/phase_timer.h"
+#include "olap/cube_io.h"
+
+namespace bohr::core {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kStateMagic[8] = {'B', 'O', 'H', 'R', 'C', 'K', 'P', 'T'};
+constexpr std::uint32_t kStateVersion = 1;
+constexpr const char* kStateFile = "state.bin";
+constexpr const char* kManifestFile = "MANIFEST";
+constexpr const char* kManifestHeader = "BOHR-MANIFEST v1";
+constexpr const char* kSnapshotPrefix = "snapshot-";
+
+/// Snapshot-local corruption: rejects the snapshot, recovery falls back.
+class SnapshotRejected : public std::runtime_error {
+ public:
+  explicit SnapshotRejected(const std::string& why)
+      : std::runtime_error(why) {}
+};
+
+// ---- byte-image writer/reader -----------------------------------------
+
+struct ByteWriter {
+  std::string bytes;
+
+  void raw(const void* data, std::size_t size) {
+    bytes.append(static_cast<const char*>(data), size);
+  }
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void u32(std::uint32_t v) { raw(&v, 4); }
+  void u64(std::uint64_t v) { raw(&v, 8); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+};
+
+struct ByteReader {
+  const char* p;
+  const char* end;
+
+  void raw(void* data, std::size_t size) {
+    if (static_cast<std::size_t>(end - p) < size) {
+      throw SnapshotRejected("state image truncated");
+    }
+    std::memcpy(data, p, size);
+    p += size;
+  }
+  std::uint8_t u8() {
+    std::uint8_t v = 0;
+    raw(&v, 1);
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    raw(&v, 4);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    raw(&v, 8);
+    return v;
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::string str() {
+    const std::uint32_t size = u32();
+    if (size > static_cast<std::size_t>(end - p)) {
+      throw SnapshotRejected("state image truncated in string");
+    }
+    std::string s(static_cast<std::size_t>(size), '\0');
+    if (size > 0) raw(s.data(), s.size());
+    return s;
+  }
+  bool exhausted() const { return p == end; }
+};
+
+// ---- report / progress serialization ----------------------------------
+
+void write_doubles(ByteWriter& w, const std::vector<double>& v) {
+  w.u32(static_cast<std::uint32_t>(v.size()));
+  for (const double d : v) w.f64(d);
+}
+
+std::vector<double> read_doubles(ByteReader& r) {
+  const std::uint32_t n = r.u32();
+  std::vector<double> v(n);
+  for (auto& d : v) d = r.f64();
+  return v;
+}
+
+void write_report(ByteWriter& w, const PrepareReport& report) {
+  w.f64(report.similarity_seconds);
+  w.f64(report.probe_bytes);
+
+  const PlacementDecision& d = report.decision;
+  w.u32(static_cast<std::uint32_t>(d.move_bytes.size()));
+  for (const auto& per_dataset : d.move_bytes) {
+    w.u32(static_cast<std::uint32_t>(per_dataset.size()));
+    for (const auto& row : per_dataset) write_doubles(w, row);
+  }
+  write_doubles(w, d.reduce_fractions);
+  w.f64(d.predicted_shuffle_seconds);
+  w.f64(d.lp_seconds);
+  w.u64(d.lp_iterations);
+  w.u8(d.lp_converged ? 1 : 0);
+
+  w.f64(report.movement_seconds);
+  w.f64(report.bytes_moved);
+  w.u64(report.rows_moved);
+  w.u8(report.movement_within_lag ? 1 : 0);
+
+  const FaultReport& f = report.faults;
+  w.u64(f.outages_injected);
+  w.u64(f.degradations_injected);
+  w.u64(f.kills_injected);
+  w.u64(f.probe_pairs_lost);
+  w.u64(f.lp_fallbacks);
+  w.u64(f.movement_interruptions);
+  w.u64(f.movement_retries);
+  w.u64(f.movement_flows_failed);
+  w.u64(f.movement_replans);
+  w.u64(f.rows_truncated);
+  w.f64(f.deadline_shortfall_bytes);
+}
+
+PrepareReport read_report(ByteReader& r) {
+  PrepareReport report;
+  report.similarity_seconds = r.f64();
+  report.probe_bytes = r.f64();
+
+  PlacementDecision& d = report.decision;
+  d.move_bytes.resize(r.u32());
+  for (auto& per_dataset : d.move_bytes) {
+    per_dataset.resize(r.u32());
+    for (auto& row : per_dataset) row = read_doubles(r);
+  }
+  d.reduce_fractions = read_doubles(r);
+  d.predicted_shuffle_seconds = r.f64();
+  d.lp_seconds = r.f64();
+  d.lp_iterations = r.u64();
+  d.lp_converged = r.u8() != 0;
+
+  report.movement_seconds = r.f64();
+  report.bytes_moved = r.f64();
+  report.rows_moved = r.u64();
+  report.movement_within_lag = r.u8() != 0;
+
+  FaultReport& f = report.faults;
+  f.outages_injected = r.u64();
+  f.degradations_injected = r.u64();
+  f.kills_injected = r.u64();
+  f.probe_pairs_lost = r.u64();
+  f.lp_fallbacks = r.u64();
+  f.movement_interruptions = r.u64();
+  f.movement_retries = r.u64();
+  f.movement_flows_failed = r.u64();
+  f.movement_replans = r.u64();
+  f.rows_truncated = r.u64();
+  f.deadline_shortfall_bytes = r.f64();
+  return report;
+}
+
+void write_plans(ByteWriter& w, const std::vector<MovementPlan>& plans) {
+  w.u32(static_cast<std::uint32_t>(plans.size()));
+  for (const MovementPlan& plan : plans) {
+    w.u32(static_cast<std::uint32_t>(plan.flows.size()));
+    for (const PlannedFlow& flow : plan.flows) {
+      w.u32(static_cast<std::uint32_t>(flow.src));
+      w.u32(static_cast<std::uint32_t>(flow.dst));
+      w.f64(flow.bytes);
+      w.u64(flow.row_indices.size());
+      for (const std::size_t i : flow.row_indices) w.u64(i);
+    }
+    w.f64(plan.planned_bytes);
+    w.u64(plan.planned_rows);
+  }
+}
+
+std::vector<MovementPlan> read_plans(ByteReader& r) {
+  std::vector<MovementPlan> plans(r.u32());
+  for (MovementPlan& plan : plans) {
+    plan.flows.resize(r.u32());
+    for (PlannedFlow& flow : plan.flows) {
+      flow.src = r.u32();
+      flow.dst = r.u32();
+      flow.bytes = r.f64();
+      flow.row_indices.resize(r.u64());
+      for (auto& i : flow.row_indices) i = r.u64();
+    }
+    plan.planned_bytes = r.f64();
+    plan.planned_rows = r.u64();
+  }
+  return plans;
+}
+
+void write_similarity(ByteWriter& w,
+                      const std::vector<DatasetSimilarity>& sims) {
+  w.u32(static_cast<std::uint32_t>(sims.size()));
+  for (const DatasetSimilarity& sim : sims) {
+    write_doubles(w, sim.self);
+    w.u32(static_cast<std::uint32_t>(sim.pair.size()));
+    for (const auto& row : sim.pair) write_doubles(w, row);
+    w.u32(static_cast<std::uint32_t>(sim.matched_keys.size()));
+    for (const auto& per_dst : sim.matched_keys) {
+      w.u32(static_cast<std::uint32_t>(per_dst.size()));
+      for (const auto& keys : per_dst) {
+        // Sets serialize sorted so the byte image is deterministic
+        // (lookup-only consumers make the in-memory order irrelevant).
+        std::vector<std::uint64_t> sorted(keys.begin(), keys.end());
+        std::sort(sorted.begin(), sorted.end());
+        w.u64(sorted.size());
+        for (const std::uint64_t k : sorted) w.u64(k);
+      }
+    }
+    w.f64(sim.checking_seconds);
+    w.f64(sim.probe_bytes);
+    w.u64(sim.probe_pairs_lost);
+  }
+}
+
+std::vector<DatasetSimilarity> read_similarity(ByteReader& r) {
+  std::vector<DatasetSimilarity> sims(r.u32());
+  for (DatasetSimilarity& sim : sims) {
+    sim.self = read_doubles(r);
+    sim.pair.resize(r.u32());
+    for (auto& row : sim.pair) row = read_doubles(r);
+    sim.matched_keys.resize(r.u32());
+    for (auto& per_dst : sim.matched_keys) {
+      per_dst.resize(r.u32());
+      for (auto& keys : per_dst) {
+        const std::uint64_t n = r.u64();
+        keys.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i) keys.insert(r.u64());
+      }
+    }
+    sim.checking_seconds = r.f64();
+    sim.probe_bytes = r.f64();
+    sim.probe_pairs_lost = r.u64();
+  }
+  return sims;
+}
+
+void write_rows(ByteWriter& w, const std::vector<olap::Row>& rows) {
+  w.u64(rows.size());
+  for (const olap::Row& row : rows) {
+    w.u32(static_cast<std::uint32_t>(row.size()));
+    for (const olap::Value& value : row) {
+      if (const auto* i = std::get_if<std::int64_t>(&value)) {
+        w.u8(0);
+        w.u64(static_cast<std::uint64_t>(*i));
+      } else if (const auto* d = std::get_if<double>(&value)) {
+        w.u8(1);
+        w.f64(*d);
+      } else {
+        w.u8(2);
+        w.str(std::get<std::string>(value));
+      }
+    }
+  }
+}
+
+std::vector<olap::Row> read_rows(ByteReader& r) {
+  std::vector<olap::Row> rows(r.u64());
+  for (olap::Row& row : rows) {
+    row.resize(r.u32());
+    for (olap::Value& value : row) {
+      switch (r.u8()) {
+        case 0:
+          value = static_cast<std::int64_t>(r.u64());
+          break;
+        case 1:
+          value = r.f64();
+          break;
+        case 2:
+          value = r.str();
+          break;
+        default:
+          throw SnapshotRejected("unknown value tag in row image");
+      }
+    }
+  }
+  return rows;
+}
+
+std::string cube_file_name(std::size_t dataset, std::size_t site) {
+  return "cube-" + std::to_string(dataset) + "-" + std::to_string(site) +
+         ".cube";
+}
+
+/// The full state image of one snapshot.
+std::string build_state_image(
+    const Controller& controller, const PrepareProgress& progress,
+    const net::BandwidthEstimator* bandwidth) {
+  ByteWriter w;
+  w.raw(kStateMagic, sizeof(kStateMagic));
+  w.u32(kStateVersion);
+  w.u32(static_cast<std::uint32_t>(progress.completed_steps));
+
+  const Rng::State rng = controller.rng_state();
+  for (const std::uint64_t word : rng.words) w.u64(word);
+  w.f64(rng.spare);
+  w.u8(rng.has_spare ? 1 : 0);
+
+  w.u8(bandwidth != nullptr ? 1 : 0);
+  if (bandwidth != nullptr) {
+    const auto estimates = bandwidth->estimates();
+    w.u32(static_cast<std::uint32_t>(estimates.size()));
+    for (const auto& e : estimates) {
+      w.f64(e.up);
+      w.f64(e.down);
+      w.u8(e.seen ? 1 : 0);
+    }
+  }
+
+  write_report(w, progress.report);
+  write_plans(w, progress.plans);
+  write_similarity(w, controller.similarity());
+
+  const auto& datasets = controller.datasets();
+  w.u32(static_cast<std::uint32_t>(datasets.size()));
+  for (const DatasetState& d : datasets) {
+    w.u32(static_cast<std::uint32_t>(d.site_count()));
+    w.u8(d.has_cubes() ? 1 : 0);
+    for (std::size_t s = 0; s < d.site_count(); ++s) {
+      write_rows(w, d.rows_at(s));
+    }
+  }
+  return std::move(w.bytes);
+}
+
+struct DecodedState {
+  PrepareProgress progress;
+  Rng::State rng;
+  std::optional<std::vector<net::BandwidthEstimator::SiteEstimate>> bandwidth;
+  std::vector<DatasetSimilarity> similarity;
+  std::vector<std::vector<std::vector<olap::Row>>> dataset_rows;
+  std::vector<bool> dataset_has_cubes;
+};
+
+DecodedState decode_state_image(const std::string& image) {
+  ByteReader r{image.data(), image.data() + image.size()};
+  char magic[8];
+  r.raw(magic, sizeof(magic));
+  if (std::memcmp(magic, kStateMagic, sizeof(kStateMagic)) != 0) {
+    throw SnapshotRejected("state image has bad magic");
+  }
+  if (r.u32() != kStateVersion) {
+    throw SnapshotRejected("state image has unsupported version");
+  }
+
+  DecodedState state;
+  state.progress.completed_steps = r.u32();
+  if (state.progress.completed_steps == 0 ||
+      state.progress.completed_steps > Controller::kPrepareStepCount) {
+    throw SnapshotRejected("state image has invalid step count");
+  }
+  for (auto& word : state.rng.words) word = r.u64();
+  state.rng.spare = r.f64();
+  state.rng.has_spare = r.u8() != 0;
+
+  if (r.u8() != 0) {
+    std::vector<net::BandwidthEstimator::SiteEstimate> estimates(r.u32());
+    for (auto& e : estimates) {
+      e.up = r.f64();
+      e.down = r.f64();
+      e.seen = r.u8() != 0;
+    }
+    state.bandwidth = std::move(estimates);
+  }
+
+  state.progress.report = read_report(r);
+  state.progress.plans = read_plans(r);
+  state.similarity = read_similarity(r);
+
+  const std::uint32_t dataset_count = r.u32();
+  state.dataset_rows.resize(dataset_count);
+  state.dataset_has_cubes.resize(dataset_count);
+  for (std::uint32_t a = 0; a < dataset_count; ++a) {
+    const std::uint32_t sites = r.u32();
+    state.dataset_has_cubes[a] = r.u8() != 0;
+    state.dataset_rows[a].resize(sites);
+    for (std::uint32_t s = 0; s < sites; ++s) {
+      state.dataset_rows[a][s] = read_rows(r);
+    }
+  }
+  if (!r.exhausted()) {
+    throw SnapshotRejected("state image has trailing bytes");
+  }
+  return state;
+}
+
+// ---- manifest ----------------------------------------------------------
+
+std::string hex32(std::uint32_t v) {
+  char buf[9];
+  std::snprintf(buf, sizeof(buf), "%08x", v);
+  return buf;
+}
+
+/// Builds the manifest text for a set of (name, intended bytes) files.
+/// The trailing `self` line checksums every preceding byte, so a torn
+/// or flipped manifest can never validate.
+std::string build_manifest(
+    const std::vector<std::pair<std::string, const std::string*>>& files) {
+  std::string text = std::string(kManifestHeader) + "\n";
+  for (const auto& [name, bytes] : files) {
+    text += "file " + std::to_string(bytes->size()) + " " +
+            hex32(crc32(*bytes)) + " " + name + "\n";
+  }
+  text += "self " + hex32(crc32(text)) + "\n";
+  return text;
+}
+
+struct ManifestEntry {
+  std::uint64_t size = 0;
+  std::uint32_t crc = 0;
+  std::string name;
+};
+
+std::vector<ManifestEntry> parse_manifest(const std::string& text) {
+  // Validate the self-checksum first: it covers everything before the
+  // final "self " line.
+  const std::size_t self_pos = text.rfind("self ");
+  if (self_pos == std::string::npos || self_pos + 13 > text.size()) {
+    throw SnapshotRejected("manifest missing self line");
+  }
+  const std::string stored_hex = text.substr(self_pos + 5, 8);
+  const std::uint32_t stored =
+      static_cast<std::uint32_t>(std::stoul(stored_hex, nullptr, 16));
+  if (stored != crc32(text.data(), self_pos)) {
+    throw SnapshotRejected("manifest self-checksum mismatch");
+  }
+
+  std::vector<ManifestEntry> entries;
+  std::istringstream lines(text.substr(0, self_pos));
+  std::string line;
+  if (!std::getline(lines, line) || line != kManifestHeader) {
+    throw SnapshotRejected("manifest header missing");
+  }
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string tag;
+    ManifestEntry entry;
+    std::string crc_hex;
+    if (!(fields >> tag >> entry.size >> crc_hex >> entry.name) ||
+        tag != "file") {
+      throw SnapshotRejected("manifest line malformed: " + line);
+    }
+    entry.crc = static_cast<std::uint32_t>(std::stoul(crc_hex, nullptr, 16));
+    entries.push_back(std::move(entry));
+  }
+  if (entries.empty()) throw SnapshotRejected("manifest lists no files");
+  return entries;
+}
+
+std::string read_whole_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    throw SnapshotRejected("cannot open " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) throw SnapshotRejected("read failed for " + path.string());
+  return std::move(buffer).str();
+}
+
+/// Commits `bytes` to `path` crash-atomically (temp + flush + rename).
+void atomic_write(const fs::path& path, const std::string& bytes) {
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      throw CheckpointError("cannot create " + tmp.string());
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw CheckpointError("write failed for " + tmp.string());
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    throw CheckpointError("rename failed for " + path.string() + ": " +
+                          ec.message());
+  }
+}
+
+/// Sequence number of a snapshot directory name, or nullopt.
+std::optional<std::size_t> snapshot_seq(const std::string& name) {
+  const std::string prefix = kSnapshotPrefix;
+  if (name.rfind(prefix, 0) != 0) return std::nullopt;
+  const std::string digits = name.substr(prefix.size());
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return std::nullopt;
+  }
+  return static_cast<std::size_t>(std::stoull(digits));
+}
+
+std::vector<std::size_t> list_snapshot_seqs(const std::string& dir) {
+  std::vector<std::size_t> seqs;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_directory()) continue;
+    if (const auto seq = snapshot_seq(entry.path().filename().string())) {
+      seqs.push_back(*seq);
+    }
+  }
+  std::sort(seqs.begin(), seqs.end());
+  return seqs;
+}
+
+}  // namespace
+
+const std::vector<std::string>& prepare_phase_names() {
+  static const std::vector<std::string> names = {
+      "similarity", "placement", "movement_plan", "movement"};
+  return names;
+}
+
+std::string serialize_prepare_report(const PrepareReport& report) {
+  // Wall-clock profiling fields measure the host, not the computation
+  // (the phase-timer JSON follows the same convention), so the identity
+  // image canonicalizes them to zero. Every other field is simulated or
+  // counted and must match bit-for-bit across crash/recover runs.
+  PrepareReport canonical = report;
+  canonical.similarity_seconds = 0.0;
+  canonical.decision.lp_seconds = 0.0;
+  ByteWriter w;
+  write_report(w, canonical);
+  return std::move(w.bytes);
+}
+
+// ---- CheckpointManager -------------------------------------------------
+
+CheckpointManager::CheckpointManager(std::string dir,
+                                     std::size_t keep_snapshots,
+                                     const net::FaultPlan* faults)
+    : dir_(std::move(dir)), keep_snapshots_(keep_snapshots), faults_(faults) {
+  BOHR_EXPECTS(!dir_.empty());
+  BOHR_EXPECTS(keep_snapshots_ >= 1);
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw CheckpointError("cannot create checkpoint dir " + dir_ + ": " +
+                          ec.message());
+  }
+  // A recovered process keeps numbering where the crashed one stopped.
+  const auto seqs = list_snapshot_seqs(dir_);
+  if (!seqs.empty()) next_seq_ = seqs.back() + 1;
+}
+
+void CheckpointManager::write_file(const std::string& path,
+                                   std::string bytes) {
+  // Storage faults corrupt the bytes BETWEEN intent and disk: the
+  // manifest records the checksum of what should have been written, so
+  // recovery sees exactly what a lying disk looks like.
+  if (faults_ != nullptr) {
+    for (const auto& fault : faults_->storage_faults) {
+      if (fault.file_index != files_written_) continue;
+      if (fault.kind == net::StorageFault::Kind::kTornWrite) {
+        bytes.resize(static_cast<std::size_t>(
+            static_cast<double>(bytes.size()) * fault.fraction));
+      } else {
+        const std::size_t byte_idx = (fault.bit / 8) % std::max<std::size_t>(
+                                         bytes.size(), 1);
+        if (!bytes.empty()) {
+          bytes[byte_idx] = static_cast<char>(
+              static_cast<unsigned char>(bytes[byte_idx]) ^
+              (1u << (fault.bit % 8)));
+        }
+      }
+    }
+  }
+  ++files_written_;
+  atomic_write(path, bytes);
+}
+
+void CheckpointManager::snapshot(const Controller& controller,
+                                 const PrepareProgress& progress,
+                                 const net::BandwidthEstimator* bandwidth) {
+  ScopedPhase phase("checkpoint.snapshot");
+  BOHR_EXPECTS(progress.completed_steps >= 1);
+
+  const std::size_t seq = next_seq_++;
+  const fs::path snap_dir = fs::path(dir_) / (kSnapshotPrefix +
+                                              std::to_string(seq));
+  std::error_code ec;
+  fs::create_directories(snap_dir, ec);
+  if (ec) {
+    throw CheckpointError("cannot create " + snap_dir.string() + ": " +
+                          ec.message());
+  }
+
+  // Serialize everything first so the manifest can seal intended bytes.
+  std::vector<std::pair<std::string, std::string>> files;
+  files.emplace_back(kStateFile,
+                     build_state_image(controller, progress, bandwidth));
+  const auto& datasets = controller.datasets();
+  for (std::size_t a = 0; a < datasets.size(); ++a) {
+    if (!datasets[a].has_cubes()) continue;
+    for (std::size_t s = 0; s < datasets[a].site_count(); ++s) {
+      std::ostringstream cube_bytes;
+      olap::write_cube(cube_bytes, datasets[a].cubes_at(s).base_cube());
+      files.emplace_back(cube_file_name(a, s), std::move(cube_bytes).str());
+    }
+  }
+
+  std::vector<std::pair<std::string, const std::string*>> manifest_input;
+  manifest_input.reserve(files.size());
+  for (const auto& [name, bytes] : files) {
+    manifest_input.emplace_back(name, &bytes);
+  }
+  const std::string manifest = build_manifest(manifest_input);
+
+  // Data files first, manifest last: the manifest's existence is the
+  // snapshot's commit record.
+  for (auto& [name, bytes] : files) {
+    write_file((snap_dir / name).string(), std::move(bytes));
+  }
+  write_file((snap_dir / kManifestFile).string(), manifest);
+  ++snapshots_written_;
+
+  // Prune committed snapshots beyond the keep budget (never the one
+  // just written).
+  const auto seqs = list_snapshot_seqs(dir_);
+  if (seqs.size() > keep_snapshots_) {
+    for (std::size_t i = 0; i + keep_snapshots_ < seqs.size(); ++i) {
+      fs::remove_all(fs::path(dir_) /
+                         (kSnapshotPrefix + std::to_string(seqs[i])),
+                     ec);
+    }
+  }
+}
+
+// ---- RecoveryManager ---------------------------------------------------
+
+RecoveryManager::RecoveryManager(std::string dir) : dir_(std::move(dir)) {
+  BOHR_EXPECTS(!dir_.empty());
+}
+
+RecoveryResult RecoveryManager::recover(Controller& controller) {
+  ScopedPhase phase("checkpoint.recover");
+  RecoveryResult result;
+
+  std::vector<std::size_t> seqs = list_snapshot_seqs(dir_);
+  std::sort(seqs.rbegin(), seqs.rend());  // newest first
+
+  for (const std::size_t seq : seqs) {
+    const fs::path snap_dir =
+        fs::path(dir_) / (kSnapshotPrefix + std::to_string(seq));
+    try {
+      const std::string manifest_text =
+          read_whole_file(snap_dir / kManifestFile);
+      const std::vector<ManifestEntry> entries =
+          parse_manifest(manifest_text);
+
+      // Verify every file's size and checksum before trusting any byte.
+      std::string state_image;
+      std::vector<std::pair<std::string, std::string>> cube_files;
+      for (const ManifestEntry& entry : entries) {
+        std::string bytes = read_whole_file(snap_dir / entry.name);
+        if (bytes.size() != entry.size) {
+          throw SnapshotRejected(entry.name + " size mismatch");
+        }
+        if (crc32(bytes) != entry.crc) {
+          throw SnapshotRejected(entry.name + " checksum mismatch");
+        }
+        if (entry.name == kStateFile) {
+          state_image = std::move(bytes);
+        } else {
+          cube_files.emplace_back(entry.name, std::move(bytes));
+        }
+      }
+      if (state_image.empty()) {
+        throw SnapshotRejected("manifest lists no state image");
+      }
+
+      DecodedState state = decode_state_image(state_image);
+
+      // Shape checks against the live controller: a snapshot from a
+      // different configuration is corruption as far as recovery is
+      // concerned.
+      const auto& datasets = controller.datasets();
+      if (state.dataset_rows.size() != datasets.size()) {
+        throw SnapshotRejected("dataset count mismatch");
+      }
+      std::vector<std::vector<olap::OlapCube>> cubes(datasets.size());
+      for (std::size_t a = 0; a < datasets.size(); ++a) {
+        if (state.dataset_rows[a].size() != datasets[a].site_count()) {
+          throw SnapshotRejected("site count mismatch");
+        }
+        if (state.dataset_has_cubes[a] != datasets[a].has_cubes()) {
+          throw SnapshotRejected("cube presence mismatch");
+        }
+        if (datasets[a].has_cubes()) {
+          cubes[a].reserve(datasets[a].site_count());
+          for (std::size_t s = 0; s < datasets[a].site_count(); ++s) {
+            const std::string wanted = cube_file_name(a, s);
+            const auto it = std::find_if(
+                cube_files.begin(), cube_files.end(),
+                [&](const auto& f) { return f.first == wanted; });
+            if (it == cube_files.end()) {
+              throw SnapshotRejected("missing " + wanted);
+            }
+            std::istringstream in(it->second);
+            try {
+              cubes[a].push_back(olap::read_cube(in));
+            } catch (const olap::CubeIoError& e) {
+              throw SnapshotRejected(wanted + ": " + e.what());
+            }
+          }
+        }
+      }
+
+      // All checks passed — restore. Mutations start only now, so a
+      // rejected snapshot leaves the controller untouched.
+      for (std::size_t a = 0; a < datasets.size(); ++a) {
+        controller.mutable_dataset(a).restore_sites(
+            std::move(state.dataset_rows[a]), std::move(cubes[a]));
+      }
+      controller.restore_similarity(std::move(state.similarity));
+      controller.restore_rng(state.rng);
+
+      result.recovered = true;
+      result.snapshot_seq = seq;
+      result.progress = std::move(state.progress);
+      result.bandwidth = std::move(state.bandwidth);
+      return result;
+    } catch (const SnapshotRejected&) {
+      ++result.snapshots_rejected;
+      continue;
+    }
+  }
+  return result;
+}
+
+// ---- staged drivers ----------------------------------------------------
+
+namespace {
+
+void run_remaining_steps(Controller& controller, PrepareProgress& progress,
+                         CheckpointManager& checkpoints,
+                         const net::BandwidthEstimator* bandwidth) {
+  const std::string& crash_phase =
+      controller.options().faults.crash_after_phase;
+  const std::vector<std::string>& names = prepare_phase_names();
+  if (!crash_phase.empty()) {
+    BOHR_EXPECTS(std::find(names.begin(), names.end(), crash_phase) !=
+                 names.end());
+  }
+  while (progress.completed_steps < Controller::kPrepareStepCount) {
+    switch (progress.completed_steps) {
+      case 0:
+        controller.step_similarity(progress);
+        break;
+      case 1:
+        controller.step_placement(progress);
+        break;
+      case 2:
+        controller.step_plan_movement(progress);
+        break;
+      default:
+        controller.step_execute_movement(progress);
+        break;
+    }
+    checkpoints.snapshot(controller, progress, bandwidth);
+    // The crash fires after the snapshot commits: "crash after phase X"
+    // tests recovery FROM X's snapshot. (A crash mid-snapshot is the
+    // torn-write fault's job.)
+    if (!crash_phase.empty() &&
+        names[progress.completed_steps - 1] == crash_phase) {
+      throw CrashInjected(crash_phase);
+    }
+  }
+}
+
+}  // namespace
+
+const PrepareReport& checkpointed_prepare(
+    Controller& controller, CheckpointManager& checkpoints,
+    const net::BandwidthEstimator* bandwidth) {
+  PrepareProgress progress = controller.start_prepare();
+  run_remaining_steps(controller, progress, checkpoints, bandwidth);
+  return controller.finish_prepare(std::move(progress));
+}
+
+const PrepareReport& resume_prepare(Controller& controller,
+                                    PrepareProgress progress,
+                                    CheckpointManager& checkpoints,
+                                    const net::BandwidthEstimator* bandwidth) {
+  run_remaining_steps(controller, progress, checkpoints, bandwidth);
+  return controller.finish_prepare(std::move(progress));
+}
+
+}  // namespace bohr::core

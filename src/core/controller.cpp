@@ -111,16 +111,32 @@ PlacementProblem Controller::build_placement_problem() const {
 
 const PrepareReport& Controller::prepare() {
   if (prepared_) return *prepared_;
-  const StrategyTraits traits = traits_of(options_.strategy);
-  PrepareReport report;
-  report.faults.outages_injected = options_.faults.outages.size();
-  report.faults.degradations_injected = options_.faults.degradations.size();
-  report.faults.kills_injected = options_.faults.kills.size();
+  PrepareProgress progress = start_prepare();
+  step_similarity(progress);
+  step_placement(progress);
+  step_plan_movement(progress);
+  step_execute_movement(progress);
+  return finish_prepare(std::move(progress));
+}
 
-  // 1. Similarity checking (§4) for cube-backed similarity strategies.
+PrepareProgress Controller::start_prepare() {
+  PrepareProgress progress;
+  progress.report.faults.outages_injected = options_.faults.outages.size();
+  progress.report.faults.degradations_injected =
+      options_.faults.degradations.size();
+  progress.report.faults.kills_injected = options_.faults.kills.size();
+  return progress;
+}
+
+// Step 1. Similarity checking (§4) for cube-backed similarity strategies.
+void Controller::step_similarity(PrepareProgress& progress) {
+  BOHR_EXPECTS(progress.completed_steps == 0);
+  PrepareReport& report = progress.report;
+  const StrategyTraits traits = traits_of(options_.strategy);
   if (traits.similarity_movement) {
     SimilarityOptions sim_options = options_.similarity;
     if (!probe_faults_.empty()) sim_options.faults = &probe_faults_;
+    similarity_.clear();
     similarity_.reserve(datasets_.size());
     for (const auto& d : datasets_) {
       DatasetSimilarity sim = check_similarity(d, sim_options);
@@ -130,11 +146,17 @@ const PrepareReport& Controller::prepare() {
       similarity_.push_back(std::move(sim));
     }
   }
+  progress.completed_steps = 1;
+}
 
-  // 2. Placement: joint LP (§5), the Iridium heuristic, or §1's
-  // ship-everything strawman. A joint LP that fails to converge (or is
-  // failure-injected) falls back to the Iridium heuristic — one rung
-  // down the degraded-mode ladder, never a crash.
+// Step 2. Placement: joint LP (§5), the Iridium heuristic, or §1's
+// ship-everything strawman. A joint LP that fails to converge (or is
+// failure-injected) falls back to the Iridium heuristic — one rung
+// down the degraded-mode ladder, never a crash.
+void Controller::step_placement(PrepareProgress& progress) {
+  BOHR_EXPECTS(progress.completed_steps == 1);
+  PrepareReport& report = progress.report;
+  const StrategyTraits traits = traits_of(options_.strategy);
   const PlacementProblem problem = build_placement_problem();
   if (centralizes(options_.strategy)) {
     report.decision = centralized_placement(problem);
@@ -159,30 +181,56 @@ const PrepareReport& Controller::prepare() {
   } else {
     report.decision = iridium_placement(problem);
   }
+  progress.completed_steps = 2;
+}
 
-  // 3. Movement in the lag before the next query (§3). All datasets
-  // move concurrently and share the WAN, so their flows are planned
-  // first and simulated together — the lag verdict sees the shared-WAN
-  // contention, not each dataset in isolation.
+// Step 3. Plan movement in the lag before the next query (§3). All
+// datasets move concurrently and share the WAN, so their flows are
+// planned before any is simulated. This is the only step that draws
+// from rng_, which is why snapshots persist the generator state.
+void Controller::step_plan_movement(PrepareProgress& progress) {
+  BOHR_EXPECTS(progress.completed_steps == 2);
+  const StrategyTraits traits = traits_of(options_.strategy);
+  progress.plans.clear();
+  progress.plans.reserve(datasets_.size());
+  for (std::size_t a = 0; a < datasets_.size(); ++a) {
+    const DatasetSimilarity* sim =
+        similarity_.empty() ? nullptr : &similarity_[a];
+    progress.plans.push_back(
+        plan_movement(datasets_[a], progress.report.decision.move_bytes[a],
+                      sim, traits.similarity_movement, rng_));
+  }
+  progress.completed_steps = 3;
+}
+
+// Step 4. Simulate the planned flows together (the lag verdict sees the
+// shared-WAN contention, not each dataset in isolation), apply what
+// landed, and — if the deadline or a dead flow cut the plan short —
+// re-solve task placement for the data that actually arrived.
+void Controller::step_execute_movement(PrepareProgress& progress) {
+  BOHR_EXPECTS(progress.completed_steps == 3);
+  PrepareReport& report = progress.report;
+  const std::vector<MovementPlan>& plans = progress.plans;
   const net::FaultPlan move_faults =
       options_.faults.restricted_to(net::kPhaseMovement);
   // A faulted run must not pretend bytes that missed the deadline (or
   // died with their flow) arrived; a pristine run keeps the historical
-  // behaviour unless truncation is explicitly requested.
-  const bool enforce =
-      options_.enforce_lag_deadline || !options_.faults.empty();
+  // behaviour unless truncation is explicitly requested. Crash and
+  // storage faults never perturb the data plane, so they must not flip
+  // this switch — recovery's byte-identity guarantee depends on it.
+  const bool enforce = options_.enforce_lag_deadline ||
+                       !options_.faults.data_plane_quiet();
+  // Rebuilt rather than carried over from step_placement: the datasets
+  // are untouched between the two steps (movement applies below), so
+  // the problem is bit-identical — and a recovered process can resume
+  // here without the placement step's locals.
+  const PlacementProblem problem = build_placement_problem();
 
-  std::vector<MovementPlan> plans;
-  plans.reserve(datasets_.size());
   std::vector<net::Flow> all_flows;
   std::vector<std::pair<std::size_t, std::size_t>> origin;  // dataset, flow
   for (std::size_t a = 0; a < datasets_.size(); ++a) {
-    const DatasetSimilarity* sim =
-        similarity_.empty() ? nullptr : &similarity_[a];
-    plans.push_back(plan_movement(datasets_[a], report.decision.move_bytes[a],
-                                  sim, traits.similarity_movement, rng_));
-    for (std::size_t f = 0; f < plans.back().flows.size(); ++f) {
-      const PlannedFlow& pf = plans.back().flows[f];
+    for (std::size_t f = 0; f < plans[a].flows.size(); ++f) {
+      const PlannedFlow& pf = plans[a].flows[f];
       all_flows.push_back(net::Flow{pf.src, pf.dst, pf.bytes, 0.0});
       origin.emplace_back(a, f);
     }
@@ -233,9 +281,6 @@ const PrepareReport& Controller::prepare() {
   report.movement_within_lag =
       report.movement_seconds <= options_.lag_seconds + 1e-9;
 
-  // 4. If the deadline (or a dead flow) cut the plan short, the reduce
-  // placement was optimized for data that never arrived: record the
-  // shortfall honestly and re-solve task placement for what landed.
   if (report.faults.rows_truncated > 0) {
     std::vector<std::vector<std::vector<double>>> actual =
         report.decision.move_bytes;
@@ -257,9 +302,24 @@ const PrepareReport& Controller::prepare() {
       ++report.faults.movement_replans;
     }
   }
+  progress.completed_steps = 4;
+}
 
-  prepared_ = std::move(report);
+const PrepareReport& Controller::finish_prepare(PrepareProgress&& progress) {
+  BOHR_EXPECTS(progress.completed_steps == kPrepareStepCount);
+  BOHR_EXPECTS(!prepared_);
+  prepared_ = std::move(progress.report);
   return *prepared_;
+}
+
+void Controller::restore_similarity(std::vector<DatasetSimilarity> sims) {
+  BOHR_EXPECTS(sims.empty() || sims.size() == datasets_.size());
+  similarity_ = std::move(sims);
+}
+
+DatasetState& Controller::mutable_dataset(std::size_t idx) {
+  BOHR_EXPECTS(idx < datasets_.size());
+  return datasets_[idx];
 }
 
 std::vector<double> Controller::vanilla_reduce_fractions(

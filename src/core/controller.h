@@ -77,6 +77,16 @@ struct PrepareReport {
   FaultReport faults;
 };
 
+/// Intermediate state of a staged prepare() run. The checkpoint
+/// subsystem drives the steps one at a time and snapshots at each
+/// boundary; `plans` carries the movement plan between the planning and
+/// execution steps so a restart can resume mid-movement.
+struct PrepareProgress {
+  PrepareReport report;
+  std::vector<MovementPlan> plans;  ///< valid once step_plan_movement ran
+  std::size_t completed_steps = 0;  ///< 0..kPrepareStepCount
+};
+
 /// Result of one recurring query type over one dataset.
 struct QueryExecution {
   std::size_t dataset_id = 0;
@@ -94,7 +104,30 @@ class Controller {
   /// Runs everything that happens in the lag before queries arrive:
   /// similarity checking (if the strategy uses it), placement (heuristic
   /// or joint LP), and data movement. Idempotent per controller.
+  /// Equivalent to driving the staged steps below in order.
   const PrepareReport& prepare();
+
+  /// --- staged prepare ---------------------------------------------------
+  /// The same pipeline cut at its phase boundaries so the checkpoint
+  /// subsystem can snapshot between steps and a recovered process can
+  /// resume from the last completed one. Steps must run in order:
+  /// similarity, placement, plan_movement, execute_movement.
+  static constexpr std::size_t kPrepareStepCount = 4;
+  PrepareProgress start_prepare();
+  void step_similarity(PrepareProgress& progress);
+  void step_placement(PrepareProgress& progress);
+  void step_plan_movement(PrepareProgress& progress);
+  void step_execute_movement(PrepareProgress& progress);
+  /// Records the finished report; further prepare() calls return it.
+  const PrepareReport& finish_prepare(PrepareProgress&& progress);
+
+  /// --- recovery hooks ---------------------------------------------------
+  /// Restore internal state captured in a snapshot. Only meaningful
+  /// before any step has run on this instance.
+  void restore_similarity(std::vector<DatasetSimilarity> sims);
+  Rng::State rng_state() const { return rng_.state(); }
+  void restore_rng(const Rng::State& s) { rng_.restore(s); }
+  DatasetState& mutable_dataset(std::size_t idx);
 
   /// Executes every dataset's query mix once per query type; recurrences
   /// are recorded so averages weight by query count.

@@ -104,6 +104,13 @@ std::vector<double> vanilla_baseline(const ExperimentConfig& config,
 
 }  // namespace
 
+Controller make_controller(const ExperimentConfig& config, Strategy strategy) {
+  const StrategyTraits traits = traits_of(strategy);
+  const SharedInputs inputs = make_inputs(config);
+  return Controller(config.make_topology(), make_states(inputs, traits.cubes),
+                    make_controller_options(config, strategy));
+}
+
 const StrategyOutcome& WorkloadRun::outcome(Strategy s) const {
   for (const auto& o : outcomes) {
     if (o.strategy == s) return o;

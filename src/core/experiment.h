@@ -70,6 +70,14 @@ struct WorkloadRun {
   double mean_data_reduction_percent(Strategy s) const;
 };
 
+/// Builds the controller one scheme would use inside run_workload: same
+/// topology, same generated inputs, same options. Exposed for the
+/// checkpoint/recovery driver (tools and benches), which needs to drive
+/// prepare() step by step instead of in one shot. Deterministic per
+/// (config, strategy), so two calls build controllers that produce
+/// byte-identical prepare reports.
+Controller make_controller(const ExperimentConfig& config, Strategy strategy);
+
 /// Runs `strategies` on the configured workload. All schemes see the
 /// same generated data and the same query mixes.
 WorkloadRun run_workload(const ExperimentConfig& config,

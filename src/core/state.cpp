@@ -204,6 +204,20 @@ void DatasetState::append_rows(std::size_t site, std::vector<olap::Row> rows,
   }
 }
 
+void DatasetState::restore_sites(std::vector<std::vector<olap::Row>> site_rows,
+                                 std::vector<olap::OlapCube> base_cubes) {
+  BOHR_EXPECTS(site_rows.size() == site_count());
+  bundle_.site_rows = std::move(site_rows);
+  if (has_cubes()) {
+    BOHR_EXPECTS(base_cubes.size() == site_count());
+    for (std::size_t s = 0; s < site_count(); ++s) {
+      cubes_[s].restore_base(std::move(base_cubes[s]));
+    }
+  } else {
+    BOHR_EXPECTS(base_cubes.empty());
+  }
+}
+
 void DatasetState::rebuild_cubes_at(std::size_t site) {
   const olap::CubeBuilder builder(bundle_.cube_spec);
   olap::DatasetCubes fresh(builder);

@@ -81,6 +81,13 @@ class DatasetState {
   void append_rows(std::size_t site, std::vector<olap::Row> rows,
                    bool buffer_only);
 
+  /// Checkpoint recovery: replaces every site's rows with a snapshot's
+  /// and installs the matching restored base cubes (one per site when
+  /// this state has cubes; empty otherwise). Dimension cubes are
+  /// re-derived from the restored bases.
+  void restore_sites(std::vector<std::vector<olap::Row>> site_rows,
+                     std::vector<olap::OlapCube> base_cubes);
+
  private:
   void rebuild_cubes_at(std::size_t site);
 

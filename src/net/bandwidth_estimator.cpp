@@ -53,6 +53,23 @@ bool BandwidthEstimator::has_estimate(SiteId site) const {
   return entries_[site].seen;
 }
 
+std::vector<BandwidthEstimator::SiteEstimate> BandwidthEstimator::estimates()
+    const {
+  std::vector<SiteEstimate> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    out.push_back(SiteEstimate{e.up, e.down, e.seen});
+  }
+  return out;
+}
+
+void BandwidthEstimator::restore(const std::vector<SiteEstimate>& estimates) {
+  BOHR_EXPECTS(estimates.size() == entries_.size());
+  for (std::size_t s = 0; s < entries_.size(); ++s) {
+    entries_[s] = Entry{estimates[s].up, estimates[s].down, estimates[s].seen};
+  }
+}
+
 WanTopology BandwidthEstimator::estimated_topology(
     const WanTopology& names_from) const {
   BOHR_EXPECTS(names_from.site_count() == entries_.size());

@@ -33,6 +33,17 @@ class BandwidthEstimator {
 
   bool has_estimate(SiteId site) const;
 
+  /// One site's persisted estimator state, exposed for checkpointing.
+  struct SiteEstimate {
+    double up = 0.0;
+    double down = 0.0;
+    bool seen = false;
+  };
+  std::vector<SiteEstimate> estimates() const;
+  /// Restores a snapshot taken with estimates(); size must match the
+  /// estimator's site count.
+  void restore(const std::vector<SiteEstimate>& estimates);
+
   /// Builds a topology snapshot from the current estimates so the LP layer
   /// can consume estimates exactly like ground truth. Requires estimates
   /// for every site.

@@ -20,6 +20,11 @@ bool window_covers(double start, double end, double t) {
 }  // namespace
 
 bool FaultPlan::empty() const {
+  return data_plane_quiet() && crash_after_phase.empty() &&
+         storage_faults.empty();
+}
+
+bool FaultPlan::data_plane_quiet() const {
   return wan_quiet() && probe_loss_probability <= 0.0 && !lp_failure;
 }
 
@@ -140,6 +145,10 @@ void FaultPlan::validate() const {
   BOHR_EXPECTS(probe_loss_probability >= 0.0 && probe_loss_probability <= 1.0);
   BOHR_EXPECTS(retry.backoff_base_seconds >= 0.0);
   BOHR_EXPECTS(retry.backoff_cap_seconds >= retry.backoff_base_seconds);
+  for (const auto& s : storage_faults) {
+    BOHR_EXPECTS(std::isfinite(s.fraction));
+    BOHR_EXPECTS(s.fraction >= 0.0 && s.fraction < 1.0);
+  }
 }
 
 namespace {
@@ -287,6 +296,34 @@ FaultPlan parse_fault_plan(const std::string& spec) {
           plan.probe_loss_probability > 1.0) {
         bad_spec(clause, "p must be in [0,1]");
       }
+    } else if (head == "crash") {
+      const std::string phase = args.require("phase");
+      if (phase.empty()) bad_spec(clause, "phase must be non-empty");
+      if (!plan.crash_after_phase.empty()) {
+        bad_spec(clause, "only one crash point per plan");
+      }
+      plan.crash_after_phase = phase;
+    } else if (head == "torn-write") {
+      StorageFault s;
+      s.kind = StorageFault::Kind::kTornWrite;
+      s.file_index =
+          static_cast<std::size_t>(parse_num(clause, args.require("file")));
+      if (const auto* f = args.find("fraction")) {
+        s.fraction = parse_num(clause, *f);
+      }
+      if (s.fraction < 0.0 || s.fraction >= 1.0) {
+        bad_spec(clause, "fraction must be in [0,1)");
+      }
+      plan.storage_faults.push_back(s);
+    } else if (head == "bit-flip") {
+      StorageFault s;
+      s.kind = StorageFault::Kind::kBitFlip;
+      s.file_index =
+          static_cast<std::size_t>(parse_num(clause, args.require("file")));
+      if (const auto* b = args.find("bit")) {
+        s.bit = static_cast<std::size_t>(parse_num(clause, *b));
+      }
+      plan.storage_faults.push_back(s);
     } else if (head == "retry") {
       plan.retry.max_retries =
           static_cast<std::size_t>(parse_num(clause, args.require("max")));

@@ -78,8 +78,24 @@ struct RetryPolicy {
   bool resume = true;
 };
 
+/// Storage-level fault applied to one file written through the
+/// checkpoint subsystem's fault hook. Files are counted 0-based in the
+/// order they are written across the whole run, so a plan can target
+/// e.g. "the first file of the second snapshot" deterministically.
+struct StorageFault {
+  enum class Kind {
+    kTornWrite,  ///< only a prefix of the bytes reaches the disk
+    kBitFlip,    ///< one bit is flipped in the on-disk bytes
+  };
+  Kind kind = Kind::kTornWrite;
+  std::size_t file_index = 0;
+  double fraction = 0.5;  ///< torn write: fraction of bytes kept, [0,1)
+  std::size_t bit = 0;    ///< bit flip: flat bit offset into the file
+};
+
 /// A full fault schedule plus the control-plane faults that have no
-/// timeline (probe loss probability, forced LP failure).
+/// timeline (probe loss probability, forced LP failure) and the
+/// process/storage faults used by the checkpoint/recovery tests.
 struct FaultPlan {
   std::vector<OutageWindow> outages;
   std::vector<LinkDegradation> degradations;
@@ -92,9 +108,21 @@ struct FaultPlan {
   bool lp_failure = false;
   std::uint64_t seed = 0xB04AFA17u;
   RetryPolicy retry;
+  /// Kill the process right after the named prepare phase completes
+  /// (empty = never). Honoured by the checkpointed pipeline, which
+  /// throws CrashInjected at the phase boundary.
+  std::string crash_after_phase;
+  /// Storage faults applied by the checkpoint subsystem's write hook.
+  std::vector<StorageFault> storage_faults;
 
   /// True iff the plan injects nothing at all (the inert plan).
   bool empty() const;
+  /// True iff no *data-plane* faults exist: WAN events, probe loss, or
+  /// forced LP failure. Crash and storage faults do not perturb the
+  /// data plane, so a plan carrying only those must not change what the
+  /// controller computes — recovery's byte-identity guarantee depends
+  /// on this distinction.
+  bool data_plane_quiet() const;
   /// True iff no WAN-level events exist (the flow simulator's fast path
   /// even when control-plane faults like lp_failure are set).
   bool wan_quiet() const;
@@ -102,7 +130,9 @@ struct FaultPlan {
     return outages.size() + degradations.size() + kills.size();
   }
 
-  /// Projection of this plan onto one phase's local clock.
+  /// Projection of this plan onto one phase's local clock. Process and
+  /// storage faults are deliberately dropped: they belong to the whole
+  /// run, not to any simulated transfer phase.
   FaultPlan restricted_to(unsigned phase) const;
 
   /// Is `site` inside an outage window at time `t`?
@@ -132,6 +162,9 @@ struct FaultPlan {
 ///   probe-loss:p=F[,seed=N]
 ///   retry:max=N,base=S[,cap=S][,mode=resume|restart]
 ///   lp-failure
+///   crash:phase=NAME
+///   torn-write:file=N[,fraction=F]
+///   bit-flip:file=N[,bit=B]
 /// where P is '+'-joined phase names from {probe, move, query}.
 /// Throws ContractViolation with a message naming the bad clause.
 FaultPlan parse_fault_plan(const std::string& spec);

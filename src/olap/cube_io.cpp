@@ -1,77 +1,141 @@
 #include "olap/cube_io.h"
 
 #include <bit>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "common/check.h"
+#include "common/crc32.h"
 
 namespace bohr::olap {
 
 namespace {
 
 constexpr char kMagic[8] = {'B', 'O', 'H', 'R', 'C', 'U', 'B', 'E'};
-constexpr std::uint32_t kVersion = 1;
+constexpr char kEndMagic[8] = {'B', 'O', 'H', 'R', 'E', 'N', 'D', '!'};
+constexpr std::uint32_t kVersionV1 = 1;
+constexpr std::uint32_t kVersionV2 = 2;
+/// Hard ceiling on one section's framed length: catches a corrupted
+/// length prefix before it turns into a giant allocation.
+constexpr std::uint64_t kMaxSectionBytes = 1ull << 32;
+
+[[noreturn]] void corrupt(const std::string& why) {
+  throw CubeIoError("cube file corrupt: " + why);
+}
+
+/// Checks Dimension's construction invariants up front so corrupted
+/// input surfaces as CubeIoError, never as a ContractViolation from
+/// inside the Dimension constructor.
+void validate_dimension(const std::string& name,
+                        const std::vector<HierarchyLevel>& levels) {
+  if (name.empty()) corrupt("dimension with empty name");
+  if (levels.empty() || levels.front().granularity != 1) {
+    corrupt("dimension '" + name + "' missing granularity-1 base level");
+  }
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    if (levels[i].granularity <= levels[i - 1].granularity) {
+      corrupt("dimension '" + name + "' has non-increasing granularities");
+    }
+  }
+}
+
+// ---- stream writers (throw CubeIoError on a failing sink) -------------
 
 void put_bytes(std::ostream& out, const void* data, std::size_t size) {
   out.write(static_cast<const char*>(data),
             static_cast<std::streamsize>(size));
-  BOHR_CHECK(out.good());
-}
-
-void get_bytes(std::istream& in, void* data, std::size_t size) {
-  in.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
-  BOHR_CHECK(in.good());
+  if (!out.good()) throw CubeIoError("write failed (stream went bad)");
 }
 
 void put_u32(std::ostream& out, std::uint32_t v) { put_bytes(out, &v, 4); }
 void put_u64(std::ostream& out, std::uint64_t v) { put_bytes(out, &v, 8); }
 void put_f64(std::ostream& out, double v) {
-  const auto bits = std::bit_cast<std::uint64_t>(v);
-  put_u64(out, bits);
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
 }
 void put_string(std::ostream& out, const std::string& s) {
   put_u32(out, static_cast<std::uint32_t>(s.size()));
   put_bytes(out, s.data(), s.size());
 }
 
-std::uint32_t get_u32(std::istream& in) {
-  std::uint32_t v = 0;
-  get_bytes(in, &v, 4);
-  return v;
-}
-std::uint64_t get_u64(std::istream& in) {
-  std::uint64_t v = 0;
-  get_bytes(in, &v, 8);
-  return v;
-}
-double get_f64(std::istream& in) {
-  return std::bit_cast<double>(get_u64(in));
-}
-std::string get_string(std::istream& in) {
-  const std::uint32_t size = get_u32(in);
-  BOHR_CHECK(size < (1u << 20));  // sanity bound on names
-  std::string s(size, '\0');
-  if (size > 0) get_bytes(in, s.data(), size);
-  return s;
-}
+// ---- stream readers (throw CubeIoError on truncation) -----------------
 
-}  // namespace
+/// Counts every byte consumed so the footer's length seal can be
+/// verified without relying on tellg (which seekless streams lack).
+struct Reader {
+  std::istream& in;
+  std::uint64_t consumed = 0;
 
-void write_cube(std::ostream& out, const OlapCube& cube) {
-  BOHR_EXPECTS(out.good());
-  put_bytes(out, kMagic, sizeof(kMagic));
-  put_u32(out, kVersion);
+  void bytes(void* data, std::size_t size) {
+    in.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+    if (!in.good()) corrupt("truncated (wanted " + std::to_string(size) +
+                            " more bytes at offset " +
+                            std::to_string(consumed) + ")");
+    consumed += size;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    bytes(&v, 4);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    bytes(&v, 8);
+    return v;
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+};
 
+/// Cursor over one decoded (checksum-verified) section payload; all
+/// overruns are corruption, not contract violations.
+struct SectionCursor {
+  const char* p;
+  const char* end;
+  const char* section;
+
+  void bytes(void* data, std::size_t size) {
+    if (static_cast<std::size_t>(end - p) < size) {
+      corrupt(std::string(section) + " section shorter than its contents");
+    }
+    std::memcpy(data, p, size);
+    p += size;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    bytes(&v, 4);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    bytes(&v, 8);
+    return v;
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::string string() {
+    const std::uint32_t size = u32();
+    if (size >= (1u << 20)) {
+      corrupt(std::string(section) + " section holds an implausible name (" +
+              std::to_string(size) + " bytes)");
+    }
+    std::string s(size, '\0');
+    if (size > 0) bytes(s.data(), size);
+    return s;
+  }
+  void expect_exhausted() {
+    if (p != end) corrupt(std::string(section) + " section has trailing bytes");
+  }
+};
+
+// ---- shared payload encoders ------------------------------------------
+
+void encode_dimensions(std::ostream& out, const OlapCube& cube) {
   put_u32(out, static_cast<std::uint32_t>(cube.dimension_count()));
   for (std::size_t d = 0; d < cube.dimension_count(); ++d) {
     const Dimension& dim = cube.dimension(d);
     put_string(out, dim.name());
-    // Probe whether the dimension buckets by modulus: coarsening the
-    // max member at the top level distinguishes divisor vs modulus only
-    // when levels exist; store the flag explicitly instead.
     put_u32(out, dim.is_hashed() ? 1 : 0);
     put_u32(out, static_cast<std::uint32_t>(dim.level_count()));
     for (std::size_t l = 0; l < dim.level_count(); ++l) {
@@ -79,7 +143,9 @@ void write_cube(std::ostream& out, const OlapCube& cube) {
       put_u64(out, dim.level(l).granularity);
     }
   }
+}
 
+void encode_cells(std::ostream& out, const OlapCube& cube) {
   put_u64(out, cube.total_records());
   put_u64(out, cube.cell_count());
   for (const auto& [coords, agg] : cube.cells()) {
@@ -91,60 +157,261 @@ void write_cube(std::ostream& out, const OlapCube& cube) {
   }
 }
 
-OlapCube read_cube(std::istream& in) {
-  BOHR_EXPECTS(in.good());
-  char magic[8];
-  get_bytes(in, magic, sizeof(magic));
-  BOHR_CHECK(std::memcmp(magic, kMagic, sizeof(kMagic)) == 0);
-  const std::uint32_t version = get_u32(in);
-  BOHR_CHECK(version == kVersion);
-
-  const std::uint32_t dim_count = get_u32(in);
-  BOHR_CHECK(dim_count > 0 && dim_count < 1024);
+std::vector<Dimension> decode_dimensions(SectionCursor& cur) {
+  const std::uint32_t dim_count = cur.u32();
+  if (dim_count == 0 || dim_count >= 1024) {
+    corrupt("dimension count " + std::to_string(dim_count) +
+            " outside (0, 1024)");
+  }
   std::vector<Dimension> dims;
   dims.reserve(dim_count);
   for (std::uint32_t d = 0; d < dim_count; ++d) {
-    const std::string name = get_string(in);
-    const bool hashed = get_u32(in) != 0;
-    const std::uint32_t level_count = get_u32(in);
-    BOHR_CHECK(level_count > 0 && level_count < 64);
+    const std::string name = cur.string();
+    const bool hashed = cur.u32() != 0;
+    const std::uint32_t level_count = cur.u32();
+    if (level_count == 0 || level_count >= 64) {
+      corrupt("level count " + std::to_string(level_count) +
+              " outside (0, 64)");
+    }
     std::vector<HierarchyLevel> levels;
     levels.reserve(level_count);
     for (std::uint32_t l = 0; l < level_count; ++l) {
       HierarchyLevel level;
-      level.name = get_string(in);
-      level.granularity = get_u64(in);
+      level.name = cur.string();
+      level.granularity = cur.u64();
       levels.push_back(std::move(level));
     }
+    validate_dimension(name, levels);
+    dims.emplace_back(name, std::move(levels), hashed);
+  }
+  return dims;
+}
+
+OlapCube decode_cells(SectionCursor& cur, std::vector<Dimension> dims) {
+  const std::size_t dim_count = dims.size();
+  OlapCube cube(std::move(dims));
+  const std::uint64_t total_records = cur.u64();
+  const std::uint64_t cell_count = cur.u64();
+  // Every cell is fixed-width, so the section length pins cell_count
+  // exactly — a corrupted count cannot over- or under-read silently.
+  const std::uint64_t cell_bytes = 8ull * dim_count + 8 + 3 * 8;
+  const auto remaining = static_cast<std::uint64_t>(cur.end - cur.p);
+  if (cell_count * cell_bytes != remaining) {
+    corrupt("cell count " + std::to_string(cell_count) +
+            " disagrees with section length");
+  }
+  for (std::uint64_t c = 0; c < cell_count; ++c) {
+    CellCoords coords(dim_count);
+    for (auto& m : coords) m = cur.u64();
+    CellAggregate agg;
+    agg.count = cur.u64();
+    agg.sum = cur.f64();
+    agg.min = cur.f64();
+    agg.max = cur.f64();
+    cube.insert_aggregate(coords, agg);
+  }
+  if (cube.total_records() != total_records) {
+    corrupt("recorded total_records disagrees with summed cell counts");
+  }
+  return cube;
+}
+
+/// Writes one framed section: u64 length | payload | u32 crc.
+void write_section(std::ostream& out, const std::string& payload) {
+  put_u64(out, payload.size());
+  put_bytes(out, payload.data(), payload.size());
+  put_u32(out, crc32(payload));
+}
+
+/// Reads one framed section and verifies its checksum.
+std::string read_section(Reader& reader, const char* name) {
+  const std::uint64_t length = reader.u64();
+  if (length > kMaxSectionBytes) {
+    corrupt(std::string(name) + " section length " + std::to_string(length) +
+            " is implausible");
+  }
+  std::string payload(static_cast<std::size_t>(length), '\0');
+  if (length > 0) reader.bytes(payload.data(), payload.size());
+  const std::uint32_t stored = reader.u32();
+  if (stored != crc32(payload)) {
+    corrupt(std::string(name) + " section checksum mismatch");
+  }
+  return payload;
+}
+
+OlapCube read_cube_v2(Reader& reader) {
+  const std::string dims_payload = read_section(reader, "DIMS");
+  SectionCursor dims_cur{dims_payload.data(),
+                         dims_payload.data() + dims_payload.size(), "DIMS"};
+  std::vector<Dimension> dims = decode_dimensions(dims_cur);
+  dims_cur.expect_exhausted();
+
+  const std::string cells_payload = read_section(reader, "CELLS");
+  SectionCursor cells_cur{cells_payload.data(),
+                          cells_payload.data() + cells_payload.size(),
+                          "CELLS"};
+  OlapCube cube = decode_cells(cells_cur, std::move(dims));
+
+  // Footer: the length seal must match every byte consumed before it.
+  const std::uint64_t body_bytes = reader.consumed;
+  const std::uint64_t stored_body = reader.u64();
+  const std::uint32_t stored_crc = reader.u32();
+  char end_magic[8];
+  reader.bytes(end_magic, sizeof(end_magic));
+  if (std::memcmp(end_magic, kEndMagic, sizeof(kEndMagic)) != 0) {
+    corrupt("footer end-magic missing");
+  }
+  if (stored_crc != crc32(&stored_body, sizeof(stored_body))) {
+    corrupt("footer checksum mismatch");
+  }
+  if (stored_body != body_bytes) {
+    corrupt("footer length seal " + std::to_string(stored_body) +
+            " != body bytes " + std::to_string(body_bytes));
+  }
+  return cube;
+}
+
+OlapCube read_cube_v1(Reader& reader) {
+  // The v1 layout had no framing: parse straight off the stream with
+  // the same bound checks, surfacing truncation as CubeIoError.
+  const std::uint32_t dim_count = reader.u32();
+  if (dim_count == 0 || dim_count >= 1024) {
+    corrupt("dimension count " + std::to_string(dim_count) +
+            " outside (0, 1024)");
+  }
+  std::vector<Dimension> dims;
+  dims.reserve(dim_count);
+  for (std::uint32_t d = 0; d < dim_count; ++d) {
+    std::string name;
+    {
+      const std::uint32_t size = reader.u32();
+      if (size >= (1u << 20)) corrupt("implausible dimension name length");
+      name.assign(size, '\0');
+      if (size > 0) reader.bytes(name.data(), size);
+    }
+    const bool hashed = reader.u32() != 0;
+    const std::uint32_t level_count = reader.u32();
+    if (level_count == 0 || level_count >= 64) {
+      corrupt("level count " + std::to_string(level_count) +
+              " outside (0, 64)");
+    }
+    std::vector<HierarchyLevel> levels;
+    levels.reserve(level_count);
+    for (std::uint32_t l = 0; l < level_count; ++l) {
+      HierarchyLevel level;
+      const std::uint32_t size = reader.u32();
+      if (size >= (1u << 20)) corrupt("implausible level name length");
+      level.name.assign(size, '\0');
+      if (size > 0) reader.bytes(level.name.data(), size);
+      level.granularity = reader.u64();
+      levels.push_back(std::move(level));
+    }
+    validate_dimension(name, levels);
     dims.emplace_back(name, std::move(levels), hashed);
   }
 
   OlapCube cube(std::move(dims));
-  const std::uint64_t total_records = get_u64(in);
-  const std::uint64_t cell_count = get_u64(in);
+  const std::uint64_t total_records = reader.u64();
+  const std::uint64_t cell_count = reader.u64();
   for (std::uint64_t c = 0; c < cell_count; ++c) {
     CellCoords coords(dim_count);
-    for (auto& m : coords) m = get_u64(in);
+    for (auto& m : coords) m = reader.u64();
     CellAggregate agg;
-    agg.count = get_u64(in);
-    agg.sum = get_f64(in);
-    agg.min = get_f64(in);
-    agg.max = get_f64(in);
+    agg.count = reader.u64();
+    agg.sum = reader.f64();
+    agg.min = reader.f64();
+    agg.max = reader.f64();
     cube.insert_aggregate(coords, agg);
   }
-  BOHR_CHECK(cube.total_records() == total_records);
+  if (cube.total_records() != total_records) {
+    corrupt("recorded total_records disagrees with summed cell counts");
+  }
   return cube;
 }
 
+}  // namespace
+
+void write_cube(std::ostream& out, const OlapCube& cube) {
+  BOHR_EXPECTS(out.good());
+  put_bytes(out, kMagic, sizeof(kMagic));
+  put_u32(out, kVersionV2);
+
+  std::ostringstream dims;
+  encode_dimensions(dims, cube);
+  write_section(out, dims.str());
+
+  std::ostringstream cells;
+  encode_cells(cells, cube);
+  write_section(out, cells.str());
+
+  // Length-prefixed footer sealing everything written so far.
+  const std::uint64_t body_bytes =
+      sizeof(kMagic) + 4 +                         // magic + version
+      (8 + dims.str().size() + 4) +                // DIMS frame
+      (8 + cells.str().size() + 4);                // CELLS frame
+  put_u64(out, body_bytes);
+  put_u32(out, crc32(&body_bytes, sizeof(body_bytes)));
+  put_bytes(out, kEndMagic, sizeof(kEndMagic));
+}
+
+void write_cube_v1(std::ostream& out, const OlapCube& cube) {
+  BOHR_EXPECTS(out.good());
+  put_bytes(out, kMagic, sizeof(kMagic));
+  put_u32(out, kVersionV1);
+  encode_dimensions(out, cube);
+  encode_cells(out, cube);
+}
+
+OlapCube read_cube(std::istream& in) {
+  BOHR_EXPECTS(in.good());
+  Reader reader{in};
+  char magic[8];
+  reader.bytes(magic, sizeof(magic));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    corrupt("bad magic (not a cube file)");
+  }
+  const std::uint32_t version = reader.u32();
+  switch (version) {
+    case kVersionV1:
+      return read_cube_v1(reader);
+    case kVersionV2:
+      return read_cube_v2(reader);
+    default:
+      corrupt("unsupported format version " + std::to_string(version));
+  }
+}
+
 void save_cube(const std::string& path, const OlapCube& cube) {
-  std::ofstream out(path, std::ios::binary);
-  BOHR_EXPECTS(out.is_open());
-  write_cube(out, cube);
+  const std::string tmp = path + ".tmp";
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    throw CubeIoError("save_cube: cannot create " + tmp);
+  }
+  try {
+    write_cube(out, cube);
+    // A short write on a full disk may only surface at flush time:
+    // verify the flush instead of silently leaving a truncated file.
+    out.flush();
+    if (!out.good()) throw CubeIoError("save_cube: flush failed for " + tmp);
+    out.close();
+    if (out.fail()) throw CubeIoError("save_cube: close failed for " + tmp);
+  } catch (...) {
+    out.close();
+    std::remove(tmp.c_str());
+    throw;
+  }
+  // Atomic publish: readers see either the old cube or the new one.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw CubeIoError("save_cube: rename to " + path + " failed");
+  }
 }
 
 OlapCube load_cube(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  BOHR_EXPECTS(in.is_open());
+  if (!in.is_open()) {
+    throw CubeIoError("load_cube: cannot open " + path);
+  }
   return read_cube(in);
 }
 

@@ -128,6 +128,17 @@ OlapCube DatasetCubes::rebuild_dimension_cube(QueryTypeId qt) const {
   return base_.project(types_[qt].dim_positions);
 }
 
+void DatasetCubes::restore_base(OlapCube base) {
+  BOHR_EXPECTS(base.dimension_count() == builder_.spec().dimensions.size());
+  base_ = std::move(base);
+  base_applied_ = 0;
+  buffer_.clear();
+  for (auto& entry : types_) {
+    entry.cube = base_.project(entry.dim_positions);
+    entry.applied = 0;
+  }
+}
+
 std::uint64_t DatasetCubes::dimension_cubes_bytes() const {
   std::uint64_t total = 0;
   for (const auto& entry : types_) total += entry.cube.memory_bytes();

@@ -53,6 +53,11 @@ class DatasetCubes {
   /// base cube (used after a roll-up or to recover finer granularity).
   OlapCube rebuild_dimension_cube(QueryTypeId qt) const;
 
+  /// Checkpoint recovery: installs a deserialized base cube, re-derives
+  /// every registered dimension cube from it, and clears the buffer.
+  /// The cube's dimensionality must match the builder spec.
+  void restore_base(OlapCube base);
+
   const CubeBuilder& builder() const { return builder_; }
 
   /// Storage accounting for Table 6.

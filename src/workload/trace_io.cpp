@@ -81,24 +81,53 @@ std::vector<std::string> split_csv_line(const std::string& line) {
   return fields;
 }
 
-Value parse_value(const std::string& field, AttributeType type) {
+/// Context of the record being parsed, so malformed-input errors point
+/// at the offending row and field instead of just saying "stoll".
+struct RecordContext {
+  std::size_t record;     ///< 0-based data-record index (header excluded)
+  std::size_t attribute;  ///< 0-based schema attribute index
+};
+
+[[noreturn]] void malformed(const RecordContext& ctx, const std::string& why) {
+  throw ContractViolation("malformed trace record " +
+                          std::to_string(ctx.record) + ", attribute " +
+                          std::to_string(ctx.attribute) + ": " + why);
+}
+
+Value parse_value(const std::string& field, AttributeType type,
+                  const RecordContext& ctx) {
   switch (type) {
     case AttributeType::Integer: {
       std::size_t consumed = 0;
-      const long long v = std::stoll(field, &consumed);
-      BOHR_CHECK(consumed == field.size());
+      long long v = 0;
+      try {
+        v = std::stoll(field, &consumed);
+      } catch (const std::exception&) {
+        malformed(ctx, "not an integer: '" + field + "'");
+      }
+      if (consumed != field.size()) {
+        malformed(ctx, "trailing garbage in integer: '" + field + "'");
+      }
       return Value(static_cast<std::int64_t>(v));
     }
     case AttributeType::Real: {
       std::size_t consumed = 0;
-      const double v = std::stod(field, &consumed);
-      BOHR_CHECK(consumed == field.size());
+      double v = 0.0;
+      try {
+        v = std::stod(field, &consumed);
+      } catch (const std::exception&) {
+        malformed(ctx, "not a real number: '" + field + "'");
+      }
+      if (consumed != field.size()) {
+        malformed(ctx, "trailing garbage in real number: '" + field + "'");
+      }
       return Value(v);
     }
     case AttributeType::Text:
       return Value(field);
   }
-  throw ContractViolation("unknown attribute type");
+  malformed(ctx, "unknown attribute type byte " +
+                     std::to_string(static_cast<int>(type)));
 }
 
 }  // namespace
@@ -148,18 +177,33 @@ DatasetBundle read_csv(std::istream& in, const DatasetBundle& reference,
   bundle.bytes_per_row = reference.bytes_per_row;
   bundle.site_rows.assign(sites, {});
 
+  std::size_t record = 0;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     const std::vector<std::string> fields = split_csv_line(line);
-    BOHR_CHECK(fields.size() == schema.attribute_count() + 1);
-    const auto site = static_cast<std::size_t>(std::stoull(fields[0]));
+    if (fields.size() != schema.attribute_count() + 1) {
+      throw ContractViolation(
+          "malformed trace record " + std::to_string(record) + ": " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(schema.attribute_count() + 1));
+    }
+    std::size_t site = 0;
+    try {
+      site = static_cast<std::size_t>(std::stoull(fields[0]));
+    } catch (const std::exception&) {
+      throw ContractViolation("malformed trace record " +
+                              std::to_string(record) +
+                              ": bad site index '" + fields[0] + "'");
+    }
     BOHR_CHECK(site < sites);
     Row row;
     row.reserve(schema.attribute_count());
     for (std::size_t a = 0; a < schema.attribute_count(); ++a) {
-      row.push_back(parse_value(fields[a + 1], schema.attribute(a).type));
+      row.push_back(parse_value(fields[a + 1], schema.attribute(a).type,
+                                RecordContext{record, a}));
     }
     bundle.site_rows[site].push_back(std::move(row));
+    ++record;
   }
   return bundle;
 }

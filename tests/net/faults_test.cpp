@@ -208,6 +208,53 @@ TEST(FaultParseTest, EmptySpecIsInert) {
   EXPECT_TRUE(parse_fault_plan("").empty());
 }
 
+TEST(FaultParseTest, ParsesCrashAndStorageClauses) {
+  const FaultPlan plan = parse_fault_plan(
+      "crash:phase=movement_plan;"
+      "torn-write:file=3,fraction=0.25;"
+      "bit-flip:file=0,bit=13");
+  EXPECT_EQ(plan.crash_after_phase, "movement_plan");
+  ASSERT_EQ(plan.storage_faults.size(), 2u);
+  EXPECT_EQ(plan.storage_faults[0].kind, StorageFault::Kind::kTornWrite);
+  EXPECT_EQ(plan.storage_faults[0].file_index, 3u);
+  EXPECT_DOUBLE_EQ(plan.storage_faults[0].fraction, 0.25);
+  EXPECT_EQ(plan.storage_faults[1].kind, StorageFault::Kind::kBitFlip);
+  EXPECT_EQ(plan.storage_faults[1].file_index, 0u);
+  EXPECT_EQ(plan.storage_faults[1].bit, 13u);
+  EXPECT_FALSE(plan.empty());
+  // Crash and storage faults live off the data plane: WAN simulation,
+  // probes, and the LP all take the pristine path, so the lag-deadline
+  // auto-enforcement must not flip on (byte-identity across recovery).
+  EXPECT_TRUE(plan.data_plane_quiet());
+}
+
+TEST(FaultParseTest, DataPlaneFaultsAreNotQuiet) {
+  EXPECT_FALSE(parse_fault_plan("probe-loss:p=0.3").data_plane_quiet());
+  EXPECT_FALSE(
+      parse_fault_plan("outage:site=1,start=0,end=2").data_plane_quiet());
+  EXPECT_FALSE(parse_fault_plan("lp-failure").data_plane_quiet());
+}
+
+TEST(FaultParseTest, RejectsMalformedCrashAndStorageClauses) {
+  // Required keys.
+  EXPECT_THROW(parse_fault_plan("crash"), ContractViolation);
+  EXPECT_THROW(parse_fault_plan("crash:phase="), ContractViolation);
+  EXPECT_THROW(parse_fault_plan("torn-write:fraction=0.5"),
+               ContractViolation);
+  EXPECT_THROW(parse_fault_plan("bit-flip:bit=2"), ContractViolation);
+  // Only one crash point per plan.
+  EXPECT_THROW(parse_fault_plan("crash:phase=a;crash:phase=b"),
+               ContractViolation);
+  // Fraction range is [0, 1): 1.0 would keep the whole file intact.
+  EXPECT_THROW(parse_fault_plan("torn-write:file=0,fraction=1.0"),
+               ContractViolation);
+  EXPECT_THROW(parse_fault_plan("torn-write:file=0,fraction=-0.1"),
+               ContractViolation);
+  // Unknown keys.
+  EXPECT_THROW(parse_fault_plan("crash:phase=x,wat=1"), ContractViolation);
+  EXPECT_THROW(parse_fault_plan("bit-flip:file=0,wat=1"), ContractViolation);
+}
+
 TEST(FaultParseTest, RejectsMalformedClauses) {
   // Unknown clause type.
   EXPECT_THROW(parse_fault_plan("nonsense"), ContractViolation);

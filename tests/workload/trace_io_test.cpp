@@ -100,6 +100,50 @@ TEST(TraceIoTest, RejectsShortRow) {
   EXPECT_THROW(read_csv(buffer, bundle, 3), bohr::ContractViolation);
 }
 
+TEST(TraceIoTest, MalformedValueErrorNamesRecordAndAttribute) {
+  const auto bundle = generate_dataset(WorkloadKind::BigData, 0, gen_config());
+  std::stringstream buffer;
+  buffer << "site,url,region,date,revenue\n"
+         << "0,1,2,3,4.0\n"
+         << "1,1,oops,3,4.0\n";  // record 1, attribute 1 (region)
+  try {
+    read_csv(buffer, bundle, 3);
+    FAIL() << "malformed record accepted";
+  } catch (const bohr::ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("record 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("attribute 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("'oops'"), std::string::npos) << what;
+  }
+}
+
+TEST(TraceIoTest, TrailingGarbageInNumberIsNamed) {
+  const auto bundle = generate_dataset(WorkloadKind::BigData, 0, gen_config());
+  std::stringstream buffer;
+  buffer << "site,url,region,date,revenue\n0,1,2,3,4.0x\n";
+  try {
+    read_csv(buffer, bundle, 3);
+    FAIL() << "trailing garbage accepted";
+  } catch (const bohr::ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("record 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("'4.0x'"), std::string::npos) << what;
+  }
+}
+
+TEST(TraceIoTest, BadSiteIndexIsNamed) {
+  const auto bundle = generate_dataset(WorkloadKind::BigData, 0, gen_config());
+  std::stringstream buffer;
+  buffer << "site,url,region,date,revenue\nnowhere,1,2,3,4.0\n";
+  try {
+    read_csv(buffer, bundle, 3);
+    FAIL() << "bad site index accepted";
+  } catch (const bohr::ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("'nowhere'"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(TraceIoTest, FileRoundTrip) {
   const auto original = generate_dataset(WorkloadKind::TpcDs, 1, gen_config());
   const std::string path = "/tmp/bohr_trace_io_test.csv";

@@ -5,12 +5,16 @@
 //   bohr_sim --workload=tpcds --placement=locality --runs=5 --csv
 //   bohr_sim --workload=facebook --probe-k=100 --lag=30 --seed=7
 //   bohr_sim --faults='outage:site=6,start=0,end=15;probe-loss:p=0.3'
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
+#include "common/crc32.h"
 #include "common/flags.h"
 #include "common/parallel.h"
 #include "common/table.h"
+#include "core/checkpoint.h"
 #include "core/experiment.h"
 #include "net/faults.h"
 
@@ -45,6 +49,16 @@ Flags (defaults in brackets):
                 probe-loss:p=F[,seed=N]
                 retry:max=N,base=S[,cap=S][,mode=resume|restart]
                 lp-failure
+                crash:phase=NAME (similarity|placement|movement_plan|movement)
+                torn-write:file=N[,fraction=F]
+                bit-flip:file=N[,bit=B]
+
+Checkpointing (prepare-only mode; requires one scheme and --runs=1):
+  --checkpoint-dir       snapshot prepare() after every phase into DIR
+  --crash-after-phase    shorthand for --faults='crash:phase=NAME';
+                         exits with status 3 after that phase's snapshot
+  --recover              restore the newest intact snapshot from
+                         --checkpoint-dir and resume the remaining phases
 )";
 
 /// Flag/spec validation error: print usage, exit 2 (vs runtime errors,
@@ -146,8 +160,70 @@ int main(int argc, char** argv) {
     require(runs >= 1, "--runs must be at least 1");
     const bool csv = flags.get_bool("csv", false);
 
+    const std::string checkpoint_dir = flags.get("checkpoint-dir", "");
+    const std::string crash_phase = flags.get("crash-after-phase", "");
+    const bool recover = flags.get_bool("recover", false);
+    require(crash_phase.empty() || !checkpoint_dir.empty(),
+            "--crash-after-phase requires --checkpoint-dir");
+    require(!recover || !checkpoint_dir.empty(),
+            "--recover requires --checkpoint-dir");
+    if (!crash_phase.empty()) {
+      const auto& names = core::prepare_phase_names();
+      require(std::find(names.begin(), names.end(), crash_phase) !=
+                  names.end(),
+              "unknown --crash-after-phase=" + crash_phase);
+      require(cfg.faults.crash_after_phase.empty(),
+              "--crash-after-phase conflicts with a crash: fault clause");
+      cfg.faults.crash_after_phase = crash_phase;
+    }
+
     for (const auto& unknown : flags.unused()) {
       throw UsageError("unknown flag --" + unknown);
+    }
+
+    if (!checkpoint_dir.empty()) {
+      require(schemes.size() == 1,
+              "--checkpoint-dir requires exactly one scheme");
+      require(runs == 1, "--checkpoint-dir requires --runs=1");
+      core::Controller controller = core::make_controller(cfg, schemes[0]);
+      core::CheckpointManager checkpoints(checkpoint_dir, /*keep_snapshots=*/2,
+                                          &controller.options().faults);
+      const core::PrepareReport* report = nullptr;
+      try {
+        if (recover) {
+          core::RecoveryManager recovery(checkpoint_dir);
+          core::RecoveryResult found = recovery.recover(controller);
+          if (found.recovered) {
+            std::printf(
+                "checkpoint: recovered snapshot %zu (%zu rejected), "
+                "resuming after step %zu/%zu\n",
+                found.snapshot_seq, found.snapshots_rejected,
+                found.progress.completed_steps,
+                core::Controller::kPrepareStepCount);
+            report = &core::resume_prepare(
+                controller, std::move(found.progress), checkpoints);
+          } else {
+            std::printf(
+                "checkpoint: no intact snapshot (%zu rejected), preparing "
+                "from scratch\n",
+                found.snapshots_rejected);
+            report = &core::checkpointed_prepare(controller, checkpoints);
+          }
+        } else {
+          report = &core::checkpointed_prepare(controller, checkpoints);
+        }
+      } catch (const core::CrashInjected& e) {
+        std::fprintf(stderr, "bohr_sim: %s\n", e.what());
+        std::fflush(nullptr);
+        std::_Exit(3);  // simulated crash: no destructors, like a real kill
+      }
+      const std::string image = core::serialize_prepare_report(*report);
+      std::printf(
+          "prepare-report crc32=%08x bytes=%zu bytes_moved=%.0f "
+          "rows_moved=%zu snapshots=%zu\n",
+          crc32(image), image.size(), report->bytes_moved,
+          report->rows_moved, checkpoints.snapshots_written());
+      return 0;
     }
 
     TablePrinter table({"scheme", "QCT mean (s)", "QCT std", "reduction mean (%)",
