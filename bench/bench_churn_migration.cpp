@@ -1,0 +1,94 @@
+// Churn benchmark: the elastic migration controller under site churn
+// (bench_tab7's dynamic-workload shape, with the fault plane active).
+//
+// One Bohr controller prepares, then runs its query mix round after
+// round while the fault plan takes a site dark mid-run and slows a
+// second one. Migration on relocates reduce buckets off the sick sites
+// between rounds (no joint-LP re-run); migration off freezes the same
+// initial bucket placement. The headline number is the churn QCT ratio
+// — migration on must not be worse.
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "net/faults.h"
+
+namespace {
+
+using namespace bohr;
+using namespace bohr::bench;
+
+struct Row {
+  std::string workload;
+  core::ChurnRunResult on;
+  core::ChurnRunResult off;
+};
+std::vector<Row> g_rows;
+
+core::ExperimentConfig churn_config(workload::WorkloadKind kind) {
+  auto cfg = bench_config(kind);
+  cfg.n_datasets = std::min<std::size_t>(cfg.n_datasets, 6);
+  cfg.generator.gb_per_site = 40.0 / static_cast<double>(cfg.n_datasets);
+  // Run-clock churn: site 6 goes dark for the middle rounds, site 2
+  // crawls at 6x for the back half. Rounds execute at lag + r * lag
+  // (60, 120, ... with the default 60s lag).
+  cfg.faults = net::parse_fault_plan(
+      "outage:site=6,start=100,end=400;"
+      "slow-site:site=2,start=250,end=520,factor=6");
+  return cfg;
+}
+
+void run_churn(workload::WorkloadKind kind, const char* label) {
+  const auto cfg = churn_config(kind);
+  core::ChurnOptions churn;
+  churn.rounds = 8;
+  churn.migration = true;
+  Row row;
+  row.workload = label;
+  row.on = core::run_churn_experiment(cfg, churn);
+  churn.migration = false;
+  row.off = core::run_churn_experiment(cfg, churn);
+  g_rows.push_back(std::move(row));
+}
+
+void BM_ChurnMigration(benchmark::State& state) {
+  for (auto _ : state) {
+    g_rows.clear();
+    run_churn(workload::WorkloadKind::BigData, "Big Data");
+    run_churn(workload::WorkloadKind::TpcDs, "TPC-DS");
+  }
+  if (!g_rows.empty()) {
+    state.counters["bigdata_qct_on_s"] = g_rows[0].on.avg_qct_seconds;
+    state.counters["bigdata_qct_off_s"] = g_rows[0].off.avg_qct_seconds;
+    state.counters["bigdata_migrations"] =
+        static_cast<double>(g_rows[0].on.migrations +
+                            g_rows[0].on.evacuations);
+  }
+}
+BENCHMARK(BM_ChurnMigration)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, [] {
+    ResultTable table({"workload", "QCT mig-on (s)", "QCT mig-off (s)",
+                       "on/off", "moves", "evac", "specul", "log crc32"});
+    for (const auto& row : g_rows) {
+      const double ratio =
+          row.off.avg_qct_seconds > 0.0
+              ? row.on.avg_qct_seconds / row.off.avg_qct_seconds
+              : 1.0;
+      char crc[16];
+      std::snprintf(crc, sizeof(crc), "%08x", row.on.migration_log_crc32);
+      table.add_row({row.workload,
+                     TablePrinter::num(row.on.avg_qct_seconds, 3),
+                     TablePrinter::num(row.off.avg_qct_seconds, 3),
+                     TablePrinter::num(ratio, 3),
+                     std::to_string(row.on.migrations),
+                     std::to_string(row.on.evacuations),
+                     std::to_string(row.on.speculations), crc});
+    }
+    table.print("Churn: migration on vs off under site outage + slowdown");
+  });
+}

@@ -98,8 +98,42 @@ void consume_threads_flag(int& argc, char** argv) {
 
 }  // namespace
 
+namespace {
+
+/// Basename of argv[0] without a trailing ".exe"-style suffix — the
+/// bench's name for the JSON result file.
+std::string bench_name(const char* argv0) {
+  std::string name = argv0 != nullptr ? argv0 : "bench";
+  const std::size_t slash = name.find_last_of("/\\");
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  if (name.empty()) name = "bench";
+  return name;
+}
+
+/// Writes the same JSON the BENCH_JSON epilogue prints into
+/// BENCH_<name>.json (BOHR_BENCH_JSON_DIR overrides the directory).
+/// Best effort: an unwritable directory is reported, never fatal — the
+/// bench's measurements are already on stdout.
+void write_bench_json(const std::string& name, const std::string& json) {
+  std::string path;
+  if (const char* dir = std::getenv("BOHR_BENCH_JSON_DIR")) {
+    path = std::string(dir) + "/";
+  }
+  path += "BENCH_" + name + ".json";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out, "%s\n", json.c_str());
+  std::fclose(out);
+}
+
+}  // namespace
+
 int run_bench_main(int argc, char** argv,
                    const std::function<void()>& epilogue) {
+  const std::string name = bench_name(argc > 0 ? argv[0] : nullptr);
   consume_threads_flag(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
@@ -107,9 +141,16 @@ int run_bench_main(int argc, char** argv,
   benchmark::Shutdown();
   if (epilogue) epilogue();
   // Machine-readable run metadata: thread count plus accumulated
-  // per-phase wall-clock totals (grep for "BENCH_JSON:").
-  std::printf("BENCH_JSON: {\"threads\":%zu,\"phases\":%s}\n", thread_count(),
-              phase_json().c_str());
+  // per-phase wall-clock totals (grep for "BENCH_JSON:"). The same
+  // object also lands in BENCH_<name>.json so harnesses can collect
+  // results without scraping stdout.
+  char threads_prefix[64];
+  std::snprintf(threads_prefix, sizeof(threads_prefix),
+                "{\"name\":\"%s\",\"threads\":%zu,\"phases\":",
+                name.c_str(), thread_count());
+  const std::string json = threads_prefix + phase_json() + "}";
+  std::printf("BENCH_JSON: %s\n", json.c_str());
+  write_bench_json(name, json);
   return 0;
 }
 

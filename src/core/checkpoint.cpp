@@ -23,6 +23,7 @@ namespace {
 constexpr char kStateMagic[8] = {'B', 'O', 'H', 'R', 'C', 'K', 'P', 'T'};
 constexpr std::uint32_t kStateVersion = 1;
 constexpr const char* kStateFile = "state.bin";
+constexpr const char* kMigrationFile = "migration.bin";
 constexpr const char* kManifestFile = "MANIFEST";
 constexpr const char* kManifestHeader = "BOHR-MANIFEST v1";
 constexpr const char* kSnapshotPrefix = "snapshot-";
@@ -600,7 +601,8 @@ void CheckpointManager::write_file(const std::string& path,
 
 void CheckpointManager::snapshot(const Controller& controller,
                                  const PrepareProgress& progress,
-                                 const net::BandwidthEstimator* bandwidth) {
+                                 const net::BandwidthEstimator* bandwidth,
+                                 const std::string* migration) {
   ScopedPhase phase("checkpoint.snapshot");
   BOHR_EXPECTS(progress.completed_steps >= 1);
 
@@ -618,6 +620,9 @@ void CheckpointManager::snapshot(const Controller& controller,
   std::vector<std::pair<std::string, std::string>> files;
   files.emplace_back(kStateFile,
                      build_state_image(controller, progress, bandwidth));
+  if (migration != nullptr) {
+    files.emplace_back(kMigrationFile, *migration);
+  }
   const auto& datasets = controller.datasets();
   for (std::size_t a = 0; a < datasets.size(); ++a) {
     if (!datasets[a].has_cubes()) continue;
@@ -679,6 +684,7 @@ RecoveryResult RecoveryManager::recover(Controller& controller) {
 
       // Verify every file's size and checksum before trusting any byte.
       std::string state_image;
+      std::optional<std::string> migration_image;
       std::vector<std::pair<std::string, std::string>> cube_files;
       for (const ManifestEntry& entry : entries) {
         std::string bytes = read_whole_file(snap_dir / entry.name);
@@ -690,6 +696,8 @@ RecoveryResult RecoveryManager::recover(Controller& controller) {
         }
         if (entry.name == kStateFile) {
           state_image = std::move(bytes);
+        } else if (entry.name == kMigrationFile) {
+          migration_image = std::move(bytes);
         } else {
           cube_files.emplace_back(entry.name, std::move(bytes));
         }
@@ -748,6 +756,7 @@ RecoveryResult RecoveryManager::recover(Controller& controller) {
       result.snapshot_seq = seq;
       result.progress = std::move(state.progress);
       result.bandwidth = std::move(state.bandwidth);
+      result.migration_image = std::move(migration_image);
       return result;
     } catch (const SnapshotRejected&) {
       ++result.snapshots_rejected;

@@ -88,9 +88,15 @@ class CheckpointManager {
 
   /// Writes snapshot-<seq> capturing `controller` and `progress`, then
   /// prunes committed snapshots beyond the keep budget. Bandwidth
-  /// estimates ride along when an estimator is supplied.
+  /// estimates ride along when an estimator is supplied. `migration`,
+  /// when given, is an opaque migration-state image (the churn runner's
+  /// MigrationController plus its round bookkeeping) stored as an extra
+  /// `migration.bin` snapshot file under the same manifest protocol —
+  /// a crash mid-migration recovers bucket placement along with
+  /// everything else.
   void snapshot(const Controller& controller, const PrepareProgress& progress,
-                const net::BandwidthEstimator* bandwidth = nullptr);
+                const net::BandwidthEstimator* bandwidth = nullptr,
+                const std::string* migration = nullptr);
 
   std::size_t snapshots_written() const { return snapshots_written_; }
   std::size_t files_written() const { return files_written_; }
@@ -115,6 +121,10 @@ struct RecoveryResult {
   PrepareProgress progress;        ///< restored mid-prepare state
   /// Restored bandwidth estimates, when the snapshot carried them.
   std::optional<std::vector<net::BandwidthEstimator::SiteEstimate>> bandwidth;
+  /// Opaque migration-state image, when the snapshot carried one
+  /// (snapshots from before the migration controller existed, or from
+  /// non-churn runs, simply lack the file).
+  std::optional<std::string> migration_image;
 };
 
 /// Validates snapshots on startup and restores the newest intact one.

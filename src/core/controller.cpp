@@ -390,4 +390,55 @@ std::vector<QueryExecution> Controller::run_all_queries() {
   return executions;
 }
 
+std::vector<QueryExecution> Controller::run_query_round(
+    const QueryRound& round) {
+  BOHR_EXPECTS(prepared_.has_value());
+  const PrepareReport& prep = *prepared_;
+  const StrategyTraits traits = traits_of(options_.strategy);
+
+  engine::JobConfig job = options_.job;
+  job.partition_policy = traits.cubes ? engine::PartitionPolicy::CubeSorted
+                                      : engine::PartitionPolicy::ArrivalOrder;
+  job.executor_assignment = traits.rdd_similarity
+                                ? engine::ExecutorAssignment::SimilarityKMeans
+                                : engine::ExecutorAssignment::RoundRobin;
+  job.controller_overhead_seconds = 0.0;
+  job.faults = round.faults;
+  job.reduce_buckets = round.reduce_buckets;
+  job.bucket_speculation = round.bucket_speculation;
+  job.bucket_speculation_cap = round.bucket_speculation_cap;
+
+  std::vector<QueryExecution> executions;
+  for (std::size_t a = 0; a < datasets_.size(); ++a) {
+    DatasetState& d = datasets_[a];
+    for (std::size_t t = 0; t < d.bundle().query_types.size(); ++t) {
+      const std::size_t recurrences = d.mix().counts[t];
+      if (recurrences == 0) continue;
+      const engine::QuerySpec spec = query_spec_for(d, t);
+      const std::uint64_t salt =
+          hash_combine(d.dataset_id(), hash_combine(t, 0xABCD));
+
+      std::vector<engine::RecordStream> inputs(d.site_count());
+      for (std::size_t i = 0; i < d.site_count(); ++i) {
+        inputs[i] = d.map_rows(i, t, spec.selectivity, salt);
+      }
+
+      engine::JobConfig dataset_job = job;
+      dataset_job.machine.record_scale = std::max(
+          1.0, d.bundle().bytes_per_row / options_.physical_record_bytes);
+
+      QueryExecution exec;
+      exec.dataset_id = d.dataset_id();
+      exec.query_type_spec = t;
+      exec.kind = spec.kind;
+      exec.recurrences = recurrences;
+      exec.result = engine::run_job(topology_, inputs,
+                                    prep.decision.reduce_fractions, spec,
+                                    dataset_job, rng_);
+      executions.push_back(std::move(exec));
+    }
+  }
+  return executions;
+}
+
 }  // namespace bohr::core

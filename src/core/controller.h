@@ -133,6 +133,23 @@ class Controller {
   /// are recorded so averages weight by query count.
   std::vector<QueryExecution> run_all_queries();
 
+  /// One churn-round execution of the full query mix with an externally
+  /// supplied fault projection and (optionally) a reduce-bucket map
+  /// standing in for the prepared fractions. The elastic migration
+  /// runner re-bases the run-clock fault plan onto each round's
+  /// phase-local clock and moves buckets between rounds; this is its
+  /// hook into query execution. prepare() must have completed. LP
+  /// overhead is excluded from QCT here — it is wall-clock profiling
+  /// noise, and the churn comparison (migration on vs off) must differ
+  /// only in placement.
+  struct QueryRound {
+    const net::FaultPlan* faults = nullptr;
+    const engine::ReduceBucketMap* reduce_buckets = nullptr;
+    bool bucket_speculation = false;
+    double bucket_speculation_cap = 1.5;
+  };
+  std::vector<QueryExecution> run_query_round(const QueryRound& round);
+
   const net::WanTopology& topology() const { return topology_; }
   const std::vector<DatasetState>& datasets() const { return datasets_; }
   const ControllerOptions& options() const { return options_; }

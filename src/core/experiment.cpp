@@ -1,11 +1,15 @@
 #include "core/experiment.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
+#include <optional>
 #include <utility>
 
 #include "common/check.h"
 #include "common/hash.h"
 #include "common/stats.h"
+#include "core/checkpoint.h"
 #include "workload/dynamic.h"
 
 namespace bohr::core {
@@ -406,6 +410,224 @@ DynamicRunResult run_dynamic_experiment(const ExperimentConfig& config,
   }
   result.dynamic_avg_qct = qct.mean();
   return result;
+}
+
+// ---- churn benchmark ----------------------------------------------------
+
+namespace {
+
+// The churn image rides in the snapshot's migration.bin: round
+// bookkeeping first, then the MigrationController's own image.
+constexpr char kChurnMagic[4] = {'B', 'C', 'H', 'N'};
+constexpr std::uint32_t kChurnVersion = 1;
+
+void churn_put_u64(std::string& out, std::uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
+void churn_put_f64(std::string& out, double v) {
+  churn_put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint64_t churn_take_u64(const std::string& in, std::size_t& at) {
+  BOHR_CHECK(at + 8 <= in.size());
+  std::uint64_t v = 0;
+  std::memcpy(&v, in.data() + at, 8);
+  at += 8;
+  return v;
+}
+
+double churn_take_f64(const std::string& in, std::size_t& at) {
+  return std::bit_cast<double>(churn_take_u64(in, at));
+}
+
+std::string encode_churn_image(const ChurnRunResult& out,
+                               double qct_weighted_sum,
+                               const MigrationController* migctl) {
+  std::string image(kChurnMagic, sizeof(kChurnMagic));
+  churn_put_u64(image, kChurnVersion);
+  churn_put_u64(image, out.rounds_run);
+  churn_put_u64(image, out.queries_run);
+  churn_put_f64(image, qct_weighted_sum);
+  churn_put_u64(image, out.speculations);
+  churn_put_f64(image, out.max_reduce_slowdown);
+  churn_put_u64(image, out.round_qct_seconds.size());
+  for (const double q : out.round_qct_seconds) churn_put_f64(image, q);
+  churn_put_u64(image, migctl != nullptr ? 1 : 0);
+  if (migctl != nullptr) {
+    const std::string mig = migctl->serialize();
+    churn_put_u64(image, mig.size());
+    image += mig;
+  }
+  return image;
+}
+
+/// Inverse of encode_churn_image; restores `out` and (when present) the
+/// controller. Returns the resumed qct sum.
+double decode_churn_image(const std::string& image, ChurnRunResult& out,
+                          std::optional<MigrationController>& migctl) {
+  std::size_t at = 0;
+  BOHR_CHECK(image.size() >= sizeof(kChurnMagic));
+  BOHR_CHECK(std::memcmp(image.data(), kChurnMagic, sizeof(kChurnMagic)) == 0);
+  at += sizeof(kChurnMagic);
+  BOHR_CHECK(churn_take_u64(image, at) == kChurnVersion);
+  out.rounds_run = churn_take_u64(image, at);
+  out.queries_run = churn_take_u64(image, at);
+  const double qct_weighted_sum = churn_take_f64(image, at);
+  out.speculations = churn_take_u64(image, at);
+  out.max_reduce_slowdown = churn_take_f64(image, at);
+  out.round_qct_seconds.resize(churn_take_u64(image, at));
+  for (double& q : out.round_qct_seconds) q = churn_take_f64(image, at);
+  const bool has_migctl = churn_take_u64(image, at) != 0;
+  BOHR_CHECK(has_migctl == migctl.has_value());
+  if (has_migctl) {
+    const std::uint64_t size = churn_take_u64(image, at);
+    BOHR_CHECK(at + size <= image.size());
+    migctl->restore(image.substr(at, size));
+    at += size;
+  }
+  BOHR_CHECK(at == image.size());
+  return qct_weighted_sum;
+}
+
+}  // namespace
+
+ChurnRunResult run_churn_experiment(const ExperimentConfig& config,
+                                    const ChurnOptions& churn) {
+  BOHR_EXPECTS(churn.rounds > 0);
+  BOHR_EXPECTS(churn.crash_after_round == 0 || !churn.checkpoint_dir.empty());
+  BOHR_EXPECTS(!churn.recover || !churn.checkpoint_dir.empty());
+
+  ChurnRunResult out;
+  Controller controller = make_controller(config, Strategy::Bohr);
+  const double spacing =
+      churn.round_seconds > 0.0 ? churn.round_seconds : config.lag_seconds;
+
+  std::optional<CheckpointManager> ckpt;
+  if (!churn.checkpoint_dir.empty()) ckpt.emplace(churn.checkpoint_dir);
+
+  // Kept at completed_steps == kPrepareStepCount for mid-churn snapshots
+  // (the snapshot captures the controller's LIVE rng and rows, so each
+  // round's snapshot differs only where the run state differs).
+  PrepareProgress snapshot_progress;
+  const PrepareReport* prep = nullptr;
+  std::optional<MigrationController> migctl;
+  std::size_t start_round = 0;
+  double qct_weighted_sum = 0.0;
+  std::optional<std::string> recovered_image;
+
+  const auto run_steps = [&](PrepareProgress& progress) {
+    while (progress.completed_steps < Controller::kPrepareStepCount) {
+      switch (progress.completed_steps) {
+        case 0:
+          controller.step_similarity(progress);
+          break;
+        case 1:
+          controller.step_placement(progress);
+          break;
+        case 2:
+          controller.step_plan_movement(progress);
+          break;
+        default:
+          controller.step_execute_movement(progress);
+          break;
+      }
+    }
+  };
+
+  bool prepared = false;
+  if (churn.recover) {
+    RecoveryManager rm(churn.checkpoint_dir);
+    RecoveryResult rec = rm.recover(controller);
+    if (rec.recovered) {
+      out.recovered = true;
+      run_steps(rec.progress);  // no-op for mid-churn snapshots
+      snapshot_progress = rec.progress;
+      prep = &controller.finish_prepare(std::move(rec.progress));
+      recovered_image = std::move(rec.migration_image);
+      prepared = true;
+    }
+  }
+  if (!prepared) {
+    PrepareProgress progress = controller.start_prepare();
+    run_steps(progress);
+    snapshot_progress = progress;
+    prep = &controller.finish_prepare(std::move(progress));
+  }
+
+  if (churn.migration) {
+    migctl.emplace(controller.topology(), prep->decision.reduce_fractions,
+                   churn.migration_options);
+  }
+  if (recovered_image) {
+    qct_weighted_sum = decode_churn_image(*recovered_image, out, migctl);
+    start_round = out.rounds_run;
+  }
+  // Migration-off control: the SAME quantization, frozen — migration is
+  // the only difference between the two modes.
+  const engine::ReduceBucketMap frozen = engine::ReduceBucketMap::from_fractions(
+      prep->decision.reduce_fractions, churn.migration_options.buckets);
+
+  // Health probes observe the run-clock plan at absolute time; each
+  // round's query execution sees the query-phase events re-based onto
+  // its own phase-local clock.
+  const net::FaultPlan query_template =
+      config.faults.restricted_to(net::kPhaseQuery);
+
+  for (std::size_t r = start_round; r < churn.rounds; ++r) {
+    const double now =
+        config.lag_seconds + spacing * static_cast<double>(r);
+    if (migctl) migctl->step(config.faults, now);
+
+    const net::FaultPlan round_plan = query_template.shifted_by(now);
+    Controller::QueryRound qr;
+    qr.faults = &round_plan;
+    qr.reduce_buckets = migctl ? &migctl->buckets() : &frozen;
+    qr.bucket_speculation = churn.bucket_speculation;
+    qr.bucket_speculation_cap = churn.bucket_speculation_cap;
+
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (const QueryExecution& exec : controller.run_query_round(qr)) {
+      const auto reps = static_cast<double>(exec.recurrences);
+      sum += exec.result.qct_seconds * reps;
+      count += exec.recurrences;
+      out.speculations += exec.result.reduce_speculations;
+      out.max_reduce_slowdown =
+          std::max(out.max_reduce_slowdown, exec.result.max_reduce_slowdown);
+    }
+    qct_weighted_sum += sum;
+    out.queries_run += count;
+    out.round_qct_seconds.push_back(
+        count > 0 ? sum / static_cast<double>(count) : 0.0);
+    out.rounds_run = r + 1;
+
+    if (ckpt) {
+      const std::string image = encode_churn_image(
+          out, qct_weighted_sum, migctl ? &*migctl : nullptr);
+      ckpt->snapshot(controller, snapshot_progress, nullptr, &image);
+      ++out.snapshots_written;
+    }
+    if (churn.crash_after_round > 0 && r + 1 == churn.crash_after_round &&
+        r + 1 < churn.rounds) {
+      out.crashed = true;
+      break;
+    }
+  }
+
+  out.avg_qct_seconds =
+      out.queries_run > 0
+          ? qct_weighted_sum / static_cast<double>(out.queries_run)
+          : 0.0;
+  if (migctl) {
+    out.migrations = migctl->total_moves();
+    out.evacuations = migctl->total_evacuations();
+    out.migration_log = migctl->log();
+    out.migration_log_crc32 = migctl->log_digest();
+  }
+  return out;
 }
 
 }  // namespace bohr::core

@@ -3,9 +3,11 @@
 #pragma once
 
 #include <map>
+#include <string>
 #include <vector>
 
 #include "core/controller.h"
+#include "core/migration.h"
 #include "workload/dataset.h"
 
 namespace bohr::core {
@@ -119,5 +121,59 @@ DynamicRunResult run_dynamic_experiment(const ExperimentConfig& config,
                                         std::size_t n_batches = 15,
                                         double initial_fraction = 0.25,
                                         std::size_t replan_every = 5);
+
+/// Churn benchmark (robustness): a Bohr controller prepares once, then
+/// runs the query mix round after round on a run clock while the fault
+/// plan kills, degrades, and slows sites. With migration on, the
+/// elastic controller relocates reduce buckets away from sick sites
+/// between rounds — the joint LP never re-runs; with it off, the
+/// initial bucket placement is frozen. Both modes quantize the same LP
+/// fractions into the same buckets, so migration is the ONLY
+/// difference between them.
+struct ChurnOptions {
+  std::size_t rounds = 8;
+  /// Run-clock spacing between query rounds; <= 0 means lag_seconds.
+  /// Round r executes at `lag_seconds + r * spacing` — the fault plan's
+  /// query-phase events are re-based onto each round's phase-local
+  /// clock via FaultPlan::shifted_by.
+  double round_seconds = 0.0;
+  bool migration = true;
+  /// Bucket-granular speculative re-execution during reduce.
+  bool bucket_speculation = true;
+  double bucket_speculation_cap = 1.5;
+  MigrationOptions migration_options;
+  /// Optional durability: snapshot after every round into this dir
+  /// (empty = no checkpointing). The snapshot carries the migration
+  /// controller's state, so a crash mid-churn resumes to the same
+  /// final bucket placement.
+  std::string checkpoint_dir;
+  /// Injected crash: stop after this many rounds (0 = never). Requires
+  /// checkpoint_dir; a follow-up call with `recover` continues.
+  std::size_t crash_after_round = 0;
+  /// Recover from checkpoint_dir before running (resumes a crashed
+  /// churn run; falls back to a fresh run when no snapshot is intact).
+  bool recover = false;
+};
+
+struct ChurnRunResult {
+  std::size_t rounds_run = 0;
+  std::size_t queries_run = 0;   ///< recurrence-weighted query count
+  double avg_qct_seconds = 0.0;  ///< recurrence-weighted mean QCT
+  std::vector<double> round_qct_seconds;
+  std::size_t migrations = 0;    ///< headroom rebalance moves
+  std::size_t evacuations = 0;   ///< buckets moved off dead sites
+  std::size_t speculations = 0;  ///< reduce buckets re-executed
+  double max_reduce_slowdown = 1.0;
+  /// Migration decision log and its CRC32 (empty / 0 with migration
+  /// off); same seed + same plan => byte-identical log.
+  std::string migration_log;
+  std::uint32_t migration_log_crc32 = 0;
+  std::size_t snapshots_written = 0;
+  bool crashed = false;    ///< stopped at the injected crash point
+  bool recovered = false;  ///< resumed from an intact snapshot
+};
+
+ChurnRunResult run_churn_experiment(const ExperimentConfig& config,
+                                    const ChurnOptions& churn);
 
 }  // namespace bohr::core

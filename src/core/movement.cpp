@@ -191,4 +191,33 @@ MovementReport apply_movement(
   return report;
 }
 
+DeltaPlan plan_movement_delta(const net::WanTopology& topology,
+                              std::vector<DeltaMove> moves) {
+  const std::size_t n = topology.site_count();
+  DeltaPlan plan;
+  plan.moves.reserve(moves.size());
+  // Coalesce per (from, to) pair, keeping first-seen flow order so the
+  // plan is a pure function of the move list.
+  std::vector<std::size_t> flow_of(n * n, static_cast<std::size_t>(-1));
+  for (DeltaMove& m : moves) {
+    BOHR_EXPECTS(m.from < n && m.to < n);
+    if (m.from == m.to || m.bytes <= 0.0) continue;
+    const std::size_t pair = m.from * n + m.to;
+    if (flow_of[pair] == static_cast<std::size_t>(-1)) {
+      flow_of[pair] = plan.flows.size();
+      plan.flows.push_back(net::Flow{m.from, m.to, 0.0, 0.0});
+    }
+    plan.flows[flow_of[pair]].bytes += m.bytes;
+    plan.wan_bytes += m.bytes;
+    plan.moves.push_back(m);
+  }
+  if (!plan.flows.empty()) {
+    const auto results = net::simulate_flows(topology, plan.flows);
+    for (const auto& r : results) {
+      plan.est_seconds = std::max(plan.est_seconds, r.finish_time);
+    }
+  }
+  return plan;
+}
+
 }  // namespace bohr::core

@@ -96,4 +96,33 @@ MovementReport apply_movement(DatasetState& state,
                               const net::WanTopology& topology,
                               double lag_seconds, Rng& rng);
 
+/// One reduce-bucket relocation the migration controller wants: bucket
+/// `bucket` leaves site `from` for site `to`, carrying `bytes` of
+/// buffered shuffle state.
+struct DeltaMove {
+  std::size_t bucket = 0;
+  std::size_t from = 0;
+  std::size_t to = 0;
+  double bytes = 0.0;
+};
+
+/// An incremental movement plan: the WAN flows that carry one round of
+/// bucket moves, jointly costed. Unlike plan_movement() this never
+/// re-runs the joint LP — it is a pure delta on the standing placement,
+/// which is the whole point of migrating buckets instead of re-planning.
+struct DeltaPlan {
+  std::vector<DeltaMove> moves;
+  std::vector<net::Flow> flows;  ///< coalesced per (from, to) pair
+  double wan_bytes = 0.0;
+  /// Max-min-fair makespan of the delta's flows alone on the topology.
+  double est_seconds = 0.0;
+};
+
+/// Costs a round of bucket moves on the shared WAN: coalesces moves
+/// sharing a (from, to) pair into one flow (first-seen order), simulates
+/// them together, and fills est_seconds. Moves with from == to or
+/// non-positive bytes are dropped. Deterministic in its inputs.
+DeltaPlan plan_movement_delta(const net::WanTopology& topology,
+                              std::vector<DeltaMove> moves);
+
 }  // namespace bohr::core

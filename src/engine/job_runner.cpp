@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
 #include "net/transfer.h"
@@ -22,8 +23,18 @@ JobResult run_job(const net::WanTopology& topo,
   const std::size_t n = topo.site_count();
   BOHR_EXPECTS(site_inputs.size() == n);
   BOHR_EXPECTS(reduce_fractions.size() == n);
+  config.machine.validate();
+  // Bucket-granular mode: ownership counts define the fractions (the
+  // caller's vector is advisory there — migration may have moved
+  // buckets since placement ran).
+  std::vector<double> fractions = reduce_fractions;
+  if (config.reduce_buckets != nullptr) {
+    BOHR_EXPECTS(config.reduce_buckets->site_count == n);
+    BOHR_EXPECTS(config.reduce_buckets->bucket_count() > 0);
+    fractions = config.reduce_buckets->to_fractions();
+  }
   double r_total = 0.0;
-  for (const double r : reduce_fractions) {
+  for (const double r : fractions) {
     BOHR_EXPECTS(r >= -1e-9);
     r_total += r;
   }
@@ -55,7 +66,7 @@ JobResult run_job(const net::WanTopology& topo,
   for (net::SiteId i = 0; i < n; ++i) {
     for (net::SiteId j = 0; j < n; ++j) {
       if (i == j) continue;
-      const double bytes = result.sites[i].shuffle_bytes * reduce_fractions[j];
+      const double bytes = result.sites[i].shuffle_bytes * fractions[j];
       if (bytes <= 0.0) continue;
       flows.push_back(net::Flow{i, j, bytes,
                                 result.sites[i].map_finish_seconds});
@@ -82,7 +93,7 @@ JobResult run_job(const net::WanTopology& topo,
   std::vector<double> shuffle_finish(n, 0.0);
   for (net::SiteId j = 0; j < n; ++j) {
     // A site's own shuffle portion is available at its map finish.
-    shuffle_finish[j] = reduce_fractions[j] > 0.0
+    shuffle_finish[j] = fractions[j] > 0.0
                             ? result.sites[j].map_finish_seconds
                             : 0.0;
   }
@@ -96,17 +107,75 @@ JobResult run_job(const net::WanTopology& topo,
   for (const auto& s : result.sites) {
     total_shuffle_records += static_cast<double>(s.shuffle_records);
   }
+  // Slow-site windows stretch reduce work; evaluated when the site's
+  // shuffle input is complete, i.e. when its reduce actually starts.
+  std::vector<double> slowdown(n, 1.0);
+  if (config.faults != nullptr && !config.faults->slowdowns.empty()) {
+    for (net::SiteId j = 0; j < n; ++j) {
+      slowdown[j] = config.faults->compute_slowdown(j, shuffle_finish[j]);
+      result.max_reduce_slowdown =
+          std::max(result.max_reduce_slowdown, slowdown[j]);
+    }
+  }
   double qct = 0.0;
   double slowest_map = 0.0;
-  for (net::SiteId j = 0; j < n; ++j) {
-    result.sites[j].shuffle_finish_seconds = shuffle_finish[j];
-    const double reduce_records = total_shuffle_records *
-                                  config.machine.record_scale *
-                                  reduce_fractions[j];
-    const double reduce_t = reduce_records / config.reduce_records_per_sec;
-    result.sites[j].reduce_finish_seconds = shuffle_finish[j] + reduce_t;
-    qct = std::max(qct, result.sites[j].reduce_finish_seconds);
-    slowest_map = std::max(slowest_map, result.sites[j].map_finish_seconds);
+  if (config.reduce_buckets == nullptr) {
+    for (net::SiteId j = 0; j < n; ++j) {
+      result.sites[j].shuffle_finish_seconds = shuffle_finish[j];
+      const double reduce_records = total_shuffle_records *
+                                    config.machine.record_scale *
+                                    fractions[j];
+      const double reduce_t =
+          reduce_records / config.reduce_records_per_sec * slowdown[j];
+      result.sites[j].reduce_finish_seconds = shuffle_finish[j] + reduce_t;
+      qct = std::max(qct, result.sites[j].reduce_finish_seconds);
+      slowest_map = std::max(slowest_map, result.sites[j].map_finish_seconds);
+    }
+  } else {
+    // Bucket-granular reduce: each site works through its owned buckets
+    // in sequence. A bucket whose native completion on a slowed site
+    // blows past the cap — bucket_speculation_cap x what the bucket
+    // would cost at the slowest HEALTHY site — is re-executed there and
+    // finishes at the cap instead (Dolly/Mantri at bucket granularity).
+    const ReduceBucketMap& buckets = *config.reduce_buckets;
+    const double total_buckets =
+        static_cast<double>(buckets.bucket_count());
+    const double bucket_t = total_shuffle_records *
+                            config.machine.record_scale / total_buckets /
+                            config.reduce_records_per_sec;
+    std::vector<std::size_t> owned(n, 0);
+    for (const std::uint32_t site : buckets.owner) ++owned[site];
+    double slowest_healthy_shuffle = -1.0;
+    for (net::SiteId j = 0; j < n; ++j) {
+      if (slowdown[j] <= 1.0 + 1e-12) {
+        slowest_healthy_shuffle =
+            std::max(slowest_healthy_shuffle, shuffle_finish[j]);
+      }
+    }
+    const bool can_speculate =
+        config.bucket_speculation && slowest_healthy_shuffle >= 0.0;
+    const double bucket_cap =
+        can_speculate ? config.bucket_speculation_cap *
+                            (slowest_healthy_shuffle + bucket_t)
+                      : std::numeric_limits<double>::infinity();
+    for (net::SiteId j = 0; j < n; ++j) {
+      result.sites[j].shuffle_finish_seconds = shuffle_finish[j];
+      double t = shuffle_finish[j];
+      double finish = t;
+      for (std::size_t b = 0; b < owned[j]; ++b) {
+        const double native = t + bucket_t * slowdown[j];
+        if (native > bucket_cap + 1e-12) {
+          finish = std::max(finish, bucket_cap);
+          ++result.reduce_speculations;
+        } else {
+          t = native;
+          finish = std::max(finish, t);
+        }
+      }
+      result.sites[j].reduce_finish_seconds = finish;
+      qct = std::max(qct, finish);
+      slowest_map = std::max(slowest_map, result.sites[j].map_finish_seconds);
+    }
   }
   result.shuffle_seconds = std::max(0.0, qct - slowest_map);
   result.qct_seconds = qct + config.controller_overhead_seconds;

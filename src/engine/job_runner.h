@@ -28,8 +28,23 @@ struct JobConfig {
   /// clock starts at 0 when the first map finishes feeding it). Null or
   /// WAN-quiet plans take the pristine simulator path. Shuffle flows cut
   /// by an outage retry after recovery; retry and backoff time lands in
-  /// QCT via the flows' finish times.
+  /// QCT via the flows' finish times. The plan's slow-site windows
+  /// stretch reduce work at the covered sites (evaluated on the same
+  /// phase-local clock).
   const net::FaultPlan* faults = nullptr;
+  /// Optional bucket-granular reduce placement (not owned). When set,
+  /// per-site reduce fractions are derived from bucket ownership
+  /// (overriding the `reduce_fractions` argument's granularity) and the
+  /// reduce stage runs bucket by bucket, which enables bucket-level
+  /// speculation below. Null keeps the historical fraction-based path
+  /// bit for bit.
+  const ReduceBucketMap* reduce_buckets = nullptr;
+  /// Speculative re-execution at reduce-bucket granularity: a bucket
+  /// whose native completion (on a slowed site) would exceed
+  /// `bucket_speculation_cap` x the slowest-healthy-site estimate for
+  /// that bucket is re-launched there and capped at the estimate.
+  bool bucket_speculation = false;
+  double bucket_speculation_cap = 1.5;
 };
 
 struct SiteJobMetrics {
@@ -57,6 +72,11 @@ struct JobResult {
   /// Shuffle flows abandoned after max retries: the reduce ran with
   /// incomplete input — recorded, never silently dropped.
   std::size_t shuffle_flows_failed = 0;
+  /// Reduce buckets speculatively re-executed on a healthy site (0
+  /// unless bucket-granular reduce + speculation are enabled).
+  std::size_t reduce_speculations = 0;
+  /// Largest compute slowdown any reduce site ran under (1 = none).
+  double max_reduce_slowdown = 1.0;
 };
 
 /// `site_inputs[i]` holds the already-mapped key/value stream at site i

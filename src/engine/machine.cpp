@@ -1,6 +1,7 @@
 #include "engine/machine.h"
 
 #include <algorithm>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -109,20 +110,45 @@ SimilarityAssignment assign_by_similarity(
 
 }  // namespace
 
+void MachineConfig::validate() const {
+  const auto reject = [](const std::string& why) {
+    throw bohr::ContractViolation("invalid MachineConfig: " + why);
+  };
+  if (executors == 0) reject("executors must be positive");
+  if (!(map_records_per_sec > 0.0)) {
+    reject("map_records_per_sec must be positive");
+  }
+  if (!(merge_records_per_sec > 0.0)) {
+    reject("merge_records_per_sec must be positive");
+  }
+  if (!(rdd_check_ops_per_sec > 0.0)) {
+    reject("rdd_check_ops_per_sec must be positive");
+  }
+  if (!(record_scale >= 1.0)) reject("record_scale must be >= 1");
+  if (!(straggler_probability >= 0.0 && straggler_probability <= 1.0)) {
+    reject("straggler_probability must be in [0,1], got " +
+           std::to_string(straggler_probability));
+  }
+  if (!(straggler_slowdown >= 1.0)) {
+    reject("straggler_slowdown must be >= 1");
+  }
+  if (!(speculation_cap >= 1.0)) {
+    reject("speculation_cap must be >= 1 (a cap below the median "
+           "re-executes everything), got " +
+           std::to_string(speculation_cap));
+  }
+}
+
 LocalStageResult run_local_stage(
     const std::vector<RecordStream>& partitions, const MachineConfig& config,
     ExecutorAssignment assignment, AggregateOp op, double compute_multiplier,
     const similarity::DimsumParams& dimsum_params, bohr::Rng& rng) {
-  BOHR_EXPECTS(config.executors > 0);
+  config.validate();
   BOHR_EXPECTS(compute_multiplier > 0.0);
-  BOHR_EXPECTS(config.map_records_per_sec > 0.0);
-  BOHR_EXPECTS(config.merge_records_per_sec > 0.0);
 
   LocalStageResult result;
   if (partitions.empty()) return result;
 
-  BOHR_EXPECTS(config.record_scale >= 1.0);
-  BOHR_EXPECTS(config.rdd_check_ops_per_sec > 0.0);
   if (assignment == ExecutorAssignment::SimilarityKMeans) {
     SimilarityAssignment sim = assign_by_similarity(
         partitions, config.executors, dimsum_params, config.record_scale);

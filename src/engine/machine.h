@@ -52,6 +52,13 @@ struct MachineConfig {
   /// median executor's time (plus the detection delay baked into the cap).
   bool speculative_execution = false;
   double speculation_cap = 1.5;
+
+  /// Throws ContractViolation with a field-naming message when a value
+  /// is out of range (probability outside [0,1], speculation_cap < 1,
+  /// non-positive rates, ...). Run by every local-stage and job entry
+  /// point, so a bad config fails loudly instead of silently skewing
+  /// the simulation.
+  void validate() const;
 };
 
 enum class ExecutorAssignment {

@@ -27,4 +27,34 @@ std::vector<RecordStream> make_partitions(std::span<const KeyValue> records,
                                           std::size_t partition_records,
                                           PartitionPolicy policy);
 
+/// Reduce work decomposed into B relocatable, equal-weight buckets.
+/// `owner[b]` is the site running bucket b; each bucket carries 1/B of
+/// the reduce keyspace. The migration controller moves individual
+/// buckets between sites instead of re-solving the placement LP, and the
+/// job runner derives per-site reduce fractions from the ownership
+/// counts — so a relocation is a pure control-plane delta.
+struct ReduceBucketMap {
+  std::vector<std::uint32_t> owner;  ///< bucket -> site
+  std::size_t site_count = 0;
+
+  std::size_t bucket_count() const { return owner.size(); }
+
+  /// Quantizes continuous reduce fractions into `n_buckets` buckets by
+  /// largest-remainder apportionment (deterministic; ties break on the
+  /// lower site id). Buckets are numbered contiguously per site in site
+  /// order. Fractions must be non-negative and sum to ~1.
+  static ReduceBucketMap from_fractions(const std::vector<double>& fractions,
+                                        std::size_t n_buckets);
+
+  /// Per-site reduce fractions implied by the current ownership
+  /// (counts / B); sums to exactly 1.
+  std::vector<double> to_fractions() const;
+
+  /// Buckets owned by `site`, in ascending bucket order.
+  std::vector<std::size_t> buckets_at(std::size_t site) const;
+
+  /// Reassigns bucket `bucket` to `site` (bounds-checked).
+  void relocate(std::size_t bucket, std::size_t site);
+};
+
 }  // namespace bohr::engine

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <sstream>
 
 #include "common/check.h"
@@ -25,7 +26,8 @@ bool FaultPlan::empty() const {
 }
 
 bool FaultPlan::data_plane_quiet() const {
-  return wan_quiet() && probe_loss_probability <= 0.0 && !lp_failure;
+  return wan_quiet() && slowdowns.empty() && probe_loss_probability <= 0.0 &&
+         !lp_failure;
 }
 
 bool FaultPlan::wan_quiet() const {
@@ -48,6 +50,39 @@ FaultPlan FaultPlan::restricted_to(unsigned phase) const {
   }
   for (const auto& k : kills) {
     if ((k.phases & phase) != 0) out.kills.push_back(k);
+  }
+  for (const auto& s : slowdowns) {
+    if ((s.phases & phase) != 0) out.slowdowns.push_back(s);
+  }
+  return out;
+}
+
+FaultPlan FaultPlan::shifted_by(double offset) const {
+  FaultPlan out;
+  out.seed = seed;
+  out.retry = retry;
+  out.lp_failure = lp_failure;
+  out.probe_loss_probability = probe_loss_probability;
+  const auto shift_window = [&](auto event) -> std::optional<decltype(event)> {
+    event.end -= offset;
+    if (event.end <= 0.0) return std::nullopt;  // entirely in the past
+    event.start = std::max(0.0, event.start - offset);
+    return event;
+  };
+  for (const auto& o : outages) {
+    if (auto shifted = shift_window(o)) out.outages.push_back(*shifted);
+  }
+  for (const auto& d : degradations) {
+    if (auto shifted = shift_window(d)) out.degradations.push_back(*shifted);
+  }
+  for (const auto& s : slowdowns) {
+    if (auto shifted = shift_window(s)) out.slowdowns.push_back(*shifted);
+  }
+  for (const auto& k : kills) {
+    if (k.time < offset) continue;
+    FlowKill shifted = k;
+    shifted.time -= offset;
+    out.kills.push_back(shifted);
   }
   return out;
 }
@@ -99,6 +134,16 @@ double FaultPlan::downlink_factor(SiteId site, double t) const {
   return factor;
 }
 
+double FaultPlan::compute_slowdown(SiteId site, double t) const {
+  double factor = 1.0;
+  for (const auto& s : slowdowns) {
+    if (s.site == site && window_covers(s.start, s.end, t)) {
+      factor = std::max(factor, s.factor);
+    }
+  }
+  return factor;
+}
+
 double FaultPlan::next_event_after(double t) const {
   double next = kInf;
   const auto consider = [&](double edge) {
@@ -141,6 +186,11 @@ void FaultPlan::validate() const {
   }
   for (const auto& k : kills) {
     BOHR_EXPECTS(std::isfinite(k.time) && k.time >= 0.0);
+  }
+  for (const auto& s : slowdowns) {
+    BOHR_EXPECTS(std::isfinite(s.start) && std::isfinite(s.end));
+    BOHR_EXPECTS(s.start >= 0.0 && s.end > s.start);
+    BOHR_EXPECTS(std::isfinite(s.factor) && s.factor >= 1.0);
   }
   BOHR_EXPECTS(probe_loss_probability >= 0.0 && probe_loss_probability <= 1.0);
   BOHR_EXPECTS(retry.backoff_base_seconds >= 0.0);
@@ -287,6 +337,16 @@ FaultPlan parse_fault_plan(const std::string& spec) {
       }
       if (const auto* p = args.find("phases")) k.phases = parse_phases(clause, *p);
       plan.kills.push_back(k);
+    } else if (head == "slow-site") {
+      SiteSlowdown s;
+      s.site = static_cast<SiteId>(parse_num(clause, args.require("site")));
+      s.start = parse_num(clause, args.require("start"));
+      s.end = parse_num(clause, args.require("end"));
+      if (const auto* f = args.find("factor")) s.factor = parse_num(clause, *f);
+      if (const auto* p = args.find("phases")) s.phases = parse_phases(clause, *p);
+      if (!(s.end > s.start)) bad_spec(clause, "end must exceed start");
+      if (s.factor < 1.0) bad_spec(clause, "factor must be >= 1");
+      plan.slowdowns.push_back(s);
     } else if (head == "probe-loss") {
       plan.probe_loss_probability = parse_num(clause, args.require("p"));
       if (const auto* s = args.find("seed")) {

@@ -66,6 +66,18 @@ struct FlowKill {
   unsigned phases = kPhaseAll;
 };
 
+/// Site `site` computes at 1/factor of its nominal speed in [start, end):
+/// map and reduce work there takes `factor`x longer. Models a hot,
+/// oversubscribed, or straggling site (churn) without touching its links
+/// — the signal the elastic migration controller reacts to.
+struct SiteSlowdown {
+  SiteId site = 0;
+  double start = 0.0;
+  double end = 0.0;
+  double factor = 4.0;  ///< slowdown multiple, >= 1
+  unsigned phases = kPhaseAll;
+};
+
 /// How interrupted flows recover. An interrupted flow becomes eligible
 /// again at max(interruption + backoff, outage recovery); with `resume`
 /// it keeps the bytes already delivered, otherwise it restarts from
@@ -100,6 +112,7 @@ struct FaultPlan {
   std::vector<OutageWindow> outages;
   std::vector<LinkDegradation> degradations;
   std::vector<FlowKill> kills;
+  std::vector<SiteSlowdown> slowdowns;
   /// Per-probe-report loss probability in [0, 1]; decided by a stable
   /// hash of (dataset, sender, receiver, seed) — no RNG draws.
   double probe_loss_probability = 0.0;
@@ -127,13 +140,24 @@ struct FaultPlan {
   /// even when control-plane faults like lp_failure are set).
   bool wan_quiet() const;
   std::size_t event_count() const {
-    return outages.size() + degradations.size() + kills.size();
+    return outages.size() + degradations.size() + kills.size() +
+           slowdowns.size();
   }
 
   /// Projection of this plan onto one phase's local clock. Process and
   /// storage faults are deliberately dropped: they belong to the whole
   /// run, not to any simulated transfer phase.
   FaultPlan restricted_to(unsigned phase) const;
+
+  /// Re-bases the timed events onto a clock that starts `offset` seconds
+  /// into this plan's clock: window edges and kill times shift earlier by
+  /// `offset`, events entirely in the past are dropped, and windows
+  /// straddling the new origin are clamped to start at 0. The churn
+  /// runner uses this to project one run-clock plan onto each recurring
+  /// query's phase-local clock. Untimed faults (probe loss, lp-failure,
+  /// retry policy) carry over; process/storage faults are dropped like in
+  /// restricted_to.
+  FaultPlan shifted_by(double offset) const;
 
   /// Is `site` inside an outage window at time `t`?
   bool site_dark_at(SiteId site, double t) const;
@@ -143,6 +167,9 @@ struct FaultPlan {
   /// Capacity multipliers at time `t` (0 while the site is dark).
   double uplink_factor(SiteId site, double t) const;
   double downlink_factor(SiteId site, double t) const;
+  /// Compute-slowdown multiple at time `t` (1 when no slow-site window
+  /// covers it; the max factor when several overlap).
+  double compute_slowdown(SiteId site, double t) const;
   /// Next event edge (window start/end or kill time) strictly after `t`;
   /// +inf when none remain.
   double next_event_after(double t) const;
@@ -159,6 +186,7 @@ struct FaultPlan {
 ///   outage:site=S,start=A,end=B[,phases=P]
 ///   degrade:site=S,start=A,end=B,factor=F[,link=up|down|both][,phases=P]
 ///   kill:time=T[,src=S][,dst=S][,phases=P]
+///   slow-site:site=S,start=A,end=B[,factor=F][,phases=P]
 ///   probe-loss:p=F[,seed=N]
 ///   retry:max=N,base=S[,cap=S][,mode=resume|restart]
 ///   lp-failure

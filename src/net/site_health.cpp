@@ -1,0 +1,202 @@
+#include "net/site_health.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace bohr::net {
+
+const char* to_string(SiteHealth health) {
+  switch (health) {
+    case SiteHealth::kHealthy:
+      return "H";
+    case SiteHealth::kDegraded:
+      return "D";
+    case SiteHealth::kDead:
+      return "X";
+    case SiteHealth::kQuarantined:
+      return "Q";
+  }
+  return "?";
+}
+
+SiteHealthMonitor::SiteHealthMonitor(std::size_t site_count,
+                                     HealthOptions options)
+    : sites_(site_count), options_(options) {
+  BOHR_EXPECTS(site_count > 0);
+  BOHR_EXPECTS(options_.probe_backoff_base_seconds >= 0.0);
+  BOHR_EXPECTS(options_.probe_backoff_cap_seconds >=
+               options_.probe_backoff_base_seconds);
+  BOHR_EXPECTS(options_.dead_after_misses >= 1);
+  BOHR_EXPECTS(options_.degraded_link_factor >= 0.0 &&
+               options_.degraded_link_factor <= 1.0);
+  BOHR_EXPECTS(options_.degraded_compute_factor >= 1.0);
+  BOHR_EXPECTS(options_.flap_limit >= 1);
+  BOHR_EXPECTS(options_.flap_window_seconds > 0.0);
+  BOHR_EXPECTS(options_.quarantine_seconds >= 0.0);
+}
+
+SiteHealth SiteHealthMonitor::health(SiteId site) const {
+  BOHR_EXPECTS(site < sites_.size());
+  return sites_[site].health;
+}
+
+bool SiteHealthMonitor::usable(SiteId site) const {
+  const SiteHealth h = health(site);
+  return h == SiteHealth::kHealthy || h == SiteHealth::kDegraded;
+}
+
+double SiteHealthMonitor::observed_slowdown(SiteId site) const {
+  BOHR_EXPECTS(site < sites_.size());
+  return sites_[site].observed_slowdown;
+}
+
+std::size_t SiteHealthMonitor::usable_count() const {
+  std::size_t n = 0;
+  for (SiteId i = 0; i < sites_.size(); ++i) {
+    if (usable(i)) ++n;
+  }
+  return n;
+}
+
+void SiteHealthMonitor::probe_site(const FaultPlan& plan, SiteId site,
+                                   double now) {
+  SiteState& s = sites_[site];
+  const bool dark = plan.site_dark_at(site, now);
+  if (dark) {
+    // Probe timed out: back off exponentially before asking again.
+    ++s.consecutive_misses;
+    const double backoff = std::min(
+        options_.probe_backoff_cap_seconds,
+        options_.probe_backoff_base_seconds *
+            static_cast<double>(1ull << std::min<std::size_t>(
+                                    s.consecutive_misses - 1, 20)));
+    s.next_probe_time = now + backoff;
+    s.observed_slowdown = 1.0;
+    if (s.consecutive_misses >= options_.dead_after_misses &&
+        s.health != SiteHealth::kQuarantined) {
+      s.health = SiteHealth::kDead;
+    }
+    return;
+  }
+
+  // Probe answered. Record the recovery if the site had been dead.
+  const bool was_dead = s.health == SiteHealth::kDead;
+  s.consecutive_misses = 0;
+  s.next_probe_time = now;
+  if (was_dead) {
+    s.flap_times.push_back(now);
+    // Drop flaps that left the window.
+    const double horizon = now - options_.flap_window_seconds;
+    s.flap_times.erase(
+        std::remove_if(s.flap_times.begin(), s.flap_times.end(),
+                       [&](double t) { return t < horizon; }),
+        s.flap_times.end());
+    if (s.flap_times.size() >= options_.flap_limit) {
+      s.health = SiteHealth::kQuarantined;
+      s.quarantine_until = now + options_.quarantine_seconds;
+      s.observed_slowdown = 1.0;
+      return;
+    }
+  }
+
+  if (s.health == SiteHealth::kQuarantined) {
+    if (now < s.quarantine_until) return;  // still serving its sentence
+    s.health = SiteHealth::kHealthy;
+  }
+
+  const double link = std::min(plan.uplink_factor(site, now),
+                               plan.downlink_factor(site, now));
+  const double slowdown = plan.compute_slowdown(site, now);
+  s.observed_slowdown = slowdown;
+  const bool degraded = link <= options_.degraded_link_factor ||
+                        slowdown >= options_.degraded_compute_factor;
+  s.health = degraded ? SiteHealth::kDegraded : SiteHealth::kHealthy;
+}
+
+void SiteHealthMonitor::observe(const FaultPlan& plan, double now) {
+  BOHR_EXPECTS(now >= last_observed_);
+  last_observed_ = now;
+  for (SiteId i = 0; i < sites_.size(); ++i) {
+    if (sites_[i].next_probe_time > now + 1e-12) continue;  // backing off
+    probe_site(plan, i, now);
+  }
+}
+
+std::string SiteHealthMonitor::describe() const {
+  std::string out;
+  for (SiteId i = 0; i < sites_.size(); ++i) {
+    if (!out.empty()) out += ' ';
+    out += std::to_string(i);
+    out += ':';
+    out += to_string(sites_[i].health);
+  }
+  return out;
+}
+
+namespace {
+
+void put_u64(std::string& bytes, std::uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  bytes.append(buf, 8);
+}
+
+void put_f64(std::string& bytes, double v) {
+  put_u64(bytes, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint64_t take_u64(const std::string& bytes, std::size_t& at) {
+  if (at + 8 > bytes.size()) {
+    throw ContractViolation("health image truncated");
+  }
+  std::uint64_t v = 0;
+  std::memcpy(&v, bytes.data() + at, 8);
+  at += 8;
+  return v;
+}
+
+double take_f64(const std::string& bytes, std::size_t& at) {
+  return std::bit_cast<double>(take_u64(bytes, at));
+}
+
+}  // namespace
+
+std::string SiteHealthMonitor::serialize() const {
+  std::string bytes;
+  put_u64(bytes, sites_.size());
+  put_f64(bytes, last_observed_);
+  for (const SiteState& s : sites_) {
+    put_u64(bytes, static_cast<std::uint64_t>(s.health));
+    put_u64(bytes, s.consecutive_misses);
+    put_f64(bytes, s.next_probe_time);
+    put_f64(bytes, s.observed_slowdown);
+    put_f64(bytes, s.quarantine_until);
+    put_u64(bytes, s.flap_times.size());
+    for (const double t : s.flap_times) put_f64(bytes, t);
+  }
+  return bytes;
+}
+
+void SiteHealthMonitor::restore(const std::string& image) {
+  std::size_t at = 0;
+  const std::uint64_t count = take_u64(image, at);
+  BOHR_EXPECTS(count == sites_.size());
+  last_observed_ = take_f64(image, at);
+  for (SiteState& s : sites_) {
+    const std::uint64_t h = take_u64(image, at);
+    BOHR_EXPECTS(h <= static_cast<std::uint64_t>(SiteHealth::kQuarantined));
+    s.health = static_cast<SiteHealth>(h);
+    s.consecutive_misses = take_u64(image, at);
+    s.next_probe_time = take_f64(image, at);
+    s.observed_slowdown = take_f64(image, at);
+    s.quarantine_until = take_f64(image, at);
+    s.flap_times.resize(take_u64(image, at));
+    for (double& t : s.flap_times) t = take_f64(image, at);
+  }
+  BOHR_EXPECTS(at == image.size());
+}
+
+}  // namespace bohr::net

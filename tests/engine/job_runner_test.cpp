@@ -160,5 +160,115 @@ TEST(JobRunnerTest, QuerySpecDefaultsAreSane) {
             default_spec_for(QueryKind::Scan).compute_multiplier);
 }
 
+TEST(JobRunnerTest, ValidatesMachineConfig) {
+  JobConfig bad = fast_config();
+  bad.machine.straggler_probability = 2.0;
+  Rng rng(1);
+  EXPECT_THROW(run_job(two_site_topo(), {unique_records(0, 8), {}},
+                       {0.5, 0.5}, sum_spec(), bad, rng),
+               bohr::ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Bucket-granular reduce (elastic migration's execution layer).
+
+TEST(JobRunnerTest, BucketMapMatchesFractionPathWhenAligned) {
+  // A bucket map quantizing {0.5, 0.5} into 8 buckets implies the exact
+  // same per-site reduce work: identical QCT, bit for bit.
+  const auto topo = two_site_topo();
+  const std::vector<RecordStream> inputs{unique_records(0, 20),
+                                         unique_records(1000, 20)};
+  Rng rng_a(1);
+  const auto plain = run_job(topo, inputs, {0.5, 0.5}, sum_spec(),
+                             fast_config(), rng_a);
+  const auto buckets = ReduceBucketMap::from_fractions({0.5, 0.5}, 8);
+  JobConfig bucketed = fast_config();
+  bucketed.reduce_buckets = &buckets;
+  Rng rng_b(1);
+  const auto with_map =
+      run_job(topo, inputs, {0.5, 0.5}, sum_spec(), bucketed, rng_b);
+  EXPECT_DOUBLE_EQ(with_map.qct_seconds, plain.qct_seconds);
+  EXPECT_DOUBLE_EQ(with_map.wan_shuffle_bytes, plain.wan_shuffle_bytes);
+  EXPECT_EQ(with_map.reduce_speculations, 0u);
+}
+
+TEST(JobRunnerTest, BucketMapOverridesFractionArgument) {
+  // All buckets on site 0: site 1 does no reduce work even though the
+  // fractions argument says 50/50 — ownership is the source of truth.
+  const auto topo = two_site_topo();
+  const std::vector<RecordStream> inputs{unique_records(0, 20),
+                                         unique_records(1000, 20)};
+  const auto buckets = ReduceBucketMap::from_fractions({1.0, 0.0}, 8);
+  JobConfig cfg = fast_config();
+  cfg.reduce_buckets = &buckets;
+  Rng rng(1);
+  const auto result = run_job(topo, inputs, {0.5, 0.5}, sum_spec(), cfg, rng);
+  EXPECT_GT(result.sites[0].reduce_finish_seconds,
+            result.sites[0].shuffle_finish_seconds);
+  EXPECT_DOUBLE_EQ(result.sites[1].reduce_finish_seconds,
+                   result.sites[1].shuffle_finish_seconds);
+}
+
+TEST(JobRunnerTest, BucketSpeculationCapsASlowedSite) {
+  // Site 1 computes 40x slow during reduce and reduce dominates (slow
+  // reducers): its buckets blow past the cap and are re-executed,
+  // landing the QCT at the capped estimate instead of 40x.
+  const auto topo = two_site_topo();
+  const std::vector<RecordStream> inputs{unique_records(0, 20),
+                                         unique_records(1000, 20)};
+  net::FaultPlan plan;
+  plan.slowdowns.push_back(net::SiteSlowdown{1, 0.0, 1.0e9, 40.0});
+  const auto buckets = ReduceBucketMap::from_fractions({0.5, 0.5}, 8);
+  JobConfig slow = fast_config();
+  slow.reduce_records_per_sec = 100.0;  // reduce-heavy
+  slow.faults = &plan;
+  slow.reduce_buckets = &buckets;
+
+  Rng rng_a(1);
+  const auto native = run_job(topo, inputs, {0.5, 0.5}, sum_spec(), slow,
+                              rng_a);
+  EXPECT_EQ(native.reduce_speculations, 0u);
+  EXPECT_DOUBLE_EQ(native.max_reduce_slowdown, 40.0);
+
+  JobConfig speculate = slow;
+  speculate.bucket_speculation = true;
+  Rng rng_b(1);
+  const auto capped = run_job(topo, inputs, {0.5, 0.5}, sum_spec(),
+                              speculate, rng_b);
+  EXPECT_GT(capped.reduce_speculations, 0u);
+  EXPECT_LT(capped.qct_seconds, native.qct_seconds);
+  // The capped QCT is bounded by cap x (slowest healthy shuffle + one
+  // bucket), never by the 40x native chain.
+  const double bucket_t = capped.sites[0].reduce_finish_seconds -
+                          capped.sites[0].shuffle_finish_seconds;
+  const double healthy_shuffle = capped.sites[0].shuffle_finish_seconds;
+  EXPECT_LE(capped.qct_seconds,
+            speculate.bucket_speculation_cap *
+                    (healthy_shuffle + bucket_t) +
+                1e-9);
+}
+
+TEST(JobRunnerTest, SpeculationIsIdleWithoutSlowdowns) {
+  // With no slow-site windows the speculation machinery must be inert:
+  // same QCT as the plain bucket path, zero speculations.
+  const auto topo = two_site_topo();
+  const std::vector<RecordStream> inputs{unique_records(0, 20),
+                                         unique_records(1000, 20)};
+  const auto buckets = ReduceBucketMap::from_fractions({0.5, 0.5}, 8);
+  JobConfig cfg = fast_config();
+  cfg.reduce_buckets = &buckets;
+  Rng rng_a(1);
+  const auto plain = run_job(topo, inputs, {0.5, 0.5}, sum_spec(), cfg,
+                             rng_a);
+  JobConfig spec = cfg;
+  spec.bucket_speculation = true;
+  Rng rng_b(1);
+  const auto with_spec =
+      run_job(topo, inputs, {0.5, 0.5}, sum_spec(), spec, rng_b);
+  EXPECT_DOUBLE_EQ(with_spec.qct_seconds, plain.qct_seconds);
+  EXPECT_EQ(with_spec.reduce_speculations, 0u);
+  EXPECT_DOUBLE_EQ(with_spec.max_reduce_slowdown, 1.0);
+}
+
 }  // namespace
 }  // namespace bohr::engine

@@ -168,5 +168,46 @@ TEST(MachineTest, InvalidConfigThrows) {
                bohr::ContractViolation);
 }
 
+/// validate() must throw and name the offending field in the message.
+void expect_rejects(const MachineConfig& bad, const std::string& field) {
+  try {
+    bad.validate();
+    FAIL() << "expected ContractViolation naming " << field;
+  } catch (const bohr::ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+        << "message does not name " << field << ": " << e.what();
+  }
+}
+
+TEST(MachineTest, ValidateRejectsOutOfRangeStragglerProbability) {
+  MachineConfig bad = small_machine();
+  bad.straggler_probability = 1.5;
+  expect_rejects(bad, "straggler_probability");
+  bad.straggler_probability = -0.1;
+  expect_rejects(bad, "straggler_probability");
+  // The boundaries themselves are legal.
+  bad.straggler_probability = 0.0;
+  EXPECT_NO_THROW(bad.validate());
+  bad.straggler_probability = 1.0;
+  EXPECT_NO_THROW(bad.validate());
+}
+
+TEST(MachineTest, ValidateRejectsSubUnitSpeculationCap) {
+  MachineConfig bad = small_machine();
+  bad.speculation_cap = 0.5;
+  expect_rejects(bad, "speculation_cap");
+  bad.speculation_cap = 1.0;  // capping at the median itself is legal
+  EXPECT_NO_THROW(bad.validate());
+}
+
+TEST(MachineTest, ValidateRejectsNonPositiveRates) {
+  MachineConfig bad = small_machine();
+  bad.map_records_per_sec = 0.0;
+  EXPECT_THROW(bad.validate(), bohr::ContractViolation);
+  bad = small_machine();
+  bad.straggler_slowdown = 0.5;
+  EXPECT_THROW(bad.validate(), bohr::ContractViolation);
+}
+
 }  // namespace
 }  // namespace bohr::engine

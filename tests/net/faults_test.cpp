@@ -447,6 +447,111 @@ TEST(FaultSimTest, RestartModeCountsNothingUntilCompletion) {
   EXPECT_DOUBLE_EQ(report.flows[1].delivered_by_deadline, 10.0);
 }
 
+// ---------------------------------------------------------------------------
+// Slow-site windows and the churn runner's clock re-basing.
+
+TEST(FaultPlanTest, ComputeSlowdownTakesMaxOfOverlappingWindows) {
+  FaultPlan plan;
+  plan.slowdowns.push_back(SiteSlowdown{1, 0.0, 10.0, 2.0});
+  plan.slowdowns.push_back(SiteSlowdown{1, 5.0, 20.0, 6.0});
+  EXPECT_DOUBLE_EQ(plan.compute_slowdown(1, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(plan.compute_slowdown(1, 7.0), 6.0);  // overlap: max
+  EXPECT_DOUBLE_EQ(plan.compute_slowdown(1, 15.0), 6.0);
+  EXPECT_DOUBLE_EQ(plan.compute_slowdown(1, 20.0), 1.0);  // half-open
+  EXPECT_DOUBLE_EQ(plan.compute_slowdown(0, 7.0), 1.0);  // other site
+  EXPECT_FALSE(plan.data_plane_quiet());
+  // Slowdowns stretch compute, not links: the WAN fast path stays valid.
+  EXPECT_TRUE(plan.wan_quiet());
+}
+
+TEST(FaultPlanTest, ShiftedByRebasesWindowsOntoALaterClock) {
+  FaultPlan plan;
+  plan.outages.push_back(OutageWindow{0, 5.0, 15.0});   // straddles 10
+  plan.outages.push_back(OutageWindow{1, 0.0, 8.0});    // entirely past
+  plan.slowdowns.push_back(SiteSlowdown{2, 12.0, 30.0, 4.0});
+  plan.kills.push_back(FlowKill{9.0});   // in the past: dropped
+  plan.kills.push_back(FlowKill{25.0});  // survives, shifted
+  plan.probe_loss_probability = 0.25;
+  plan.crash_after_phase = "placement";
+
+  const FaultPlan shifted = plan.shifted_by(10.0);
+  // The straddling window is clamped to start at the new origin.
+  ASSERT_EQ(shifted.outages.size(), 1u);
+  EXPECT_EQ(shifted.outages[0].site, 0u);
+  EXPECT_DOUBLE_EQ(shifted.outages[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(shifted.outages[0].end, 5.0);
+  ASSERT_EQ(shifted.slowdowns.size(), 1u);
+  EXPECT_DOUBLE_EQ(shifted.slowdowns[0].start, 2.0);
+  EXPECT_DOUBLE_EQ(shifted.slowdowns[0].end, 20.0);
+  ASSERT_EQ(shifted.kills.size(), 1u);
+  EXPECT_DOUBLE_EQ(shifted.kills[0].time, 15.0);
+  // Untimed faults carry over; process faults belong to the whole run
+  // and are dropped like restricted_to does.
+  EXPECT_DOUBLE_EQ(shifted.probe_loss_probability, 0.25);
+  EXPECT_TRUE(shifted.crash_after_phase.empty());
+  // Shifting by zero preserves every timed event.
+  EXPECT_EQ(plan.shifted_by(0.0).event_count(), plan.event_count());
+}
+
+TEST(FaultPlanTest, RestrictedToFiltersSlowdownPhases) {
+  FaultPlan plan;
+  plan.slowdowns.push_back(SiteSlowdown{0, 0.0, 10.0, 3.0, kPhaseQuery});
+  plan.slowdowns.push_back(SiteSlowdown{1, 0.0, 10.0, 2.0, kPhaseProbe});
+  const FaultPlan query = plan.restricted_to(kPhaseQuery);
+  ASSERT_EQ(query.slowdowns.size(), 1u);
+  EXPECT_EQ(query.slowdowns[0].site, 0u);
+}
+
+TEST(FaultPlanTest, ValidateRejectsMalformedSlowdowns) {
+  FaultPlan zero_length;
+  zero_length.slowdowns.push_back(SiteSlowdown{0, 5.0, 5.0, 2.0});
+  EXPECT_THROW(zero_length.validate(), ContractViolation);
+  FaultPlan sub_unit;
+  sub_unit.slowdowns.push_back(SiteSlowdown{0, 0.0, 5.0, 0.5});
+  EXPECT_THROW(sub_unit.validate(), ContractViolation);
+  FaultPlan fine;
+  fine.slowdowns.push_back(SiteSlowdown{0, 0.0, 5.0, 1.0});
+  EXPECT_NO_THROW(fine.validate());
+}
+
+TEST(FaultParseTest, ParsesSlowSiteClause) {
+  const FaultPlan plan = parse_fault_plan(
+      "slow-site:site=2,start=250,end=520,factor=6,phases=query");
+  ASSERT_EQ(plan.slowdowns.size(), 1u);
+  EXPECT_EQ(plan.slowdowns[0].site, 2u);
+  EXPECT_DOUBLE_EQ(plan.slowdowns[0].start, 250.0);
+  EXPECT_DOUBLE_EQ(plan.slowdowns[0].end, 520.0);
+  EXPECT_DOUBLE_EQ(plan.slowdowns[0].factor, 6.0);
+  EXPECT_EQ(plan.slowdowns[0].phases, kPhaseQuery);
+  // The factor defaults when omitted.
+  EXPECT_DOUBLE_EQ(parse_fault_plan("slow-site:site=0,start=0,end=1")
+                       .slowdowns[0]
+                       .factor,
+                   4.0);
+}
+
+TEST(FaultParseTest, RejectsMalformedSlowSiteClauses) {
+  // Unknown keys, missing windows, zero-length windows, and sub-unit
+  // factors all name the offending clause instead of crashing.
+  EXPECT_THROW(parse_fault_plan("slow-site:site=0,start=0,end=1,wat=3"),
+               ContractViolation);
+  EXPECT_THROW(parse_fault_plan("slow-site:site=0,end=1"), ContractViolation);
+  EXPECT_THROW(parse_fault_plan("slow-site:site=0,start=5,end=5"),
+               ContractViolation);
+  EXPECT_THROW(parse_fault_plan("slow-site:site=0,start=0,end=1,factor=0.5"),
+               ContractViolation);
+}
+
+TEST(FaultParseTest, OverlappingOutageWindowsParseAndCompose) {
+  // Overlap is legal — darkness is the union, recovery chases the
+  // furthest reachable end.
+  const FaultPlan plan = parse_fault_plan(
+      "outage:site=3,start=0,end=10;outage:site=3,start=8,end=20");
+  EXPECT_NO_THROW(plan.validate());
+  EXPECT_TRUE(plan.site_dark_at(3, 9.0));
+  EXPECT_DOUBLE_EQ(plan.recovery_time(3, 1.0), 20.0);
+}
+
 TEST(FaultSimTest, LocalAndEmptyFlowsBypassTheWan) {
   FaultPlan plan;
   plan.outages.push_back(OutageWindow{0, 0.0, 100.0});

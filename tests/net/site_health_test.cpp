@@ -1,0 +1,173 @@
+// SiteHealthMonitor: the probe-timeout state machine feeding the elastic
+// migration controller. Everything here is deterministic — the "probes"
+// are answered by the fault plan, so each test drives the clock by hand
+// and asserts exact state transitions.
+#include "net/site_health.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/check.h"
+
+namespace bohr::net {
+namespace {
+
+FaultPlan dark(SiteId site, double start, double end) {
+  FaultPlan plan;
+  plan.outages.push_back(OutageWindow{site, start, end});
+  return plan;
+}
+
+TEST(SiteHealthTest, AllHealthyUnderInertPlan) {
+  SiteHealthMonitor monitor(4);
+  monitor.observe(FaultPlan{}, 0.0);
+  monitor.observe(FaultPlan{}, 10.0);
+  for (SiteId i = 0; i < 4; ++i) {
+    EXPECT_EQ(monitor.health(i), SiteHealth::kHealthy);
+    EXPECT_TRUE(monitor.usable(i));
+    EXPECT_DOUBLE_EQ(monitor.observed_slowdown(i), 1.0);
+  }
+  EXPECT_EQ(monitor.usable_count(), 4u);
+  EXPECT_EQ(monitor.describe(), "0:H 1:H 2:H 3:H");
+}
+
+TEST(SiteHealthTest, DeadAfterConsecutiveMisses) {
+  HealthOptions opts;
+  opts.dead_after_misses = 2;
+  SiteHealthMonitor monitor(2, opts);
+  const FaultPlan plan = dark(1, 0.0, 100.0);
+  monitor.observe(plan, 0.0);  // miss 1: not yet dead
+  EXPECT_EQ(monitor.health(1), SiteHealth::kHealthy);
+  monitor.observe(plan, 1.0);  // miss 2: dead
+  EXPECT_EQ(monitor.health(1), SiteHealth::kDead);
+  EXPECT_FALSE(monitor.usable(1));
+  EXPECT_TRUE(monitor.usable(0));
+  EXPECT_EQ(monitor.usable_count(), 1u);
+  EXPECT_EQ(monitor.describe(), "0:H 1:X");
+}
+
+TEST(SiteHealthTest, MissedProbesBackOffExponentially) {
+  // base=1s: probes are due at 0 (miss 1, wait 1), 1 (miss 2, wait 2),
+  // 3 (miss 3). Observations inside a backoff window must not probe, so
+  // with dead_after_misses=3 the site is still alive at t=2.
+  HealthOptions opts;
+  opts.probe_backoff_base_seconds = 1.0;
+  opts.probe_backoff_cap_seconds = 8.0;
+  opts.dead_after_misses = 3;
+  SiteHealthMonitor monitor(1, opts);
+  const FaultPlan plan = dark(0, 0.0, 100.0);
+  monitor.observe(plan, 0.0);
+  monitor.observe(plan, 0.5);  // backing off — skipped
+  monitor.observe(plan, 1.0);  // miss 2
+  monitor.observe(plan, 2.0);  // backing off — skipped
+  EXPECT_EQ(monitor.health(0), SiteHealth::kHealthy);
+  monitor.observe(plan, 3.0);  // miss 3: dead
+  EXPECT_EQ(monitor.health(0), SiteHealth::kDead);
+}
+
+TEST(SiteHealthTest, RecoveryClearsDeadState) {
+  SiteHealthMonitor monitor(2);
+  const FaultPlan plan = dark(1, 0.0, 10.0);
+  monitor.observe(plan, 0.0);
+  monitor.observe(plan, 1.0);
+  EXPECT_EQ(monitor.health(1), SiteHealth::kDead);
+  // One recovery is not a flap pattern — the site is trusted again.
+  monitor.observe(plan, 12.0);
+  EXPECT_EQ(monitor.health(1), SiteHealth::kHealthy);
+  EXPECT_TRUE(monitor.usable(1));
+}
+
+TEST(SiteHealthTest, FlappingSiteIsQuarantinedThenReleased) {
+  HealthOptions opts;
+  opts.dead_after_misses = 2;
+  opts.flap_limit = 2;
+  opts.flap_window_seconds = 100.0;
+  opts.quarantine_seconds = 50.0;
+  SiteHealthMonitor monitor(1, opts);
+  FaultPlan plan;
+  plan.outages.push_back(OutageWindow{0, 0.0, 5.0});
+  plan.outages.push_back(OutageWindow{0, 10.0, 15.0});
+  monitor.observe(plan, 0.0);
+  monitor.observe(plan, 1.0);
+  EXPECT_EQ(monitor.health(0), SiteHealth::kDead);
+  monitor.observe(plan, 6.0);  // dead->alive flap #1
+  EXPECT_EQ(monitor.health(0), SiteHealth::kHealthy);
+  monitor.observe(plan, 10.0);
+  monitor.observe(plan, 11.0);
+  EXPECT_EQ(monitor.health(0), SiteHealth::kDead);
+  monitor.observe(plan, 16.0);  // flap #2 inside the window: quarantine
+  EXPECT_EQ(monitor.health(0), SiteHealth::kQuarantined);
+  EXPECT_FALSE(monitor.usable(0));
+  EXPECT_EQ(monitor.describe(), "0:Q");
+  // Clean probes inside the quarantine period do not release it...
+  monitor.observe(plan, 30.0);
+  EXPECT_EQ(monitor.health(0), SiteHealth::kQuarantined);
+  // ...holding still past quarantine_until does (16 + 50 = 66).
+  monitor.observe(plan, 70.0);
+  EXPECT_EQ(monitor.health(0), SiteHealth::kHealthy);
+}
+
+TEST(SiteHealthTest, SlowComputeMarksDegradedButUsable) {
+  SiteHealthMonitor monitor(2);  // degraded_compute_factor defaults to 2
+  FaultPlan plan;
+  plan.slowdowns.push_back(SiteSlowdown{1, 0.0, 100.0, 3.0});
+  monitor.observe(plan, 5.0);
+  EXPECT_EQ(monitor.health(1), SiteHealth::kDegraded);
+  EXPECT_TRUE(monitor.usable(1));  // degraded still takes buckets
+  EXPECT_DOUBLE_EQ(monitor.observed_slowdown(1), 3.0);
+  EXPECT_EQ(monitor.health(0), SiteHealth::kHealthy);
+  // Window closes: back to healthy on the next probe.
+  monitor.observe(plan, 100.0);
+  EXPECT_EQ(monitor.health(1), SiteHealth::kHealthy);
+  EXPECT_DOUBLE_EQ(monitor.observed_slowdown(1), 1.0);
+}
+
+TEST(SiteHealthTest, WeakLinkMarksDegraded) {
+  SiteHealthMonitor monitor(2);  // degraded_link_factor defaults to 0.5
+  FaultPlan plan;
+  plan.degradations.push_back(LinkDegradation{0, 0.0, 10.0, 0.4});
+  monitor.observe(plan, 1.0);
+  EXPECT_EQ(monitor.health(0), SiteHealth::kDegraded);
+  EXPECT_EQ(monitor.health(1), SiteHealth::kHealthy);
+}
+
+TEST(SiteHealthTest, ObserveRejectsTimeTravel) {
+  SiteHealthMonitor monitor(1);
+  monitor.observe(FaultPlan{}, 5.0);
+  EXPECT_THROW(monitor.observe(FaultPlan{}, 4.0), bohr::ContractViolation);
+}
+
+TEST(SiteHealthTest, SerializeRestoreRoundTrips) {
+  HealthOptions opts;
+  opts.dead_after_misses = 2;
+  SiteHealthMonitor monitor(3, opts);
+  FaultPlan plan;
+  plan.outages.push_back(OutageWindow{1, 0.0, 100.0});
+  plan.slowdowns.push_back(SiteSlowdown{2, 0.0, 100.0, 4.0});
+  monitor.observe(plan, 0.0);
+  monitor.observe(plan, 1.0);
+  const std::string image = monitor.serialize();
+
+  SiteHealthMonitor copy(3, opts);
+  copy.restore(image);
+  EXPECT_EQ(copy.describe(), monitor.describe());
+  EXPECT_EQ(copy.serialize(), image);
+  // The restored monitor continues identically.
+  monitor.observe(plan, 2.0);
+  copy.observe(plan, 2.0);
+  EXPECT_EQ(copy.serialize(), monitor.serialize());
+}
+
+TEST(SiteHealthTest, RestoreRejectsWrongShape) {
+  SiteHealthMonitor monitor(3);
+  const std::string image = monitor.serialize();
+  SiteHealthMonitor wrong_count(2);
+  EXPECT_THROW(wrong_count.restore(image), bohr::ContractViolation);
+  SiteHealthMonitor truncated(3);
+  EXPECT_THROW(truncated.restore(image.substr(0, image.size() - 1)),
+               bohr::ContractViolation);
+}
+
+}  // namespace
+}  // namespace bohr::net

@@ -45,6 +45,7 @@ Flags (defaults in brackets):
   --faults      ';'-joined fault clauses, e.g.
                 outage:site=S,start=A,end=B[,phases=probe+move+query]
                 degrade:site=S,start=A,end=B,factor=F[,link=up|down|both]
+                slow-site:site=S,start=A,end=B[,factor=F][,phases=P]
                 kill:time=T[,src=S][,dst=S]
                 probe-loss:p=F[,seed=N]
                 retry:max=N,base=S[,cap=S][,mode=resume|restart]
@@ -59,6 +60,18 @@ Checkpointing (prepare-only mode; requires one scheme and --runs=1):
                          exits with status 3 after that phase's snapshot
   --recover              restore the newest intact snapshot from
                          --checkpoint-dir and resume the remaining phases
+
+Churn mode (site churn under the elastic migration controller):
+  --churn=N              run the Bohr query mix for N rounds on a run
+                         clock while --faults kills/slows sites; fault
+                         windows use run-clock times (round r executes
+                         at lag + r * lag)
+  --migration=on|off     relocate reduce buckets away from sick sites
+                         between rounds (on), or freeze the initial
+                         bucket placement (off)             [on]
+  --checkpoint-dir       with --churn: also snapshot after every round;
+                         combine with --recover to resume a crashed run
+  --crash-after-round=N  stop (exit 3) after N rounds' snapshots commit
 )";
 
 /// Flag/spec validation error: print usage, exit 2 (vs runtime errors,
@@ -163,6 +176,17 @@ int main(int argc, char** argv) {
     const std::string checkpoint_dir = flags.get("checkpoint-dir", "");
     const std::string crash_phase = flags.get("crash-after-phase", "");
     const bool recover = flags.get_bool("recover", false);
+    const std::int64_t churn_rounds = flags.get_int("churn", 0);
+    require(churn_rounds >= 0, "--churn must be non-negative");
+    const std::string migration = flags.get("migration", "on");
+    require(migration == "on" || migration == "off",
+            "--migration must be on|off");
+    const std::int64_t crash_round = flags.get_int("crash-after-round", 0);
+    require(crash_round >= 0, "--crash-after-round must be non-negative");
+    require(crash_round == 0 || churn_rounds > 0,
+            "--crash-after-round requires --churn");
+    require(crash_round == 0 || !checkpoint_dir.empty(),
+            "--crash-after-round requires --checkpoint-dir");
     require(crash_phase.empty() || !checkpoint_dir.empty(),
             "--crash-after-phase requires --checkpoint-dir");
     require(!recover || !checkpoint_dir.empty(),
@@ -179,6 +203,38 @@ int main(int argc, char** argv) {
 
     for (const auto& unknown : flags.unused()) {
       throw UsageError("unknown flag --" + unknown);
+    }
+
+    if (churn_rounds > 0) {
+      require(runs == 1, "--churn requires --runs=1");
+      require(crash_phase.empty(),
+              "--churn conflicts with --crash-after-phase");
+      core::ChurnOptions churn;
+      churn.rounds = static_cast<std::size_t>(churn_rounds);
+      churn.migration = migration == "on";
+      churn.checkpoint_dir = checkpoint_dir;
+      churn.crash_after_round = static_cast<std::size_t>(crash_round);
+      churn.recover = recover;
+      const core::ChurnRunResult result =
+          core::run_churn_experiment(cfg, churn);
+      if (result.recovered) {
+        std::printf("churn: recovered from checkpoint\n");
+      }
+      std::printf(
+          "churn: rounds=%zu queries=%zu qct_mean=%.6f migrations=%zu "
+          "evacuations=%zu speculations=%zu max_slowdown=%.3f "
+          "snapshots=%zu log_crc32=%08x\n",
+          result.rounds_run, result.queries_run, result.avg_qct_seconds,
+          result.migrations, result.evacuations, result.speculations,
+          result.max_reduce_slowdown, result.snapshots_written,
+          result.migration_log_crc32);
+      if (result.crashed) {
+        std::fprintf(stderr, "bohr_sim: injected crash after round %zu\n",
+                     result.rounds_run);
+        std::fflush(nullptr);
+        std::_Exit(3);
+      }
+      return 0;
     }
 
     if (!checkpoint_dir.empty()) {
