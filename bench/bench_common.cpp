@@ -129,7 +129,17 @@ void write_bench_json(const std::string& name, const std::string& json) {
   std::fclose(out);
 }
 
+std::vector<std::pair<std::string, std::string>>& extra_json_fields() {
+  static std::vector<std::pair<std::string, std::string>> fields;
+  return fields;
+}
+
 }  // namespace
+
+void add_bench_json_field(const std::string& key,
+                          const std::string& json_value) {
+  extra_json_fields().emplace_back(key, json_value);
+}
 
 int run_bench_main(int argc, char** argv,
                    const std::function<void()>& epilogue) {
@@ -141,14 +151,19 @@ int run_bench_main(int argc, char** argv,
   benchmark::Shutdown();
   if (epilogue) epilogue();
   // Machine-readable run metadata: thread count plus accumulated
-  // per-phase wall-clock totals (grep for "BENCH_JSON:"). The same
+  // per-phase wall-clock totals (grep for "BENCH_JSON:"), followed by
+  // any fields the bench registered via add_bench_json_field. The same
   // object also lands in BENCH_<name>.json so harnesses can collect
   // results without scraping stdout.
   char threads_prefix[64];
   std::snprintf(threads_prefix, sizeof(threads_prefix),
                 "{\"name\":\"%s\",\"threads\":%zu,\"phases\":",
                 name.c_str(), thread_count());
-  const std::string json = threads_prefix + phase_json() + "}";
+  std::string json = threads_prefix + phase_json();
+  for (const auto& [key, value] : extra_json_fields()) {
+    json += ",\"" + key + "\":" + value;
+  }
+  json += "}";
   std::printf("BENCH_JSON: %s\n", json.c_str());
   write_bench_json(name, json);
   return 0;

@@ -54,6 +54,15 @@ class ResultTable {
   TablePrinter table_;
 };
 
+/// Registers an extra top-level field for this bench's machine-readable
+/// result object (printed as BENCH_JSON and written to BENCH_<name>.json).
+/// `json_value` must already be valid JSON (a number, string, object, …).
+/// Call from the epilogue — fields are emitted after it runs. This is how
+/// a bench publishes its measured rows (not just phase timings) to perf
+/// gates like tools/perf_smoke.py.
+void add_bench_json_field(const std::string& key,
+                          const std::string& json_value);
+
 /// Runs registered benchmarks, then `epilogue`. Returns main()'s status.
 int run_bench_main(int argc, char** argv, const std::function<void()>& epilogue);
 

@@ -62,10 +62,17 @@ BENCHMARK(BM_Tab3)
 int main(int argc, char** argv) {
   return run_bench_main(argc, argv, [] {
     ResultTable table({"# records per probe", "similarity checking (s)"});
+    std::string json = "{";
     for (const auto& row : g_rows) {
       table.add_row({std::to_string(row.k),
                      TablePrinter::num(row.seconds, 4)});
+      if (json.size() > 1) json += ",";
+      json += "\"" + std::to_string(row.k) +
+              "\":" + TablePrinter::num(row.seconds, 6);
     }
+    json += "}";
+    // checking_seconds_by_k is what tools/perf_smoke.py gates on.
+    add_bench_json_field("checking_seconds_by_k", json);
     table.print("Table 3: similarity checking time vs probe size");
   });
 }

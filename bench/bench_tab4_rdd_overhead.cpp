@@ -82,11 +82,18 @@ int main(int argc, char** argv) {
   return run_bench_main(argc, argv, [] {
     ResultTable table(
         {"# executors in a node", "RDD similarity checking (s)", "QCT (s)"});
+    std::string json = "{";
     for (const auto& row : g_rows) {
       table.add_row({std::to_string(row.executors),
                      TablePrinter::num(row.rdd_check_seconds, 4),
                      TablePrinter::num(row.qct_seconds, 2)});
+      if (json.size() > 1) json += ",";
+      json += "\"" + std::to_string(row.executors) + "\":{\"rdd_check_s\":" +
+              TablePrinter::num(row.rdd_check_seconds, 6) + ",\"qct_s\":" +
+              TablePrinter::num(row.qct_seconds, 6) + "}";
     }
+    json += "}";
+    add_bench_json_field("by_executors", json);
     table.print("Table 4: RDD similarity checking overhead vs executors");
   });
 }

@@ -1,0 +1,374 @@
+// Kernel implementations. This translation unit is compiled with
+// -ffp-contract=off (see src/common/CMakeLists.txt): the float kernels'
+// scalar/AVX2 equivalence depends on multiply and add rounding separately
+// in both paths.
+#include "common/simd.h"
+
+#include <limits>
+
+#include "common/hash.h"
+
+#if defined(BOHR_HAVE_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace bohr::simd {
+
+bool avx2_enabled() {
+#if defined(BOHR_HAVE_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+// ---- scalar references --------------------------------------------------
+
+void indexed_hash_batch_scalar(const std::uint64_t* keys, std::size_t n,
+                               std::uint64_t h, std::uint64_t* out) {
+  const std::uint64_t seed = mix64(h + 1);
+  for (std::size_t i = 0; i < n; ++i) out[i] = mix64(keys[i] ^ seed);
+}
+
+std::uint64_t indexed_hash_min_scalar(const std::uint64_t* keys,
+                                      std::size_t n, std::uint64_t h) {
+  const std::uint64_t seed = mix64(h + 1);
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t v = mix64(keys[i] ^ seed);
+    if (v < best) best = v;
+  }
+  return best;
+}
+
+std::size_t count_equal_u64_scalar(const std::uint64_t* a,
+                                   const std::uint64_t* b, std::size_t n) {
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < n; ++i) agree += a[i] == b[i] ? 1 : 0;
+  return agree;
+}
+
+std::size_t count_equal_u16_scalar(const std::uint16_t* a,
+                                   const std::uint16_t* b, std::size_t n) {
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < n; ++i) agree += a[i] == b[i] ? 1 : 0;
+  return agree;
+}
+
+std::size_t count_equal_u8_scalar(const std::uint8_t* a,
+                                  const std::uint8_t* b, std::size_t n) {
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < n; ++i) agree += a[i] == b[i] ? 1 : 0;
+  return agree;
+}
+
+double dot_scalar(const double* a, const double* b, std::size_t n) {
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    l0 += a[i] * b[i];
+    l1 += a[i + 1] * b[i + 1];
+    l2 += a[i + 2] * b[i + 2];
+    l3 += a[i + 3] * b[i + 3];
+  }
+  double acc = (l0 + l1) + (l2 + l3);
+  for (; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double squared_distance_scalar(const double* a, const double* b,
+                               std::size_t n) {
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double d0 = a[i] - b[i];
+    const double d1 = a[i + 1] - b[i + 1];
+    const double d2 = a[i + 2] - b[i + 2];
+    const double d3 = a[i + 3] - b[i + 3];
+    l0 += d0 * d0;
+    l1 += d1 * d1;
+    l2 += d2 * d2;
+    l3 += d3 * d3;
+  }
+  double acc = (l0 + l1) + (l2 + l3);
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+DotNorms dot_and_norms_scalar(const double* a, const double* b,
+                              std::size_t n) {
+  double d0 = 0.0, d1 = 0.0, d2 = 0.0, d3 = 0.0;
+  double x0 = 0.0, x1 = 0.0, x2 = 0.0, x3 = 0.0;
+  double y0 = 0.0, y1 = 0.0, y2 = 0.0, y3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    d0 += a[i] * b[i];
+    d1 += a[i + 1] * b[i + 1];
+    d2 += a[i + 2] * b[i + 2];
+    d3 += a[i + 3] * b[i + 3];
+    x0 += a[i] * a[i];
+    x1 += a[i + 1] * a[i + 1];
+    x2 += a[i + 2] * a[i + 2];
+    x3 += a[i + 3] * a[i + 3];
+    y0 += b[i] * b[i];
+    y1 += b[i + 1] * b[i + 1];
+    y2 += b[i + 2] * b[i + 2];
+    y3 += b[i + 3] * b[i + 3];
+  }
+  DotNorms out;
+  out.dot = (d0 + d1) + (d2 + d3);
+  out.norm_a = (x0 + x1) + (x2 + x3);
+  out.norm_b = (y0 + y1) + (y2 + y3);
+  for (; i < n; ++i) {
+    out.dot += a[i] * b[i];
+    out.norm_a += a[i] * a[i];
+    out.norm_b += b[i] * b[i];
+  }
+  return out;
+}
+
+#if !defined(BOHR_HAVE_AVX2)
+
+// ---- scalar dispatch ----------------------------------------------------
+
+void indexed_hash_batch(const std::uint64_t* keys, std::size_t n,
+                        std::uint64_t h, std::uint64_t* out) {
+  indexed_hash_batch_scalar(keys, n, h, out);
+}
+
+std::uint64_t indexed_hash_min(const std::uint64_t* keys, std::size_t n,
+                               std::uint64_t h) {
+  return indexed_hash_min_scalar(keys, n, h);
+}
+
+std::size_t count_equal_u64(const std::uint64_t* a, const std::uint64_t* b,
+                            std::size_t n) {
+  return count_equal_u64_scalar(a, b, n);
+}
+
+std::size_t count_equal_u16(const std::uint16_t* a, const std::uint16_t* b,
+                            std::size_t n) {
+  return count_equal_u16_scalar(a, b, n);
+}
+
+std::size_t count_equal_u8(const std::uint8_t* a, const std::uint8_t* b,
+                           std::size_t n) {
+  return count_equal_u8_scalar(a, b, n);
+}
+
+double dot(const double* a, const double* b, std::size_t n) {
+  return dot_scalar(a, b, n);
+}
+
+double squared_distance(const double* a, const double* b, std::size_t n) {
+  return squared_distance_scalar(a, b, n);
+}
+
+DotNorms dot_and_norms(const double* a, const double* b, std::size_t n) {
+  return dot_and_norms_scalar(a, b, n);
+}
+
+#else  // BOHR_HAVE_AVX2
+
+// ---- AVX2 helpers -------------------------------------------------------
+
+namespace {
+
+/// 64x64 -> low-64 multiply from 32-bit pieces (AVX2 has no mullo_epi64):
+/// lo(a)*lo(b) + ((lo(a)*hi(b) + hi(a)*lo(b)) << 32).
+inline __m256i mullo_epi64(__m256i a, __m256i b) {
+  const __m256i b_swap = _mm256_shuffle_epi32(b, 0xB1);   // hi<->lo per 64
+  const __m256i cross = _mm256_mullo_epi32(a, b_swap);    // alo*bhi, ahi*blo
+  const __m256i cross_sum =                               // their sum, low 32
+      _mm256_add_epi32(cross, _mm256_shuffle_epi32(cross, 0xB1));
+  const __m256i cross_hi =                                // shifted into hi 32
+      _mm256_slli_epi64(_mm256_and_si256(
+          cross_sum, _mm256_set1_epi64x(0xFFFFFFFFLL)), 32);
+  const __m256i lo = _mm256_mul_epu32(a, b);              // alo*blo, full 64
+  return _mm256_add_epi64(lo, cross_hi);
+}
+
+/// MurmurHash3 finalizer, four lanes at once (matches bohr::mix64).
+inline __m256i mix64x4(__m256i x) {
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 33));
+  x = mullo_epi64(x, _mm256_set1_epi64x(
+                         static_cast<long long>(0xFF51AFD7ED558CCDULL)));
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 33));
+  x = mullo_epi64(x, _mm256_set1_epi64x(
+                         static_cast<long long>(0xC4CEB9FE1A85EC53ULL)));
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 33));
+  return x;
+}
+
+/// Unsigned 64-bit per-lane minimum (bias by the sign bit, compare signed).
+inline __m256i min_epu64(__m256i a, __m256i b) {
+  const __m256i bias =
+      _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ULL));
+  const __m256i a_less = _mm256_cmpgt_epi64(_mm256_xor_si256(b, bias),
+                                            _mm256_xor_si256(a, bias));
+  return _mm256_blendv_epi8(b, a, a_less);
+}
+
+inline __m256i load4(const std::uint64_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+}  // namespace
+
+// ---- AVX2 dispatch ------------------------------------------------------
+
+void indexed_hash_batch(const std::uint64_t* keys, std::size_t n,
+                        std::uint64_t h, std::uint64_t* out) {
+  const std::uint64_t seed = mix64(h + 1);
+  const __m256i seed4 = _mm256_set1_epi64x(static_cast<long long>(seed));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i hashed = mix64x4(_mm256_xor_si256(load4(keys + i), seed4));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), hashed);
+  }
+  for (; i < n; ++i) out[i] = mix64(keys[i] ^ seed);
+}
+
+std::uint64_t indexed_hash_min(const std::uint64_t* keys, std::size_t n,
+                               std::uint64_t h) {
+  const std::uint64_t seed = mix64(h + 1);
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  std::size_t i = 0;
+  if (n >= 4) {
+    const __m256i seed4 = _mm256_set1_epi64x(static_cast<long long>(seed));
+    __m256i best4 = _mm256_set1_epi64x(-1);  // all lanes UINT64_MAX
+    for (; i + 4 <= n; i += 4) {
+      const __m256i hashed =
+          mix64x4(_mm256_xor_si256(load4(keys + i), seed4));
+      best4 = min_epu64(best4, hashed);
+    }
+    alignas(32) std::uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), best4);
+    for (const std::uint64_t lane : lanes) {
+      if (lane < best) best = lane;
+    }
+  }
+  for (; i < n; ++i) {
+    const std::uint64_t v = mix64(keys[i] ^ seed);
+    if (v < best) best = v;
+  }
+  return best;
+}
+
+std::size_t count_equal_u64(const std::uint64_t* a, const std::uint64_t* b,
+                            std::size_t n) {
+  std::size_t agree = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i eq = _mm256_cmpeq_epi64(load4(a + i), load4(b + i));
+    agree += static_cast<std::size_t>(__builtin_popcount(
+        static_cast<unsigned>(_mm256_movemask_pd(_mm256_castsi256_pd(eq)))));
+  }
+  for (; i < n; ++i) agree += a[i] == b[i] ? 1 : 0;
+  return agree;
+}
+
+std::size_t count_equal_u16(const std::uint16_t* a, const std::uint16_t* b,
+                            std::size_t n) {
+  std::size_t agree = 0;
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const unsigned mask = static_cast<unsigned>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi16(va, vb)));
+    agree += static_cast<std::size_t>(__builtin_popcount(mask)) / 2;
+  }
+  for (; i < n; ++i) agree += a[i] == b[i] ? 1 : 0;
+  return agree;
+}
+
+std::size_t count_equal_u8(const std::uint8_t* a, const std::uint8_t* b,
+                           std::size_t n) {
+  std::size_t agree = 0;
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const unsigned mask = static_cast<unsigned>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(va, vb)));
+    agree += static_cast<std::size_t>(__builtin_popcount(mask));
+  }
+  for (; i < n; ++i) agree += a[i] == b[i] ? 1 : 0;
+  return agree;
+}
+
+namespace {
+
+/// Combines a 4-lane accumulator as (l0 + l1) + (l2 + l3) — the order the
+/// scalar references use.
+inline double combine_lanes(__m256d acc) {
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, acc);
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+}  // namespace
+
+double dot(const double* a, const double* b, std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(
+        acc, _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  double out = combine_lanes(acc);
+  for (; i < n; ++i) out += a[i] * b[i];
+  return out;
+}
+
+double squared_distance(const double* a, const double* b, std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+  }
+  double out = combine_lanes(acc);
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    out += d * d;
+  }
+  return out;
+}
+
+DotNorms dot_and_norms(const double* a, const double* b, std::size_t n) {
+  __m256d acc_dot = _mm256_setzero_pd();
+  __m256d acc_a = _mm256_setzero_pd();
+  __m256d acc_b = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d va = _mm256_loadu_pd(a + i);
+    const __m256d vb = _mm256_loadu_pd(b + i);
+    acc_dot = _mm256_add_pd(acc_dot, _mm256_mul_pd(va, vb));
+    acc_a = _mm256_add_pd(acc_a, _mm256_mul_pd(va, va));
+    acc_b = _mm256_add_pd(acc_b, _mm256_mul_pd(vb, vb));
+  }
+  DotNorms out;
+  out.dot = combine_lanes(acc_dot);
+  out.norm_a = combine_lanes(acc_a);
+  out.norm_b = combine_lanes(acc_b);
+  for (; i < n; ++i) {
+    out.dot += a[i] * b[i];
+    out.norm_a += a[i] * a[i];
+    out.norm_b += b[i] * b[i];
+  }
+  return out;
+}
+
+#endif  // BOHR_HAVE_AVX2
+
+}  // namespace bohr::simd

@@ -171,8 +171,12 @@ void Controller::step_placement(PrepareProgress& progress) {
     }
     if (fall_back) {
       const double lp_seconds = joint.lp_seconds;
+      const std::size_t lp_iterations = joint.lp_iterations;
       report.decision = iridium_placement(problem);
-      report.decision.lp_seconds += lp_seconds;  // the failed attempt's cost
+      // The failed attempt's cost — both the profiled wall-clock and the
+      // iterations the modeled QCT charge is derived from.
+      report.decision.lp_seconds += lp_seconds;
+      report.decision.lp_iterations += lp_iterations;
       report.decision.lp_converged = false;
       ++report.faults.lp_fallbacks;
     } else {
@@ -350,9 +354,11 @@ std::vector<QueryExecution> Controller::run_all_queries() {
                                 ? engine::ExecutorAssignment::SimilarityKMeans
                                 : engine::ExecutorAssignment::RoundRobin;
   // §8.5: LP solving time is included in QCT, amortized across the
-  // recurring queries the one placement serves.
+  // recurring queries the one placement serves. The charge is the
+  // modeled per-iteration cost, not wall-clock lp_seconds — simulated
+  // QCT must not vary with host speed or thread count.
   job.controller_overhead_seconds =
-      prep.decision.lp_seconds / static_cast<double>(total_queries_);
+      prep.decision.modeled_lp_seconds() / static_cast<double>(total_queries_);
   // Query-phase faults hit the shuffle; the runner takes the pristine
   // path when the projection has no WAN events.
   job.faults = &query_faults_;

@@ -52,6 +52,17 @@ struct PlacementDecision {
   /// Heuristic placements are trivially converged.
   bool lp_converged = true;
 
+  /// Deterministic LP cost charged into QCT (§8.5). lp_seconds measures
+  /// the host, so folding it into simulated QCT makes results depend on
+  /// machine load and build flags; the QCT model instead charges a fixed
+  /// per-simplex-iteration cost (~10us, calibrated on the reference
+  /// host), keeping QCT bit-identical across hosts and thread counts
+  /// while lp_seconds stays a pure profiling measurement.
+  double modeled_lp_seconds() const {
+    return kSecondsPerLpIteration * static_cast<double>(lp_iterations);
+  }
+  static constexpr double kSecondsPerLpIteration = 1e-5;
+
   double moved_bytes_total() const;
 };
 

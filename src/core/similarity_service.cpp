@@ -28,10 +28,14 @@ DatasetSimilarity check_similarity(const DatasetState& dataset,
 
   // Self-similarity straight from each site's dimension cubes. Sites are
   // independent; each index writes its own slots.
-  parallel_for(n, [&](std::size_t i) {
-    result.self[i] = similarity::self_similarity(dataset.cubes_at(i), weights);
-    result.pair[i][i] = result.self[i];
-  });
+  {
+    ScopedPhase phase("probe.self");
+    parallel_for(n, [&](std::size_t i) {
+      result.self[i] =
+          similarity::self_similarity(dataset.cubes_at(i), weights);
+      result.pair[i][i] = result.self[i];
+    });
+  }
 
   // Probe exchange: every site builds one probe; every other site scores
   // it. (The paper sends probes from the bottleneck site; building them
@@ -101,6 +105,17 @@ DatasetSimilarity check_similarity(const DatasetState& dataset,
     }
   }
 
+  // Engine keys are a pure function of the sender's probe records —
+  // compute them once per sender, not once per (sender, receiver) pair.
+  std::vector<std::vector<std::uint64_t>> ekeys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!sends[i]) continue;
+    ekeys[i].reserve(probes[i].records.size());
+    for (const auto& rec : probes[i].records) {
+      ekeys[i].push_back(engine_key(rec.coords));
+    }
+  }
+
   {
     ScopedPhase phase("probe.evaluate");
     parallel_for(delivered.size(), [&](std::size_t p) {
@@ -112,7 +127,7 @@ DatasetSimilarity check_similarity(const DatasetState& dataset,
       // Translate matched probe clusters into engine keys for movement.
       for (std::size_t r = 0; r < probe.records.size(); ++r) {
         if (!eval.matched[r]) continue;
-        result.matched_keys[i][j].insert(engine_key(probe.records[r].coords));
+        result.matched_keys[i][j].insert(ekeys[i][r]);
       }
     });
   }

@@ -1,9 +1,13 @@
 #include "olap/cube.h"
 
 #include <algorithm>
+#include <array>
+#include <numeric>
 #include <utility>
 
 #include "common/check.h"
+#include "common/parallel.h"
+#include "olap/cube_columns.h"
 
 namespace bohr::olap {
 
@@ -36,6 +40,54 @@ OlapCube::OlapCube(std::vector<Dimension> dimensions)
   BOHR_EXPECTS(!dims_.empty());
 }
 
+OlapCube::OlapCube(const OlapCube& other)
+    : dims_(other.dims_),
+      cells_(other.cells_),
+      total_records_(other.total_records_) {
+  // The snapshot is an immutable view of identical cell state — share it.
+  if (auto snap = other.columns_cache_.load()) {
+    columns_cache_.store(std::move(snap));
+    columns_valid_.store(true, std::memory_order_relaxed);
+  }
+}
+
+OlapCube& OlapCube::operator=(const OlapCube& other) {
+  if (this == &other) return *this;
+  dims_ = other.dims_;
+  cells_ = other.cells_;
+  total_records_ = other.total_records_;
+  auto snap = other.columns_cache_.load();
+  columns_valid_.store(snap != nullptr, std::memory_order_relaxed);
+  columns_cache_.store(std::move(snap));
+  return *this;
+}
+
+OlapCube::OlapCube(OlapCube&& other) noexcept
+    : dims_(std::move(other.dims_)),
+      cells_(std::move(other.cells_)),
+      total_records_(other.total_records_) {
+  columns_cache_.store(other.columns_cache_.load());
+  columns_valid_.store(other.columns_cache_.load() != nullptr,
+                       std::memory_order_relaxed);
+  other.total_records_ = 0;
+  other.columns_cache_.store(nullptr);
+  other.columns_valid_.store(false, std::memory_order_relaxed);
+}
+
+OlapCube& OlapCube::operator=(OlapCube&& other) noexcept {
+  if (this == &other) return *this;
+  dims_ = std::move(other.dims_);
+  cells_ = std::move(other.cells_);
+  total_records_ = other.total_records_;
+  columns_cache_.store(other.columns_cache_.load());
+  columns_valid_.store(other.columns_cache_.load() != nullptr,
+                       std::memory_order_relaxed);
+  other.total_records_ = 0;
+  other.columns_cache_.store(nullptr);
+  other.columns_valid_.store(false, std::memory_order_relaxed);
+  return *this;
+}
+
 const Dimension& OlapCube::dimension(std::size_t idx) const {
   BOHR_EXPECTS(idx < dims_.size());
   return dims_[idx];
@@ -45,6 +97,7 @@ void OlapCube::insert(const CellCoords& coords, double measure) {
   BOHR_EXPECTS(coords.size() == dims_.size());
   cells_[coords].add(measure);
   ++total_records_;
+  invalidate_columns();
 }
 
 void OlapCube::insert_aggregate(const CellCoords& coords,
@@ -52,12 +105,127 @@ void OlapCube::insert_aggregate(const CellCoords& coords,
   BOHR_EXPECTS(coords.size() == dims_.size());
   cells_[coords].merge(agg);
   total_records_ += agg.count;
+  invalidate_columns();
 }
 
 void OlapCube::merge(const OlapCube& other) {
   BOHR_EXPECTS(other.dims_.size() == dims_.size());
+  cells_.reserve(cells_.size() + other.cells_.size());
   for (const auto& [coords, agg] : other.cells_) cells_[coords].merge(agg);
   total_records_ += other.total_records_;
+  invalidate_columns();
+}
+
+void OlapCube::insert_rows(std::span<const CellCoords> coords,
+                           std::span<const double> measures,
+                           std::span<const std::size_t> project) {
+  BOHR_EXPECTS(coords.size() == measures.size());
+  const std::size_t cell_dims =
+      project.empty() ? dims_.size() : project.size();
+  BOHR_EXPECTS(cell_dims == dims_.size());
+  const std::size_t n = coords.size();
+  if (n == 0) return;
+  if (!project.empty()) {
+    for (const std::size_t p : project) {
+      BOHR_EXPECTS(p < coords.front().size());
+    }
+  }
+
+  // Below this row count the sharded path's fixed costs (16 map
+  // constructions plus a second copy of every distinct cell at merge)
+  // exceed any parallel win, so small batches aggregate directly. The
+  // cutoff is a compile-time constant — never the thread count — so the
+  // chosen path, and with it the map's insertion history and iteration
+  // order, is identical on every machine.
+  constexpr std::size_t kDirectPathMax = 4096;
+  if (n <= kDirectPathMax) {
+    cells_.reserve(cells_.size() + n);
+    CellCoords cell;
+    cell.reserve(cell_dims);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (project.empty()) {
+        BOHR_EXPECTS(coords[i].size() == dims_.size());
+        cells_[coords[i]].add(measures[i]);
+      } else {
+        cell.clear();
+        for (const std::size_t p : project) cell.push_back(coords[i][p]);
+        cells_[cell].add(measures[i]);
+      }
+    }
+    total_records_ += n;
+    invalidate_columns();
+    return;
+  }
+
+  // Shard ids are a pure function of the cell coordinates (the same fold
+  // CellCoordsHash uses), so the partition is identical at every thread
+  // count. kShards is deliberately fixed: sharding by thread count would
+  // make the merged map's insertion history — and therefore its
+  // iteration order, which serialization walks — depend on the machine.
+  constexpr std::size_t kShards = 16;
+  std::vector<std::uint8_t> shard_of(n);
+  parallel_for(n, [&](std::size_t i) {
+    const CellCoords& full = coords[i];
+    if (project.empty()) BOHR_EXPECTS(full.size() == dims_.size());
+    std::uint64_t h = 0x9E3779B97F4A7C15ULL;
+    if (project.empty()) {
+      for (const MemberId m : full) h = hash_combine(h, m);
+    } else {
+      for (const std::size_t p : project) h = hash_combine(h, full[p]);
+    }
+    shard_of[i] = static_cast<std::uint8_t>(h & (kShards - 1));
+  }, /*grain=*/1024);
+
+  // Stable counting sort of row indices by shard, preserving row order
+  // within each shard (what keeps per-cell accumulation in row order).
+  std::array<std::size_t, kShards + 1> offsets{};
+  for (std::size_t i = 0; i < n; ++i) ++offsets[shard_of[i] + 1];
+  for (std::size_t s = 0; s < kShards; ++s) offsets[s + 1] += offsets[s];
+  std::vector<std::uint32_t> order(n);
+  {
+    std::array<std::size_t, kShards> cursor{};
+    for (std::size_t s = 0; s < kShards; ++s) cursor[s] = offsets[s];
+    for (std::size_t i = 0; i < n; ++i) {
+      order[cursor[shard_of[i]]++] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  // Build per-shard maps in parallel — each shard is one independent
+  // single-threaded aggregation, so no lock guards the hot insert.
+  using ShardMap = std::unordered_map<CellCoords, CellAggregate,
+                                      CellCoordsHash>;
+  std::array<ShardMap, kShards> shards;
+  parallel_for(kShards, [&](std::size_t s) {
+    ShardMap& shard = shards[s];
+    const std::size_t rows = offsets[s + 1] - offsets[s];
+    shard.reserve(rows);
+    CellCoords cell;
+    cell.reserve(cell_dims);
+    for (std::size_t idx = offsets[s]; idx < offsets[s + 1]; ++idx) {
+      const std::size_t row = order[idx];
+      if (project.empty()) {
+        shard[coords[row]].add(measures[row]);
+      } else {
+        cell.clear();
+        for (const std::size_t p : project) cell.push_back(coords[row][p]);
+        shard[cell].add(measures[row]);
+      }
+    }
+  });
+
+  // Deterministic merge: ascending shard order; each shard map's own
+  // iteration order is a pure function of its insertion sequence.
+  std::size_t new_cells = 0;
+  for (const ShardMap& shard : shards) new_cells += shard.size();
+  cells_.reserve(cells_.size() + new_cells);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    for (auto& [cell, agg] : shards[s]) {
+      const auto [it, inserted] = cells_.try_emplace(cell, agg);
+      if (!inserted) it->second.merge(agg);
+    }
+  }
+  total_records_ += n;
+  invalidate_columns();
 }
 
 const CellAggregate* OlapCube::find(const CellCoords& coords) const {
@@ -151,20 +319,58 @@ OlapCube OlapCube::project(const std::vector<std::size_t>& dims) const {
   return out;
 }
 
+std::shared_ptr<const CubeColumns> OlapCube::columns() const {
+  if (auto snap = columns_cache_.load()) return snap;
+  auto built = std::make_shared<const CubeColumns>(*this);
+  std::shared_ptr<const CubeColumns> expected;
+  if (columns_cache_.compare_exchange_strong(expected, built)) {
+    columns_valid_.store(true, std::memory_order_relaxed);
+    return built;
+  }
+  // A concurrent reader won the install race; both snapshots are
+  // equivalent, use the winner's.
+  return expected ? expected : built;
+}
+
 std::vector<Cell> OlapCube::top_cells(std::size_t k) const {
-  std::vector<Cell> all;
-  all.reserve(cells_.size());
-  for (const auto& [coords, agg] : cells_) all.push_back(Cell{coords, agg});
-  std::sort(all.begin(), all.end(), [](const Cell& a, const Cell& b) {
-    if (a.agg.count != b.agg.count) return a.agg.count > b.agg.count;
-    return a.coords < b.coords;  // deterministic tie-break
-  });
-  if (k > 0 && all.size() > k) all.resize(k);
-  return all;
+  // Rank row indices over the columnar snapshot and materialize only the
+  // winners — the old path copied every cell (one vector allocation per
+  // cell) just to sort and throw most of them away. Rows are in
+  // ascending-coordinate order, so the row-index tie-break reproduces
+  // the historical coordinate tie-break exactly.
+  const auto cols = columns();
+  const std::size_t n = cols->num_rows();
+  const std::span<const std::uint64_t> counts = cols->counts();
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const auto by_count_desc = [&](std::uint32_t a, std::uint32_t b) {
+    if (counts[a] != counts[b]) return counts[a] > counts[b];
+    return a < b;
+  };
+  if (k > 0 && k < n) {
+    std::partial_sort(order.begin(), order.begin() + static_cast<long>(k),
+                      order.end(), by_count_desc);
+    order.resize(k);
+  } else {
+    std::sort(order.begin(), order.end(), by_count_desc);
+  }
+  std::vector<Cell> out;
+  out.reserve(order.size());
+  for (const std::uint32_t row : order) {
+    out.push_back(Cell{cols->coords_of(row), cols->aggregate_of(row)});
+  }
+  return out;
 }
 
 double OlapCube::combine_effectiveness() const {
   if (total_records_ == 0) return 0.0;
+  // Served from the columnar snapshot when one is warm; otherwise from
+  // the map directly. The two are the same cells, so the value is
+  // identical either way — an O(1) stat must not force a snapshot build.
+  if (const auto cols = columns_cache_.load()) {
+    return 1.0 - static_cast<double>(cols->num_rows()) /
+                     static_cast<double>(cols->total_records());
+  }
   return 1.0 - static_cast<double>(cells_.size()) /
                    static_cast<double>(total_records_);
 }

@@ -8,7 +8,10 @@
 // datasets combine.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -18,6 +21,8 @@
 #include "olap/value.h"
 
 namespace bohr::olap {
+
+class CubeColumns;
 
 /// Cell address: one member per cube dimension, positionally aligned.
 using CellCoords = std::vector<MemberId>;
@@ -52,6 +57,14 @@ class OlapCube {
   OlapCube() = default;
   explicit OlapCube(std::vector<Dimension> dimensions);
 
+  // The columnar-snapshot cache member is atomic (concurrent readers may
+  // race to build it), so copy/move are user-provided: copies share the
+  // still-valid snapshot, moves steal it.
+  OlapCube(const OlapCube& other);
+  OlapCube& operator=(const OlapCube& other);
+  OlapCube(OlapCube&& other) noexcept;
+  OlapCube& operator=(OlapCube&& other) noexcept;
+
   std::size_t dimension_count() const { return dims_.size(); }
   const Dimension& dimension(std::size_t idx) const;
   const std::vector<Dimension>& dimensions() const { return dims_; }
@@ -66,9 +79,26 @@ class OlapCube {
   /// Bulk merge of a compatible cube (same dimension count).
   void merge(const OlapCube& other);
 
+  /// Sharded bulk insert of `coords.size()` records. When `project` is
+  /// non-empty, row i's cell is coords[i] restricted to those positions
+  /// (what a dimension cube ingests), so callers never materialize the
+  /// projected coordinates. Cells are partitioned by coordinate hash
+  /// into a fixed shard count — never the thread count — with per-shard
+  /// maps built in parallel and merged in ascending shard order, so the
+  /// resulting map state is identical at every thread count. Each cell
+  /// lives wholly in one shard, so its aggregate accumulates in row
+  /// order exactly as repeated insert() would.
+  void insert_rows(std::span<const CellCoords> coords,
+                   std::span<const double> measures,
+                   std::span<const std::size_t> project = {});
+
   std::size_t cell_count() const { return cells_.size(); }
   std::uint64_t total_records() const { return total_records_; }
   bool empty() const { return cells_.empty(); }
+
+  /// Pre-sizes the cell map for `n` expected cells — bulk loaders (e.g.
+  /// cube deserialization) call this to avoid rehash churn.
+  void reserve_cells(std::size_t n) { cells_.reserve(n); }
 
   /// Lookup; returns nullptr if the cell has no data.
   const CellAggregate* find(const CellCoords& coords) const;
@@ -107,16 +137,35 @@ class OlapCube {
   /// Estimated in-memory footprint (for the storage-overhead study, Tab 6).
   std::uint64_t memory_bytes() const;
 
-  /// Iteration support for tests and probe evaluation.
+  /// Columnar (struct-of-arrays) snapshot of the cells, lazily built and
+  /// cached until the next mutation. The hot read paths — top-cell
+  /// ranking, probe scoring, cube queries — stream the snapshot instead
+  /// of chasing map nodes. Safe to call from concurrent readers: racing
+  /// builders install via compare-exchange and agree on one snapshot.
+  std::shared_ptr<const CubeColumns> columns() const;
+
+  /// Iteration support for tests and serialization.
   const std::unordered_map<CellCoords, CellAggregate, CellCoordsHash>& cells()
       const {
     return cells_;
   }
 
  private:
+  /// Drops the cached snapshot (call on any mutation). The relaxed flag
+  /// probe keeps the per-insert cost of an already-empty cache to one
+  /// cheap load.
+  void invalidate_columns() {
+    if (columns_valid_.load(std::memory_order_relaxed)) {
+      columns_cache_.store(nullptr);
+      columns_valid_.store(false, std::memory_order_relaxed);
+    }
+  }
+
   std::vector<Dimension> dims_;
   std::unordered_map<CellCoords, CellAggregate, CellCoordsHash> cells_;
   std::uint64_t total_records_ = 0;
+  mutable std::atomic<bool> columns_valid_{false};
+  mutable std::atomic<std::shared_ptr<const CubeColumns>> columns_cache_;
 };
 
 }  // namespace bohr::olap

@@ -200,6 +200,7 @@ OlapCube decode_cells(SectionCursor& cur, std::vector<Dimension> dims) {
     corrupt("cell count " + std::to_string(cell_count) +
             " disagrees with section length");
   }
+  cube.reserve_cells(cell_count);
   for (std::uint64_t c = 0; c < cell_count; ++c) {
     CellCoords coords(dim_count);
     for (auto& m : coords) m = cur.u64();
@@ -313,6 +314,7 @@ OlapCube read_cube_v1(Reader& reader) {
   OlapCube cube(std::move(dims));
   const std::uint64_t total_records = reader.u64();
   const std::uint64_t cell_count = reader.u64();
+  if (cell_count < (1u << 24)) cube.reserve_cells(cell_count);
   for (std::uint64_t c = 0; c < cell_count; ++c) {
     CellCoords coords(dim_count);
     for (auto& m : coords) m = reader.u64();

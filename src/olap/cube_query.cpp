@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "olap/cube_columns.h"
 
 namespace bohr::olap {
 
@@ -68,26 +69,19 @@ std::vector<CubeQueryRow> execute(const OlapCube& cube,
     }
   }
 
-  // Filter -> group -> aggregate. The per-cell filter evaluation and
-  // group-key computation are independent and thread over a snapshot of
-  // the cell map; the aggregate merge then folds serially in snapshot
-  // order, so the per-group floating-point sums accumulate in the same
-  // sequence as a fully serial pass.
-  struct CellRef {
-    const CellCoords* coords = nullptr;
-    const CellAggregate* agg = nullptr;
-  };
-  std::vector<CellRef> refs;
-  refs.reserve(cube.cells().size());
-  for (const auto& [coords, agg] : cube.cells()) {
-    refs.push_back(CellRef{&coords, &agg});
-  }
-  std::vector<char> keep_of(refs.size(), 0);
-  std::vector<CellCoords> group_of(refs.size());
-  parallel_for(refs.size(), [&](std::size_t c) {
-    const CellCoords& coords = *refs[c].coords;
+  // Filter -> group -> aggregate over the columnar snapshot: the filter
+  // only touches the filtered dimensions' columns and the group key only
+  // the grouped ones, so the scan streams contiguous memory instead of
+  // chasing map nodes. Rows are in canonical coordinate order, so the
+  // serial aggregate fold accumulates each group's floating-point sums
+  // in the same sequence at every thread count.
+  const auto cols = cube.columns();
+  const std::size_t n = cols->num_rows();
+  std::vector<char> keep_of(n, 0);
+  std::vector<CellCoords> group_of(n);
+  parallel_for(n, [&](std::size_t c) {
     for (const auto& f : query.filters) {
-      if (!f.members.contains(coords[f.dim])) return;
+      if (!f.members.contains(cols->member(c, f.dim))) return;
     }
     CellCoords group;
     group.reserve(query.group_by.size());
@@ -95,15 +89,15 @@ std::vector<CubeQueryRow> execute(const OlapCube& cube,
       const std::size_t d = query.group_by[g];
       const std::size_t level =
           query.group_levels.empty() ? 0 : query.group_levels[g];
-      group.push_back(cube.dimension(d).coarsen(coords[d], level));
+      group.push_back(cube.dimension(d).coarsen(cols->member(c, d), level));
     }
     group_of[c] = std::move(group);
     keep_of[c] = 1;
   });
   std::unordered_map<CellCoords, GroupAggregate, CellCoordsHash> groups;
-  for (std::size_t c = 0; c < refs.size(); ++c) {
+  for (std::size_t c = 0; c < n; ++c) {
     if (!keep_of[c]) continue;
-    groups[std::move(group_of[c])].merge(*refs[c].agg);
+    groups[std::move(group_of[c])].merge(cols->aggregate_of(c));
   }
 
   std::vector<CubeQueryRow> rows;

@@ -22,8 +22,9 @@ DimsumResult dimsum_jaccard(
   if (n < 2) return result;
 
   // Deduplicated sizes and signatures, one pass per partition. Each
-  // partition is independent, and MinHashSignature::add keeps a per-slot
-  // minimum, so neither key order nor thread count affects the output.
+  // partition is independent, and the batched constructor keeps a
+  // per-slot minimum, so neither key order nor thread count affects the
+  // output (bit-identical to the streaming add() path).
   std::vector<std::size_t> set_sizes(n);
   std::vector<MinHashSignature> sigs(n, MinHashSignature(params.num_hashes));
   {
@@ -35,9 +36,7 @@ DimsumResult dimsum_jaccard(
         std::sort(keys.begin(), keys.end());
         keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
         set_sizes[i] = keys.size();
-        MinHashSignature sig(params.num_hashes);
-        for (const auto k : keys) sig.add(k);
-        sigs[i] = std::move(sig);
+        sigs[i] = MinHashSignature::of(keys, params.num_hashes);
       }
     });
   }

@@ -7,18 +7,14 @@
 #include "common/parallel.h"
 #include "common/phase_timer.h"
 #include "common/rng.h"
+#include "common/simd.h"
 
 namespace bohr::similarity {
 
 namespace {
 
 double sq_distance(std::span<const double> a, std::span<const double> b) {
-  double d = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double diff = a[i] - b[i];
-    d += diff * diff;
-  }
-  return d;
+  return simd::squared_distance(a.data(), b.data(), a.size());
 }
 
 // k-means++ seeding: first centroid uniform; each next centroid sampled

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/simd.h"
 
 namespace bohr::similarity {
 
@@ -43,16 +44,10 @@ double weighted_jaccard(
 
 double cosine(std::span<const double> xs, std::span<const double> ys) {
   BOHR_EXPECTS(xs.size() == ys.size());
-  double dot = 0.0;
-  double nx = 0.0;
-  double ny = 0.0;
-  for (std::size_t i = 0; i < xs.size(); ++i) {
-    dot += xs[i] * ys[i];
-    nx += xs[i] * xs[i];
-    ny += ys[i] * ys[i];
-  }
-  if (nx == 0.0 || ny == 0.0) return 0.0;
-  return dot / (std::sqrt(nx) * std::sqrt(ny));
+  const simd::DotNorms dn = simd::dot_and_norms(xs.data(), ys.data(),
+                                                xs.size());
+  if (dn.norm_a == 0.0 || dn.norm_b == 0.0) return 0.0;
+  return dn.dot / (std::sqrt(dn.norm_a) * std::sqrt(dn.norm_b));
 }
 
 double overlap_coefficient(std::span<const std::uint64_t> xs,

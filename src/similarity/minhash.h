@@ -1,6 +1,12 @@
 // MinHash signatures for fast Jaccard estimation (Broder '97), plus
 // SimHash (random-hyperplane LSH) for high-dimensional feature vectors —
 // the paper uses LSH to handle image feature vectors (§4.2).
+//
+// Signature construction is batched: `of()` runs each hash function
+// across the whole key block in one pass (a fused hash+min-reduce kernel,
+// src/common/simd.h) instead of evaluating every hash function per key.
+// Bit-identical to the streaming `add()` path — the per-slot minimum is
+// order-independent and the hashing is exact integer math.
 #pragma once
 
 #include <cstdint>
@@ -16,7 +22,9 @@ class MinHashSignature {
   /// Empty signature with `num_hashes` functions (all mins = max).
   explicit MinHashSignature(std::size_t num_hashes);
 
-  /// Builds the signature of a key set in one pass.
+  /// Builds the signature of a key set in one batched pass per hash
+  /// function (hash H functions across the key block, not H passes per
+  /// key).
   static MinHashSignature of(std::span<const std::uint64_t> keys,
                              std::size_t num_hashes);
 
@@ -27,8 +35,9 @@ class MinHashSignature {
   std::uint64_t min_at(std::size_t h) const;
   bool empty() const { return empty_; }
 
-  /// Jaccard estimate = fraction of agreeing hash slots. Signatures must
-  /// have equal length. Two empty signatures estimate 0.
+  /// Jaccard estimate = fraction of agreeing hash slots (packed 64-bit
+  /// equality count). Signatures must have equal length. Two empty
+  /// signatures estimate 0.
   double estimate_jaccard(const MinHashSignature& other) const;
 
  private:
@@ -40,12 +49,16 @@ class MinHashSignature {
 /// every MinHash slot. Signatures shrink 64/bits-fold — what makes
 /// shipping probes for very wide signatures cheap — at the cost of
 /// accidental collisions, which the estimator corrects for.
+///
+/// Slots are packed at construction: one byte per slot when bits <= 8
+/// (halving comparison memory traffic), two bytes otherwise. Comparison
+/// is a packed equality popcount either way.
 class BbitSignature {
  public:
   /// Compresses a full MinHash signature down to `bits` in [1, 16].
   static BbitSignature of(const MinHashSignature& sig, std::size_t bits);
 
-  std::size_t num_hashes() const { return slots_.size(); }
+  std::size_t num_hashes() const { return num_hashes_; }
   std::size_t bits() const { return bits_; }
 
   /// Collision-corrected Jaccard estimate:
@@ -57,14 +70,18 @@ class BbitSignature {
   std::size_t wire_bytes() const;
 
  private:
-  std::vector<std::uint16_t> slots_;
+  std::vector<std::uint8_t> slots8_;    // populated when bits <= 8
+  std::vector<std::uint16_t> slots16_;  // populated when bits > 8
+  std::size_t num_hashes_ = 0;
   std::size_t bits_ = 1;
 };
 
 /// SimHash: projects a dense vector onto `bits` random hyperplanes
 /// (seeded, deterministic) and packs the signs into a 64-bit signature.
 /// Requires bits <= 64. Hamming-similar signatures <=> cosine-similar
-/// vectors.
+/// vectors. The hyperplane matrix is precomputed once per
+/// (seed, bits, dimension) and cached, so repeated calls pay only the
+/// `bits` dot products.
 std::uint64_t simhash(std::span<const double> vec, std::size_t bits,
                       std::uint64_t seed);
 

@@ -75,9 +75,10 @@ TEST(ControllerTest, LpTimeIsAmortizedIntoQct) {
   Controller c = make_controller(Strategy::BohrJoint);
   const PrepareReport& prep = c.prepare();
   EXPECT_GT(prep.decision.lp_seconds, 0.0);
+  EXPECT_GT(prep.decision.modeled_lp_seconds(), 0.0);
   std::size_t total_queries = 0;
   for (const auto& d : c.datasets()) total_queries += d.mix().total_queries();
-  const double per_query = prep.decision.lp_seconds /
+  const double per_query = prep.decision.modeled_lp_seconds() /
                            static_cast<double>(total_queries);
   // Every execution's QCT embeds at least the amortized LP share.
   for (const auto& exec : c.run_all_queries()) {

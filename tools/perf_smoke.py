@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Perf smoke gate for the similarity checking hot path.
+
+Compares a fresh BENCH_bench_tab3_checking_time.json (written by
+bench/bench_tab3_checking_time, which must run with --threads=1 so the
+gate measures per-core speed, not parallelism) against a checked-in
+baseline, and fails if the total checking time regresses more than the
+threshold.
+
+The checked-in baseline (bench/baselines/) holds the PRE-columnar/SIMD
+numbers, so the gate enforces "the rewrite's win never quietly erodes":
+even on a CI machine ~2x slower than the box that recorded the baseline,
+a healthy build clears it, while losing the batched kernels or the
+columnar probe path trips it.
+
+Usage:
+  perf_smoke.py CURRENT_JSON BASELINE_JSON [--threshold 0.20]
+
+Exit status: 0 pass, 1 regression, 2 usage/malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"perf_smoke: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    rows = doc.get("checking_seconds_by_k")
+    if not isinstance(rows, dict) or not rows:
+        print(f"perf_smoke: {path} has no checking_seconds_by_k rows",
+              file=sys.stderr)
+        sys.exit(2)
+    return doc, {str(k): float(v) for k, v in rows.items()}
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional regression (default 0.20)")
+    args = parser.parse_args()
+
+    current_doc, current = load_rows(args.current)
+    _, baseline = load_rows(args.baseline)
+
+    threads = current_doc.get("threads")
+    if threads != 1:
+        print(f"perf_smoke: current run used threads={threads}; the gate "
+              "requires a --threads=1 run", file=sys.stderr)
+        sys.exit(2)
+
+    shared = sorted(set(current) & set(baseline), key=int)
+    if not shared:
+        print("perf_smoke: no common probe sizes between current and "
+              "baseline", file=sys.stderr)
+        sys.exit(2)
+
+    print(f"{'k':>6} {'baseline (s)':>14} {'current (s)':>14} {'ratio':>8}")
+    for k in shared:
+        ratio = current[k] / baseline[k] if baseline[k] > 0 else float("inf")
+        print(f"{k:>6} {baseline[k]:>14.6f} {current[k]:>14.6f} "
+              f"{ratio:>8.2f}")
+
+    base_total = sum(baseline[k] for k in shared)
+    cur_total = sum(current[k] for k in shared)
+    limit = base_total * (1.0 + args.threshold)
+    print(f"total  baseline={base_total:.6f}s  current={cur_total:.6f}s  "
+          f"limit={limit:.6f}s (threshold {args.threshold:.0%})")
+
+    if cur_total > limit:
+        print("perf_smoke: FAIL — single-thread checking time regressed "
+              f"{cur_total / base_total - 1.0:+.1%} vs baseline",
+              file=sys.stderr)
+        sys.exit(1)
+    print("perf_smoke: PASS")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()
