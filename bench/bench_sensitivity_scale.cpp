@@ -1,8 +1,12 @@
 // Sensitivity: how QCT, data reduction, and LP solve time scale with the
 // number of datasets sharing the placement (the paper runs 300; the
 // bench default is 12 — this sweep shows nothing qualitative changes in
-// between and that the LP stays cheap).
+// between and that the LP stays cheap), plus a site-count axis at fixed
+// total data exercising the revised simplex on LPs of hundreds of sites.
 #include "bench_common.h"
+
+#include "core/placement.h"
+#include "net/topology.h"
 
 namespace {
 
@@ -45,6 +49,78 @@ BENCHMARK(BM_Scale)
     ->Arg(18)
     ->Arg(24);
 
+// ---- site-count axis ---------------------------------------------------
+// Fixed total data (120 GB across 12 datasets) spread over a growing WAN:
+// the movement LP has O(A * n^2) columns, so this axis is what separates
+// the dense tableau (O(rows * cols) memory, unusable past ~32 sites) from
+// the revised engine (O(nonzeros)). Solves the placement LP directly —
+// no simulator — so the row measures the solver, nothing else.
+
+struct SiteRow {
+  std::size_t sites;
+  double lp_seconds;
+  std::size_t lp_iterations;
+  std::size_t lp_peak_bytes;
+};
+std::vector<SiteRow> g_site_rows;
+
+core::PlacementProblem site_scale_problem(std::size_t n_sites) {
+  constexpr std::size_t kDatasets = 12;
+  constexpr double kTotalGb = 120.0;
+  core::PlacementProblem problem;
+  problem.lag_seconds = 30.0;
+  // Three bandwidth tiers like the paper's WAN, round-robined over sites.
+  std::vector<net::Site> sites(n_sites);
+  Rng rng(42);
+  for (std::size_t i = 0; i < n_sites; ++i) {
+    const double tier = i % 3 == 0 ? 5.0 : (i % 3 == 1 ? 2.0 : 1.0);
+    sites[i].name = "site" + std::to_string(i);
+    sites[i].uplink_bytes_per_sec = tier * 50e6;
+    sites[i].downlink_bytes_per_sec = tier * 50e6;
+  }
+  problem.topology = net::WanTopology(std::move(sites));
+  const double bytes_per_cell =
+      kTotalGb * 1e9 / static_cast<double>(kDatasets * n_sites);
+  for (std::size_t a = 0; a < kDatasets; ++a) {
+    core::DatasetPlacementInput d;
+    d.dataset_id = a;
+    d.reduction_ratio = rng.uniform(0.05, 0.3);
+    d.query_count = static_cast<std::size_t>(rng.range(1, 8));
+    for (std::size_t i = 0; i < n_sites; ++i) {
+      d.input_bytes.push_back(bytes_per_cell * rng.uniform(0.2, 1.8));
+      d.self_similarity.push_back(rng.uniform(0.2, 0.8));
+    }
+    problem.datasets.push_back(std::move(d));
+  }
+  return problem;
+}
+
+void BM_SiteScale(benchmark::State& state) {
+  const auto n_sites = static_cast<std::size_t>(state.range(0));
+  const auto problem = site_scale_problem(n_sites);
+  core::JointLpOptions options;
+  options.max_rounds = 2;
+  core::PlacementDecision decision;
+  for (auto _ : state) {
+    decision = core::joint_lp_placement(problem, options);
+    benchmark::DoNotOptimize(decision.predicted_shuffle_seconds);
+  }
+  state.counters["lp_s"] = decision.lp_seconds;
+  state.counters["peak_MB"] =
+      static_cast<double>(decision.lp_peak_bytes) / 1e6;
+  g_site_rows.push_back(SiteRow{n_sites, decision.lp_seconds,
+                                decision.lp_iterations,
+                                decision.lp_peak_bytes});
+}
+BENCHMARK(BM_SiteScale)
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(96);
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -59,5 +135,24 @@ int main(int argc, char** argv) {
                      TablePrinter::num(row.lp_seconds, 4)});
     }
     table.print("Sensitivity: dataset count (40GB/site total, split evenly)");
+
+    ResultTable site_table({"sites", "LP time (s)", "simplex pivots",
+                            "peak solver bytes"});
+    std::string json = "{";
+    for (const auto& row : g_site_rows) {
+      site_table.add_row({std::to_string(row.sites),
+                          TablePrinter::num(row.lp_seconds, 4),
+                          std::to_string(row.lp_iterations),
+                          std::to_string(row.lp_peak_bytes)});
+      if (json.size() > 1) json += ",";
+      json += "\"" + std::to_string(row.sites) +
+              "\":{\"lp_seconds\":" + TablePrinter::num(row.lp_seconds, 6) +
+              ",\"lp_iterations\":" + std::to_string(row.lp_iterations) +
+              ",\"lp_peak_bytes\":" + std::to_string(row.lp_peak_bytes) + "}";
+    }
+    json += "}";
+    add_bench_json_field("lp_by_sites", json);
+    site_table.print(
+        "Sensitivity: site count (120GB total, 12 datasets, LP only)");
   });
 }

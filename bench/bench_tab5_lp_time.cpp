@@ -74,10 +74,16 @@ BENCHMARK(BM_Tab5_LargerScale)->Unit(benchmark::kSecond)->Iterations(1);
 int main(int argc, char** argv) {
   return run_bench_main(argc, argv, [] {
     ResultTable table({"workload", "LP solving time (s)", "simplex pivots"});
+    std::string json = "{";
     for (const auto& row : g_rows) {
       table.add_row({row.label, TablePrinter::num(row.lp_seconds, 4),
                      std::to_string(row.lp_iterations)});
+      if (json.size() > 1) json += ",";
+      json += "\"" + row.label + "\":" + TablePrinter::num(row.lp_seconds, 6);
     }
+    json += "}";
+    // lp_seconds_by_case is what tools/perf_smoke.py --key gates on.
+    add_bench_json_field("lp_seconds_by_case", json);
     table.print("Table 5: joint placement LP solving time");
   });
 }

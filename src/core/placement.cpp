@@ -38,6 +38,25 @@ void validate_problem(const PlacementProblem& problem) {
   }
 }
 
+/// Per-dataset per-site shuffle coefficient for resident data:
+/// rho = R (1 - S_i).
+double rho_resident(const PlacementProblem& problem, std::size_t a,
+                    std::size_t i) {
+  return problem.datasets[a].reduction_ratio *
+         (1.0 - problem.datasets[a].self_similarity[i]);
+}
+
+/// Coefficient for data arriving from -> to (probe-informed when
+/// available; falls back to the destination's self-similarity).
+double rho_incoming(const PlacementProblem& problem, std::size_t a,
+                    std::size_t from, std::size_t to) {
+  const auto& d = problem.datasets[a];
+  const double mergability = d.pair_similarity.empty()
+                                 ? d.self_similarity[to]
+                                 : d.pair_similarity[from][to];
+  return d.reduction_ratio * (1.0 - mergability);
+}
+
 }  // namespace
 
 double PlacementDecision::moved_bytes_total() const {
@@ -100,9 +119,32 @@ double predicted_shuffle_seconds(const PlacementProblem& problem,
   return t;
 }
 
-TaskPlacementResult solve_task_placement(
+namespace {
+
+/// Reusable structure of the r-step LP (task placement). Only the
+/// up/down row coefficients depend on the f totals; per alternation
+/// round they are re-coefficiented in place (update_constraint) instead
+/// of rebuilding the problem, and the solve is warm-started from the
+/// previous round's optimal basis.
+struct TaskLp {
+  lp::LpProblem p;
+  lp::VarId t = 0;
+  std::vector<lp::VarId> r;
+  std::vector<std::size_t> up_row;
+  std::vector<std::size_t> down_row;
+  bool built = false;
+};
+
+struct TaskSolveStats {
+  bool warm_started = false;
+  std::size_t peak_bytes = 0;
+};
+
+TaskPlacementResult solve_task_placement_impl(
     const PlacementProblem& problem,
-    const std::vector<std::vector<std::vector<double>>>& move_bytes) {
+    const std::vector<std::vector<std::vector<double>>>& move_bytes,
+    TaskLp* cache, const lp::Basis* warm_start, lp::Basis* basis_out,
+    TaskSolveStats* stats) {
   validate_problem(problem);
   const std::size_t n = problem.topology.site_count();
   BOHR_EXPECTS(move_bytes.size() == problem.datasets.size());
@@ -119,40 +161,59 @@ TaskPlacementResult solve_task_placement(
   if (all_sites <= 0.0) {
     result.reduce_fractions.assign(n, 1.0 / static_cast<double>(n));
     result.optimal = true;
+    if (basis_out != nullptr) basis_out->basic.clear();
     return result;
   }
 
-  lp::LpProblem p;
-  const lp::VarId t = p.add_variable("t", 1.0);
-  std::vector<lp::VarId> r(n);
-  for (std::size_t i = 0; i < n; ++i) r[i] = p.add_variable("r", 0.0);
-
+  TaskLp local;
+  TaskLp& tlp = cache != nullptr ? *cache : local;
+  if (!tlp.built) {
+    tlp.t = tlp.p.add_variable("t", 1.0);
+    tlp.r.resize(n);
+    for (std::size_t i = 0; i < n; ++i) tlp.r[i] = tlp.p.add_variable("r", 0.0);
+    tlp.up_row.resize(n);
+    tlp.down_row.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      tlp.up_row[i] = tlp.p.add_constraint({}, lp::Relation::LessEq, 0.0,
+                                           "upload");
+      tlp.down_row[i] = tlp.p.add_constraint({}, lp::Relation::LessEq, 0.0,
+                                             "download");
+    }
+    std::vector<lp::Term> sum_r;
+    for (std::size_t i = 0; i < n; ++i) sum_r.push_back({tlp.r[i], 1.0});
+    tlp.p.add_constraint(std::move(sum_r), lp::Relation::Equal, 1.0, "sum_r");
+    tlp.built = true;
+  }
   for (std::size_t i = 0; i < n; ++i) {
     const double up_coeff = f_total[i] / problem.topology.uplink(i);
     // (1 - r_i) F_i / U_i <= t  <=>  -up*r_i - t <= -up.
-    p.add_constraint({{r[i], -up_coeff}, {t, -1.0}}, lp::Relation::LessEq,
-                     -up_coeff, "upload");
+    tlp.p.update_constraint(tlp.up_row[i],
+                            {{tlp.r[i], -up_coeff}, {tlp.t, -1.0}}, -up_coeff);
     const double down_coeff =
         (all_sites - f_total[i]) / problem.topology.downlink(i);
     // r_i * G_i / D_i <= t.
-    p.add_constraint({{r[i], down_coeff}, {t, -1.0}}, lp::Relation::LessEq,
-                     0.0, "download");
+    tlp.p.update_constraint(tlp.down_row[i],
+                            {{tlp.r[i], down_coeff}, {tlp.t, -1.0}}, 0.0);
   }
-  std::vector<lp::Term> sum_r;
-  for (std::size_t i = 0; i < n; ++i) sum_r.push_back({r[i], 1.0});
-  p.add_constraint(std::move(sum_r), lp::Relation::Equal, 1.0, "sum_r");
 
-  const lp::LpSolution sol = lp::solve(p);
+  const lp::LpSolution sol = lp::solve(tlp.p, {}, warm_start);
   result.optimal = sol.optimal();
   result.iterations = sol.iterations;
+  if (stats != nullptr) {
+    stats->warm_started = sol.warm_started;
+    stats->peak_bytes = sol.peak_bytes;
+  }
+  if (basis_out != nullptr) {
+    *basis_out = result.optimal ? sol.basis : lp::Basis{};
+  }
   if (!result.optimal) {
     result.reduce_fractions.assign(n, 1.0 / static_cast<double>(n));
     return result;
   }
-  result.objective = sol.value(t);
+  result.objective = sol.value(tlp.t);
   result.reduce_fractions.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    result.reduce_fractions[i] = std::max(0.0, sol.value(r[i]));
+    result.reduce_fractions[i] = std::max(0.0, sol.value(tlp.r[i]));
   }
   // Normalize tiny numerical drift so the engine sees sum == 1.
   double total = 0.0;
@@ -160,6 +221,15 @@ TaskPlacementResult solve_task_placement(
   BOHR_CHECK(total > 0.0);
   for (auto& ri : result.reduce_fractions) ri /= total;
   return result;
+}
+
+}  // namespace
+
+TaskPlacementResult solve_task_placement(
+    const PlacementProblem& problem,
+    const std::vector<std::vector<std::vector<double>>>& move_bytes) {
+  return solve_task_placement_impl(problem, move_bytes, nullptr, nullptr,
+                                   nullptr, nullptr);
 }
 
 namespace {
@@ -362,12 +432,39 @@ struct XStepResult {
   double objective = 0.0;
   bool optimal = false;
   std::size_t iterations = 0;
+  bool warm_started = false;
+  std::size_t peak_bytes = 0;
+  lp::Basis basis;
 };
 
-XStepResult solve_x_step(const PlacementProblem& problem,
-                         const std::vector<double>& r) {
+/// Reusable structure of the x-step LP, built once per alternation run.
+///
+/// The direct transcription of constraint (4) puts every x variable in
+/// every download row (each f^a_j sums in-flows from all sites), which
+/// densifies the matrix to ~2*A*n^3 nonzeros and defeats a sparse
+/// solver. Instead, an aggregate per-site shuffle variable
+///   g_i = sum_a f^a_i(x) / unit
+/// is pinned by one equality row per site, and the up/down rows become
+/// 2- and n-term rows over {t, g}. Every x column then has exactly five
+/// nonzeros (two g-definition rows, move_out, move_in, supply), the
+/// matrix is O(A n^2), and the feasible set projects onto (x, t)
+/// exactly as before. Only the up/down rows depend on r: per round they
+/// are re-coefficiented in place and the solve warm-starts from the
+/// previous round's optimal basis.
+struct XStepLp {
+  lp::LpProblem p;
+  lp::VarId t = 0;
+  std::vector<std::vector<std::vector<lp::VarId>>> x;  // [a][i][j]
+  std::vector<lp::VarId> g;
+  std::vector<std::size_t> up_row;
+  std::vector<std::size_t> down_row;
+  double unit = 1.0;
+};
+
+XStepLp build_x_step_lp(const PlacementProblem& problem) {
   const std::size_t n = problem.topology.site_count();
   const std::size_t n_datasets = problem.datasets.size();
+  XStepLp xlp;
 
   // Normalize data volumes so constraint coefficients are O(1): raw
   // per-byte coefficients (~1e-10) would drown in the simplex pricing
@@ -376,23 +473,10 @@ XStepResult solve_x_step(const PlacementProblem& problem,
   for (const auto& d : problem.datasets) {
     for (const double bytes : d.input_bytes) unit = std::max(unit, bytes);
   }
+  xlp.unit = unit;
 
-  lp::LpProblem p;
-  const lp::VarId t = p.add_variable("t", 1.0);
-
-  // Per-dataset per-site shuffle coefficient for resident data, and the
-  // coefficient for data arriving k -> i (probe-informed when available).
-  const auto rho_of = [&](std::size_t a, std::size_t i) {
-    return problem.datasets[a].reduction_ratio *
-           (1.0 - problem.datasets[a].self_similarity[i]);
-  };
-  const auto rho_in = [&](std::size_t a, std::size_t from, std::size_t to) {
-    const auto& d = problem.datasets[a];
-    const double mergability = d.pair_similarity.empty()
-                                   ? d.self_similarity[to]
-                                   : d.pair_similarity[from][to];
-    return d.reduction_ratio * (1.0 - mergability);
-  };
+  lp::LpProblem& p = xlp.p;
+  xlp.t = p.add_variable("t", 1.0);
 
   // The minimax objective alone is degenerate: when the binding
   // constraint at the fixed r is a download term, no x improves t and the
@@ -405,7 +489,8 @@ XStepResult solve_x_step(const PlacementProblem& problem,
     double total = 0.0;
     for (std::size_t a = 0; a < n_datasets; ++a) {
       for (std::size_t i = 0; i < n; ++i) {
-        total += rho_of(a, i) * problem.datasets[a].input_bytes[i] /
+        total += rho_resident(problem, a, i) *
+                 problem.datasets[a].input_bytes[i] /
                  problem.topology.uplink(i);
       }
     }
@@ -413,9 +498,8 @@ XStepResult solve_x_step(const PlacementProblem& problem,
   }();
 
   // x[a][i][j], j != i. Index helper keeps a flat variable table.
-  std::vector<std::vector<std::vector<lp::VarId>>> x(
-      n_datasets,
-      std::vector<std::vector<lp::VarId>>(n, std::vector<lp::VarId>(n, 0)));
+  xlp.x.assign(n_datasets, std::vector<std::vector<lp::VarId>>(
+                               n, std::vector<lp::VarId>(n, 0)));
   for (std::size_t a = 0; a < n_datasets; ++a) {
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = 0; j < n; ++j) {
@@ -423,54 +507,40 @@ XStepResult solve_x_step(const PlacementProblem& problem,
         // d(sum_k f_k/U_k)/dx_ij = rho_in(i->j)/U_j - rho_i/U_i.
         const double secondary =
             kSecondaryEpsilon / upload_norm * unit *
-            (rho_in(a, i, j) / problem.topology.uplink(j) -
-             rho_of(a, i) / problem.topology.uplink(i));
-        x[a][i][j] = p.add_variable("x", secondary);
+            (rho_incoming(problem, a, i, j) / problem.topology.uplink(j) -
+             rho_resident(problem, a, i) / problem.topology.uplink(i));
+        xlp.x[a][i][j] = p.add_variable("x", secondary);
       }
     }
   }
+  xlp.g.resize(n);
+  for (std::size_t i = 0; i < n; ++i) xlp.g[i] = p.add_variable("g", 0.0);
 
-  // Per-dataset per-site shuffle coefficient: rho = R (1 - S_i).
-  const auto rho = [&](std::size_t a, std::size_t i) {
-    return problem.datasets[a].reduction_ratio *
-           (1.0 - problem.datasets[a].self_similarity[i]);
-  };
-
-  // Constraint (3): sum_a (1-r_i) f^a_i(x) / U_i <= t.
+  // g-definition rows: g_i = sum_a f^a_i(x)/unit, i.e.
+  //   g_i + sum_a rho_i sum_j x^a_ij - sum_a sum_k rho_in(k,i) x^a_ki
+  //     = sum_a rho_i I^a_i / unit        (rhs >= 0: no sign flip).
   for (std::size_t i = 0; i < n; ++i) {
-    const double scale_i = (1.0 - r[i]) / problem.topology.uplink(i);
-    std::vector<lp::Term> terms{{t, -1.0}};
+    std::vector<lp::Term> terms{{xlp.g[i], 1.0}};
     double rhs = 0.0;
     for (std::size_t a = 0; a < n_datasets; ++a) {
-      const double c = scale_i * rho(a, i);
-      rhs -= c * problem.datasets[a].input_bytes[i];
+      const double rho_i = rho_resident(problem, a, i);
+      rhs += rho_i * problem.datasets[a].input_bytes[i] / unit;
       for (std::size_t j = 0; j < n; ++j) {
         if (j == i) continue;
-        terms.push_back({x[a][i][j], -c * unit});
-        terms.push_back({x[a][j][i], scale_i * rho_in(a, j, i) * unit});
+        terms.push_back({xlp.x[a][i][j], rho_i});
+        terms.push_back({xlp.x[a][j][i], -rho_incoming(problem, a, j, i)});
       }
     }
-    p.add_constraint(std::move(terms), lp::Relation::LessEq, rhs, "up");
+    p.add_constraint(std::move(terms), lp::Relation::Equal, rhs, "fsum");
   }
 
-  // Constraint (4): sum_a r_i * sum_{j != i} f^a_j(x) / D_i <= t.
+  // Constraints (3)-(4) over {t, g}; coefficients depend on r and are
+  // patched per round (see patch_x_step_lp).
+  xlp.up_row.resize(n);
+  xlp.down_row.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    const double scale_i = r[i] / problem.topology.downlink(i);
-    std::vector<lp::Term> terms{{t, -1.0}};
-    double rhs = 0.0;
-    for (std::size_t a = 0; a < n_datasets; ++a) {
-      for (std::size_t j = 0; j < n; ++j) {
-        if (j == i) continue;
-        const double c = scale_i * rho(a, j);
-        rhs -= c * problem.datasets[a].input_bytes[j];
-        for (std::size_t m = 0; m < n; ++m) {
-          if (m == j) continue;
-          terms.push_back({x[a][j][m], -c * unit});
-          terms.push_back({x[a][m][j], scale_i * rho_in(a, m, j) * unit});
-        }
-      }
-    }
-    p.add_constraint(std::move(terms), lp::Relation::LessEq, rhs, "down");
+    xlp.up_row[i] = p.add_constraint({}, lp::Relation::LessEq, 0.0, "up");
+    xlp.down_row[i] = p.add_constraint({}, lp::Relation::LessEq, 0.0, "down");
   }
 
   // Constraints (5)-(6): movement must finish within the lag T.
@@ -480,8 +550,8 @@ XStepResult solve_x_step(const PlacementProblem& problem,
     for (std::size_t a = 0; a < n_datasets; ++a) {
       for (std::size_t j = 0; j < n; ++j) {
         if (j == i) continue;
-        out_terms.push_back({x[a][i][j], 1.0});
-        in_terms.push_back({x[a][j][i], 1.0});
+        out_terms.push_back({xlp.x[a][i][j], 1.0});
+        in_terms.push_back({xlp.x[a][j][i], 1.0});
       }
     }
     p.add_constraint(std::move(out_terms), lp::Relation::LessEq,
@@ -497,19 +567,51 @@ XStepResult solve_x_step(const PlacementProblem& problem,
     for (std::size_t i = 0; i < n; ++i) {
       std::vector<lp::Term> terms;
       for (std::size_t j = 0; j < n; ++j) {
-        if (j != i) terms.push_back({x[a][i][j], 1.0});
+        if (j != i) terms.push_back({xlp.x[a][i][j], 1.0});
       }
       p.add_constraint(std::move(terms), lp::Relation::LessEq,
                        problem.datasets[a].input_bytes[i] / unit, "supply");
     }
   }
+  return xlp;
+}
 
-  const lp::LpSolution sol = lp::solve(p);
+/// Re-coefficients the up/down rows for the current r.
+void patch_x_step_lp(XStepLp& xlp, const PlacementProblem& problem,
+                     const std::vector<double>& r) {
+  const std::size_t n = problem.topology.site_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    // (3): (1 - r_i) unit g_i / U_i <= t.
+    const double up_scale =
+        (1.0 - r[i]) * xlp.unit / problem.topology.uplink(i);
+    xlp.p.update_constraint(xlp.up_row[i],
+                            {{xlp.g[i], up_scale}, {xlp.t, -1.0}}, 0.0);
+    // (4): r_i unit sum_{j != i} g_j / D_i <= t.
+    const double down_scale = r[i] * xlp.unit / problem.topology.downlink(i);
+    std::vector<lp::Term> terms{{xlp.t, -1.0}};
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) terms.push_back({xlp.g[j], down_scale});
+    }
+    xlp.p.update_constraint(xlp.down_row[i], std::move(terms), 0.0);
+  }
+}
+
+XStepResult solve_x_step(XStepLp& xlp, const PlacementProblem& problem,
+                         const std::vector<double>& r,
+                         const lp::Basis* warm_start) {
+  const std::size_t n = problem.topology.site_count();
+  const std::size_t n_datasets = problem.datasets.size();
+  patch_x_step_lp(xlp, problem, r);
+
+  const lp::LpSolution sol = lp::solve(xlp.p, {}, warm_start);
   XStepResult result;
   result.optimal = sol.optimal();
   result.iterations = sol.iterations;
+  result.warm_started = sol.warm_started;
+  result.peak_bytes = sol.peak_bytes;
   if (!result.optimal) return result;
-  result.objective = sol.value(t);
+  result.objective = sol.value(xlp.t);
+  result.basis = sol.basis;
   result.move_bytes.assign(
       n_datasets,
       std::vector<std::vector<double>>(n, std::vector<double>(n, 0.0)));
@@ -518,7 +620,7 @@ XStepResult solve_x_step(const PlacementProblem& problem,
       for (std::size_t j = 0; j < n; ++j) {
         if (i != j) {
           result.move_bytes[a][i][j] =
-              std::max(0.0, sol.value(x[a][i][j]) * unit);
+              std::max(0.0, sol.value(xlp.x[a][i][j]) * xlp.unit);
         }
       }
     }
@@ -531,28 +633,51 @@ XStepResult solve_x_step(const PlacementProblem& problem,
 namespace {
 
 /// One alternation run from a given r seed. Monotone in t per round.
+/// Rounds 2+ patch the cached LPs in place and warm-start both steps
+/// from the previous round's optimal bases.
 PlacementDecision alternate_from(const PlacementProblem& problem,
                                  std::vector<double> r_seed,
                                  const JointLpOptions& options,
-                                 std::size_t& lp_iterations) {
+                                 std::size_t& lp_iterations,
+                                 std::size_t& lp_peak_bytes) {
   PlacementDecision decision;
   decision.move_bytes = zero_moves(problem);
   decision.reduce_fractions = std::move(r_seed);
   double best_t = predicted_shuffle_seconds(problem, decision);
 
+  XStepLp xlp = build_x_step_lp(problem);
+  TaskLp tlp;
+  lp::Basis x_basis;
+  lp::Basis r_basis;
+
   for (std::size_t round = 0; round < options.max_rounds; ++round) {
+    AlternationRoundStats round_stats;
+
     // x-step for fixed r.
-    XStepResult x_step = solve_x_step(problem, decision.reduce_fractions);
+    XStepResult x_step =
+        solve_x_step(xlp, problem, decision.reduce_fractions,
+                     x_basis.empty() ? nullptr : &x_basis);
     lp_iterations += x_step.iterations;
+    lp_peak_bytes = std::max(lp_peak_bytes, x_step.peak_bytes);
+    round_stats.x_iterations = x_step.iterations;
+    round_stats.x_warm_started = x_step.warm_started;
     if (!x_step.optimal) {
       decision.lp_converged = false;
+      decision.alternation_rounds.push_back(round_stats);
       break;
     }
+    x_basis = std::move(x_step.basis);
 
     // r-step for the new x.
-    TaskPlacementResult r_step =
-        solve_task_placement(problem, x_step.move_bytes);
+    TaskSolveStats r_solve_stats;
+    TaskPlacementResult r_step = solve_task_placement_impl(
+        problem, x_step.move_bytes, &tlp,
+        r_basis.empty() ? nullptr : &r_basis, &r_basis, &r_solve_stats);
     lp_iterations += r_step.iterations;
+    lp_peak_bytes = std::max(lp_peak_bytes, r_solve_stats.peak_bytes);
+    round_stats.r_iterations = r_step.iterations;
+    round_stats.r_warm_started = r_solve_stats.warm_started;
+    decision.alternation_rounds.push_back(round_stats);
     if (!r_step.optimal) {
       decision.lp_converged = false;
       break;
@@ -565,9 +690,11 @@ PlacementDecision alternate_from(const PlacementProblem& problem,
 #ifdef BOHR_DEBUG_ALTERNATION
     std::fprintf(stderr,
                  "[joint] round=%zu x_obj=%.4f r_obj=%.4f cand_t=%.4f "
-                 "best_t=%.4f moved=%.3e\n",
+                 "best_t=%.4f moved=%.3e x_it=%zu%s r_it=%zu%s\n",
                  round, x_step.objective, r_step.objective, t, best_t,
-                 candidate.moved_bytes_total());
+                 candidate.moved_bytes_total(), x_step.iterations,
+                 x_step.warm_started ? "(warm)" : "", r_step.iterations,
+                 r_solve_stats.warm_started ? "(warm)" : "");
 #endif
     if (t < best_t - options.convergence_epsilon) {
       decision.move_bytes = std::move(candidate.move_bytes);
@@ -596,11 +723,14 @@ PlacementDecision joint_lp_placement(const PlacementProblem& problem,
   // x = 0. Multi-start from structurally different r seeds and keep the
   // best run (each run is itself monotone).
   std::vector<std::vector<double>> seeds;
+  std::size_t lp_peak_bytes = 0;
   {
     // Seed 1: task-placement optimum for unmoved data (Iridium's r).
-    TaskPlacementResult task =
-        solve_task_placement(problem, zero_moves(problem));
+    TaskSolveStats seed_stats;
+    TaskPlacementResult task = solve_task_placement_impl(
+        problem, zero_moves(problem), nullptr, nullptr, nullptr, &seed_stats);
     lp_iterations += task.iterations;
+    lp_peak_bytes = std::max(lp_peak_bytes, seed_stats.peak_bytes);
     seeds.push_back(std::move(task.reduce_fractions));
     // Seed 2: uplink-proportional (reduce where the pipes are fat).
     std::vector<double> uplink_r(n);
@@ -619,17 +749,19 @@ PlacementDecision joint_lp_placement(const PlacementProblem& problem,
   // loop).
   std::vector<PlacementDecision> runs(seeds.size());
   std::vector<std::size_t> run_iterations(seeds.size(), 0);
+  std::vector<std::size_t> run_peak_bytes(seeds.size(), 0);
   {
     ScopedPhase phase("lp.alternation");
     parallel_for(seeds.size(), [&](std::size_t s) {
       runs[s] = alternate_from(problem, std::move(seeds[s]), options,
-                               run_iterations[s]);
+                               run_iterations[s], run_peak_bytes[s]);
     });
   }
   PlacementDecision best;
   bool have_best = false;
   for (std::size_t s = 0; s < runs.size(); ++s) {
     lp_iterations += run_iterations[s];
+    lp_peak_bytes = std::max(lp_peak_bytes, run_peak_bytes[s]);
     if (!have_best ||
         runs[s].predicted_shuffle_seconds < best.predicted_shuffle_seconds) {
       best = std::move(runs[s]);
@@ -638,6 +770,7 @@ PlacementDecision joint_lp_placement(const PlacementProblem& problem,
   }
   best.lp_iterations = lp_iterations;
   best.lp_seconds = timer.elapsed_seconds();
+  best.lp_peak_bytes = lp_peak_bytes;
   return best;
 }
 

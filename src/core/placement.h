@@ -36,6 +36,16 @@ struct PlacementProblem {
   double lag_seconds = 30.0;
 };
 
+/// Per-round bookkeeping of one alternating joint-LP run (the winning
+/// multi-start seed): simplex iterations of the x- and r-steps and
+/// whether each was warm-started from the previous round's basis.
+struct AlternationRoundStats {
+  std::size_t x_iterations = 0;
+  std::size_t r_iterations = 0;
+  bool x_warm_started = false;
+  bool r_warm_started = false;
+};
+
 struct PlacementDecision {
   /// move_bytes[a][i][j] — bytes of dataset a moved i -> j before the
   /// next query (x^a_{i,j}).
@@ -51,6 +61,13 @@ struct PlacementDecision {
   /// simplex step (the controller then falls back to Iridium).
   /// Heuristic placements are trivially converged.
   bool lp_converged = true;
+
+  /// Per-round stats of the winning alternation run (empty for the
+  /// heuristics). Profiling only — not part of the checkpoint format.
+  std::vector<AlternationRoundStats> alternation_rounds;
+  /// Peak solver footprint (bytes) across all LP solves of the call —
+  /// O(nonzeros) under the revised engine. Profiling only.
+  std::size_t lp_peak_bytes = 0;
 
   /// Deterministic LP cost charged into QCT (§8.5). lp_seconds measures
   /// the host, so folding it into simulated QCT makes results depend on

@@ -1,0 +1,237 @@
+#include "lp/basis_lu.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace bohr::lp {
+
+namespace {
+// A pivot smaller than this declares the basis numerically singular;
+// the caller then falls back to a cold start.
+constexpr double kPivotTiny = 1e-11;
+}  // namespace
+
+bool BasisLu::factorize(const CscMatrix& a, const std::vector<std::size_t>& basis) {
+  m_ = basis.size();
+  BOHR_EXPECTS(a.rows == m_);
+  etas_.clear();
+  eta_entry_bytes_ = 0;
+  l_start_.assign(1, 0);
+  l_index_.clear();
+  l_value_.clear();
+  u_start_.assign(1, 0);
+  u_index_.clear();
+  u_value_.clear();
+  u_diag_.assign(m_, 0.0);
+  pinv_.assign(m_, -1);
+  row_of_pos_.assign(m_, -1);
+
+  work_.assign(m_, 0.0);
+  pattern_.clear();
+  pattern_.reserve(m_);
+  dfs_stack_.resize(m_);
+  dfs_next_.resize(m_);
+  marked_.assign(m_, 0);
+
+  // L is built with ORIGINAL row indices (future pivots have no position
+  // yet) and remapped to positions at the end.
+  for (std::size_t j = 0; j < m_; ++j) {
+    const std::size_t col = basis[j];
+    BOHR_EXPECTS(col < a.cols);
+
+    // Symbolic: pattern of L^{-1} b = DFS reach of b's rows, collected
+    // in reverse-postorder (a topological order of the dependency DAG).
+    pattern_.clear();
+    for (std::size_t p = a.col_start[col]; p < a.col_start[col + 1]; ++p) {
+      std::int32_t root = a.row_index[p];
+      if (marked_[root]) continue;
+      std::size_t depth = 0;
+      dfs_stack_[0] = root;
+      dfs_next_[0] = 0;
+      marked_[root] = 1;
+      while (true) {
+        const std::int32_t r = dfs_stack_[depth];
+        const std::int32_t pos = pinv_[r];
+        bool descended = false;
+        if (pos >= 0) {
+          std::size_t it = dfs_next_[depth];
+          const std::size_t end = l_start_[pos + 1];
+          for (std::size_t q = l_start_[pos] + it; q < end; ++q) {
+            const std::int32_t child = l_index_[q];
+            if (!marked_[child]) {
+              dfs_next_[depth] = q - l_start_[pos] + 1;
+              ++depth;
+              dfs_stack_[depth] = child;
+              dfs_next_[depth] = 0;
+              marked_[child] = 1;
+              descended = true;
+              break;
+            }
+          }
+        }
+        if (descended) continue;
+        pattern_.push_back(r);  // postorder
+        if (depth == 0) break;
+        --depth;
+      }
+    }
+
+    // Numeric: sparse lower triangular solve along the topological
+    // order (pattern_ reversed).
+    for (std::size_t p = a.col_start[col]; p < a.col_start[col + 1]; ++p) {
+      work_[a.row_index[p]] = a.value[p];
+    }
+    for (std::size_t k = pattern_.size(); k-- > 0;) {
+      const std::int32_t r = pattern_[k];
+      const std::int32_t pos = pinv_[r];
+      if (pos < 0) continue;
+      const double xr = work_[r];
+      if (xr == 0.0) continue;
+      for (std::size_t q = l_start_[pos]; q < l_start_[pos + 1]; ++q) {
+        work_[l_index_[q]] -= l_value_[q] * xr;
+      }
+    }
+
+    // Partial pivoting: the largest |value| among rows without a
+    // position yet; ties broken toward the smallest row index so the
+    // factorization is deterministic.
+    std::int32_t pivot_row = -1;
+    double pivot_abs = 0.0;
+    for (const std::int32_t r : pattern_) {
+      if (pinv_[r] >= 0) continue;
+      const double v = std::abs(work_[r]);
+      if (v > pivot_abs || (v == pivot_abs && pivot_row >= 0 && r < pivot_row)) {
+        pivot_abs = v;
+        pivot_row = r;
+      }
+    }
+    if (pivot_row < 0 || pivot_abs < kPivotTiny) {
+      for (const std::int32_t r : pattern_) {
+        work_[r] = 0.0;
+        marked_[r] = 0;
+      }
+      return false;  // singular
+    }
+    const double pivot = work_[pivot_row];
+    pinv_[pivot_row] = static_cast<std::int32_t>(j);
+    row_of_pos_[j] = pivot_row;
+    u_diag_[j] = pivot;
+    for (const std::int32_t r : pattern_) {
+      const double v = work_[r];
+      work_[r] = 0.0;
+      marked_[r] = 0;
+      if (r == pivot_row || v == 0.0) continue;
+      const std::int32_t pos = pinv_[r];
+      if (pos >= 0 && pos < static_cast<std::int32_t>(j)) {
+        u_index_.push_back(pos);
+        u_value_.push_back(v);
+      } else if (pos < 0) {
+        l_index_.push_back(r);  // original row; remapped below
+        l_value_.push_back(v / pivot);
+      }
+    }
+    l_start_.push_back(l_index_.size());
+    u_start_.push_back(u_index_.size());
+  }
+
+  // Every row now has a position; remap L's row indices into positions.
+  for (std::int32_t& r : l_index_) r = pinv_[r];
+  return true;
+}
+
+void BasisLu::push_eta(std::size_t p, const std::vector<double>& w) {
+  BOHR_EXPECTS(w.size() == m_ && p < m_);
+  Eta eta;
+  eta.pivot = static_cast<std::int32_t>(p);
+  eta.pivot_value = w[p];
+  BOHR_CHECK(w[p] != 0.0);
+  for (std::size_t i = 0; i < m_; ++i) {
+    if (i != p && w[i] != 0.0) {
+      eta.entries.emplace_back(static_cast<std::int32_t>(i), w[i]);
+    }
+  }
+  eta_entry_bytes_ +=
+      eta.entries.capacity() * sizeof(std::pair<std::int32_t, double>);
+  etas_.push_back(std::move(eta));
+}
+
+void BasisLu::ftran(std::vector<double>& x) const {
+  BOHR_EXPECTS(x.size() == m_);
+  // Apply P: position p takes the value of row row_of_pos_[p].
+  for (std::size_t p = 0; p < m_; ++p) work_[p] = x[row_of_pos_[p]];
+  x.swap(work_);
+  // L solve (unit diagonal, below-diagonal entries by column).
+  for (std::size_t j = 0; j < m_; ++j) {
+    const double t = x[j];
+    if (t == 0.0) continue;
+    for (std::size_t q = l_start_[j]; q < l_start_[j + 1]; ++q) {
+      x[l_index_[q]] -= l_value_[q] * t;
+    }
+  }
+  // U solve (backward).
+  for (std::size_t j = m_; j-- > 0;) {
+    const double t = x[j] / u_diag_[j];
+    x[j] = t;
+    if (t == 0.0) continue;
+    for (std::size_t q = u_start_[j]; q < u_start_[j + 1]; ++q) {
+      x[u_index_[q]] -= u_value_[q] * t;
+    }
+  }
+  // Product-form updates, oldest first: B_k^{-1} = E_k^{-1}...E_1^{-1}B_0^{-1}.
+  for (const Eta& e : etas_) {
+    const double t = x[e.pivot] / e.pivot_value;
+    x[e.pivot] = t;
+    if (t == 0.0) continue;
+    for (const auto& [i, v] : e.entries) x[i] -= v * t;
+  }
+}
+
+void BasisLu::btran(std::vector<double>& x) const {
+  BOHR_EXPECTS(x.size() == m_);
+  // Eta transposes, newest first.
+  for (std::size_t k = etas_.size(); k-- > 0;) {
+    const Eta& e = etas_[k];
+    double s = x[e.pivot];
+    for (const auto& [i, v] : e.entries) s -= v * x[i];
+    x[e.pivot] = s / e.pivot_value;
+  }
+  // U^T solve (forward).
+  for (std::size_t j = 0; j < m_; ++j) {
+    double s = x[j];
+    for (std::size_t q = u_start_[j]; q < u_start_[j + 1]; ++q) {
+      s -= u_value_[q] * x[u_index_[q]];
+    }
+    x[j] = s / u_diag_[j];
+  }
+  // L^T solve (backward, unit diagonal).
+  for (std::size_t j = m_; j-- > 0;) {
+    double s = x[j];
+    for (std::size_t q = l_start_[j]; q < l_start_[j + 1]; ++q) {
+      s -= l_value_[q] * x[l_index_[q]];
+    }
+    x[j] = s;
+  }
+  // Apply P^T: row r takes the value of position pinv_[r].
+  for (std::size_t r = 0; r < m_; ++r) work_[r] = x[pinv_[r]];
+  x.swap(work_);
+}
+
+std::size_t BasisLu::bytes() const {
+  std::size_t b = 0;
+  b += l_start_.capacity() * sizeof(std::size_t);
+  b += l_index_.capacity() * sizeof(std::int32_t);
+  b += l_value_.capacity() * sizeof(double);
+  b += u_start_.capacity() * sizeof(std::size_t);
+  b += u_index_.capacity() * sizeof(std::int32_t);
+  b += u_value_.capacity() * sizeof(double);
+  b += u_diag_.capacity() * sizeof(double);
+  b += pinv_.capacity() * sizeof(std::int32_t);
+  b += row_of_pos_.capacity() * sizeof(std::int32_t);
+  b += work_.capacity() * sizeof(double);
+  b += etas_.capacity() * sizeof(Eta);
+  b += eta_entry_bytes_;
+  return b;
+}
+
+}  // namespace bohr::lp

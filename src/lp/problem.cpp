@@ -15,11 +15,26 @@ void LpProblem::set_objective(VarId var, double coeff) {
   objective_[var] = coeff;
 }
 
-void LpProblem::add_constraint(std::vector<Term> terms, Relation relation,
-                               double rhs, std::string name) {
+std::size_t LpProblem::add_constraint(std::vector<Term> terms,
+                                      Relation relation, double rhs,
+                                      std::string name) {
   for (const Term& t : terms) BOHR_EXPECTS(t.var < names_.size());
   rows_.push_back(
       ConstraintRow{std::move(terms), relation, rhs, std::move(name)});
+  return rows_.size() - 1;
+}
+
+void LpProblem::update_constraint(std::size_t row, std::vector<Term> terms,
+                                  double rhs) {
+  BOHR_EXPECTS(row < rows_.size());
+  for (const Term& t : terms) BOHR_EXPECTS(t.var < names_.size());
+  rows_[row].terms = std::move(terms);
+  rows_[row].rhs = rhs;
+}
+
+void LpProblem::set_rhs(std::size_t row, double rhs) {
+  BOHR_EXPECTS(row < rows_.size());
+  rows_[row].rhs = rhs;
 }
 
 const std::string& LpProblem::variable_name(VarId v) const {

@@ -39,8 +39,18 @@ class LpProblem {
   void set_objective(VarId var, double coeff);
 
   /// Adds a constraint. Terms may repeat a variable (coefficients sum).
-  void add_constraint(std::vector<Term> terms, Relation relation, double rhs,
-                      std::string name = {});
+  /// Returns the row index (usable with update_constraint/set_rhs).
+  std::size_t add_constraint(std::vector<Term> terms, Relation relation,
+                             double rhs, std::string name = {});
+
+  /// Replaces the terms and right-hand side of an existing row in place
+  /// (relation and name are kept). This is the incremental-update hook
+  /// used by the alternating joint LP: per-round LPs share one structure
+  /// and only re-coefficient the rows that depend on the fixed block.
+  void update_constraint(std::size_t row, std::vector<Term> terms, double rhs);
+
+  /// Updates only the right-hand side of an existing row.
+  void set_rhs(std::size_t row, double rhs);
 
   std::size_t variable_count() const { return names_.size(); }
   std::size_t constraint_count() const { return rows_.size(); }

@@ -2,13 +2,39 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
+#include <string_view>
+#include <utility>
 
 #include "common/check.h"
+#include "lp/basis_lu.h"
+#include "lp/sparse.h"
 
 namespace bohr::lp {
 
 namespace {
+
+Engine resolve_engine(Engine engine) {
+  if (engine != Engine::Auto) return engine;
+  if (const char* env = std::getenv("BOHR_LP")) {
+    const std::string_view v(env);
+    if (v == "dense") return Engine::Dense;
+    if (v == "revised") return Engine::Revised;
+  }
+  return Engine::Revised;
+}
+
+std::size_t auto_max_iterations(const SimplexOptions& options, std::size_t rows,
+                                std::size_t cols) {
+  return options.max_iterations > 0 ? options.max_iterations
+                                    : 200 + 50 * (rows + 1) + 2 * cols;
+}
+
+// ------------------------------------------------------------------------
+// Dense tableau engine (the original implementation, kept as a reference
+// oracle; both engines consume the same StandardForm).
+// ------------------------------------------------------------------------
 
 /// Dense tableau state shared by both phases.
 struct Tableau {
@@ -117,95 +143,35 @@ SolveStatus run_phase(Tableau& t, std::size_t max_iter, double eps,
   return SolveStatus::IterationLimit;
 }
 
-}  // namespace
-
-LpSolution solve(const LpProblem& problem, const SimplexOptions& options) {
-  const std::size_t n = problem.variable_count();
-  const std::size_t m = problem.constraint_count();
+LpSolution solve_dense(const LpProblem& problem, const StandardForm& sf,
+                       const SimplexOptions& options) {
+  const std::size_t n = sf.n_struct;
+  const std::size_t m = sf.rows;
   LpSolution solution;
   solution.values.assign(n, 0.0);
 
-  // Densify rows; normalize to rhs >= 0.
-  std::vector<std::vector<double>> dense(m, std::vector<double>(n, 0.0));
-  std::vector<double> rhs(m, 0.0);
-  std::vector<Relation> rel(m);
-  for (std::size_t r = 0; r < m; ++r) {
-    const ConstraintRow& row = problem.rows()[r];
-    for (const Term& term : row.terms) dense[r][term.var] += term.coeff;
-    rhs[r] = row.rhs;
-    rel[r] = row.relation;
-    if (rhs[r] < 0.0) {
-      for (auto& v : dense[r]) v = -v;
-      rhs[r] = -rhs[r];
-      if (rel[r] == Relation::LessEq) {
-        rel[r] = Relation::GreaterEq;
-      } else if (rel[r] == Relation::GreaterEq) {
-        rel[r] = Relation::LessEq;
-      }
-    }
-  }
-
-  // Column layout: structural | slack/surplus | artificial.
-  std::size_t n_slack = 0;
-  std::size_t n_art = 0;
-  for (std::size_t r = 0; r < m; ++r) {
-    if (rel[r] != Relation::Equal) ++n_slack;
-    if (rel[r] != Relation::LessEq) ++n_art;
-  }
-
   Tableau t;
   t.rows = m;
-  t.cols = n + n_slack + n_art;
+  t.cols = sf.cols;
   t.a.assign(m, std::vector<double>(t.cols, 0.0));
-  t.rhs = rhs;
-  t.basis.assign(m, 0);
-  t.allowed.assign(t.cols, true);
-
-  std::size_t slack_at = n;
-  std::size_t art_at = n + n_slack;
-  std::vector<bool> is_artificial(t.cols, false);
-  // Per original constraint: the column whose final reduced cost yields
-  // the dual value, and the sign to map it back (see dual extraction).
-  std::vector<std::size_t> dual_col(m, 0);
-  std::vector<double> dual_sign(m, 0.0);
-  for (std::size_t r = 0; r < m; ++r) {
-    std::copy(dense[r].begin(), dense[r].end(), t.a[r].begin());
-    switch (rel[r]) {
-      case Relation::LessEq:
-        t.a[r][slack_at] = 1.0;
-        dual_col[r] = slack_at;
-        dual_sign[r] = -1.0;  // d_slack = -y_r
-        t.basis[r] = slack_at++;
-        break;
-      case Relation::GreaterEq:
-        t.a[r][slack_at] = -1.0;
-        dual_col[r] = slack_at;
-        dual_sign[r] = 1.0;  // d_surplus = +y_r
-        ++slack_at;
-        t.a[r][art_at] = 1.0;
-        is_artificial[art_at] = true;
-        t.basis[r] = art_at++;
-        break;
-      case Relation::Equal:
-        t.a[r][art_at] = 1.0;
-        is_artificial[art_at] = true;
-        dual_col[r] = art_at;
-        dual_sign[r] = -1.0;  // artificial behaves like a slack: d = -y_r
-        t.basis[r] = art_at++;
-        break;
+  for (std::size_t c = 0; c < sf.cols; ++c) {
+    for (std::size_t p = sf.a.col_start[c]; p < sf.a.col_start[c + 1]; ++p) {
+      t.a[sf.a.row_index[p]][c] = sf.a.value[p];
     }
   }
+  t.rhs = sf.rhs;
+  t.basis = sf.initial_basis;
+  t.allowed.assign(t.cols, true);
+  solution.peak_bytes = sf.a.bytes() + m * t.cols * sizeof(double) +
+                        (t.cols + m) * sizeof(double);
 
-  const std::size_t max_iter =
-      options.max_iterations > 0
-          ? options.max_iterations
-          : 200 + 50 * (m + 1) + 2 * t.cols;
+  const std::size_t max_iter = auto_max_iterations(options, m, t.cols);
 
   // ---- Phase 1: minimize sum of artificials -----------------------------
-  if (n_art > 0) {
+  if (sf.n_art > 0) {
     std::vector<double> phase1_costs(t.cols, 0.0);
     for (std::size_t c = 0; c < t.cols; ++c) {
-      if (is_artificial[c]) phase1_costs[c] = 1.0;
+      if (sf.is_artificial[c]) phase1_costs[c] = 1.0;
     }
     t.price(phase1_costs);
     const SolveStatus st = run_phase(t, max_iter, options.epsilon,
@@ -222,9 +188,9 @@ LpSolution solve(const LpProblem& problem, const SimplexOptions& options) {
     }
     // Drive remaining artificials out of the basis where possible.
     for (std::size_t r = 0; r < m; ++r) {
-      if (!is_artificial[t.basis[r]]) continue;
+      if (!sf.is_artificial[t.basis[r]]) continue;
       std::size_t pcol = t.cols;
-      for (std::size_t c = 0; c < n + n_slack; ++c) {
+      for (std::size_t c = 0; c < n + sf.n_slack; ++c) {
         if (std::abs(t.a[r][c]) > 1e-8) {
           pcol = c;
           break;
@@ -234,14 +200,12 @@ LpSolution solve(const LpProblem& problem, const SimplexOptions& options) {
       // else: redundant row; the artificial stays basic at value 0.
     }
     for (std::size_t c = 0; c < t.cols; ++c) {
-      if (is_artificial[c]) t.allowed[c] = false;
+      if (sf.is_artificial[c]) t.allowed[c] = false;
     }
   }
 
   // ---- Phase 2: minimize the real objective -----------------------------
-  std::vector<double> costs(t.cols, 0.0);
-  for (VarId v = 0; v < n; ++v) costs[v] = problem.objective_coeff(v);
-  t.price(costs);
+  t.price(sf.cost);
   const SolveStatus st = run_phase(t, max_iter, options.epsilon,
                                    options.bland_after, solution.iterations);
   if (st != SolveStatus::Optimal) {
@@ -258,8 +222,8 @@ LpSolution solve(const LpProblem& problem, const SimplexOptions& options) {
   // is w.r.t. the ORIGINAL right-hand side).
   solution.duals.assign(m, 0.0);
   for (std::size_t r = 0; r < m; ++r) {
-    double y = dual_sign[r] * t.obj[dual_col[r]];
-    if (problem.rows()[r].rhs < 0.0) y = -y;  // row was normalized by -1
+    double y = sf.dual_sign[r] * t.obj[sf.dual_col[r]];
+    if (sf.rhs_negated[r]) y = -y;  // row was normalized by -1
     solution.duals[r] = y;
   }
   double z = 0.0;
@@ -267,8 +231,414 @@ LpSolution solve(const LpProblem& problem, const SimplexOptions& options) {
     z += problem.objective_coeff(v) * solution.values[v];
   }
   solution.objective = z;
+  solution.basis.basic = t.basis;
   solution.status = SolveStatus::Optimal;
   return solution;
+}
+
+// ------------------------------------------------------------------------
+// Sparse revised engine.
+// ------------------------------------------------------------------------
+
+struct RevisedContext {
+  const StandardForm& sf;
+  const SimplexOptions& opt;
+  BasisLu lu;
+  std::vector<std::size_t> basis;     // basic padded column per slot
+  std::vector<std::int32_t> slot_of;  // per padded column; -1 = nonbasic
+  std::vector<double> x_b;            // basic values per slot
+  std::vector<char> allowed;          // per padded column
+  std::vector<double> y;              // BTRAN work vector (m)
+  std::vector<double> w;              // FTRAN work vector (m)
+  std::vector<std::int32_t> candidates;  // partial-pricing cache
+  std::vector<std::pair<double, std::int32_t>> scratch;  // pricing scratch
+  bool candidates_valid = false;
+  bool use_partial = false;
+  std::size_t peak_bytes = 0;
+
+  RevisedContext(const StandardForm& s, const SimplexOptions& o)
+      : sf(s), opt(o) {}
+
+  double col_dot(std::size_t c, const std::vector<double>& v) const {
+    const CscMatrix& a = sf.a;
+    double s = 0.0;
+    for (std::size_t p = a.col_start[c]; p < a.col_start[c + 1]; ++p) {
+      s += a.value[p] * v[a.row_index[p]];
+    }
+    return s;
+  }
+
+  void scatter_col(std::size_t c, std::vector<double>& out) const {
+    std::fill(out.begin(), out.end(), 0.0);
+    const CscMatrix& a = sf.a;
+    for (std::size_t p = a.col_start[c]; p < a.col_start[c + 1]; ++p) {
+      out[a.row_index[p]] = a.value[p];
+    }
+  }
+
+  void note_memory() {
+    const std::size_t current =
+        sf.a.bytes() + lu.bytes() + (x_b.capacity() + y.capacity() + w.capacity()) * sizeof(double) +
+        basis.capacity() * sizeof(std::size_t) +
+        slot_of.capacity() * sizeof(std::int32_t) + allowed.capacity() +
+        candidates.capacity() * sizeof(std::int32_t) +
+        scratch.capacity() * sizeof(std::pair<double, std::int32_t>);
+    peak_bytes = std::max(peak_bytes, current);
+  }
+
+  /// Refactorizes B and recomputes x_B = B^{-1} b from scratch.
+  bool refactorize() {
+    if (!lu.factorize(sf.a, basis)) return false;
+    x_b = sf.rhs;
+    lu.ftran(x_b);
+    for (double& v : x_b) {
+      if (v < 0.0 && v > -1e-11) v = 0.0;
+    }
+    note_memory();
+    return true;
+  }
+
+  /// y := B^{-T} c_B for the given phase costs (indexed by row on exit).
+  void compute_y(const std::vector<double>& costs) {
+    for (std::size_t r = 0; r < sf.rows; ++r) y[r] = costs[basis[r]];
+    lu.btran(y);
+  }
+
+  /// Applies the basis change (slot `leave` <- column `enter`) with the
+  /// FTRAN image `w` of the entering column, updating x_B the same way
+  /// the dense tableau does (including the tiny-negative clamp). Returns
+  /// false on a numerically failed refactorization.
+  bool change_basis(std::size_t leave, std::size_t enter) {
+    const double theta = x_b[leave] / w[leave];
+    for (std::size_t r = 0; r < sf.rows; ++r) {
+      if (r == leave) continue;
+      if (w[r] == 0.0) continue;
+      x_b[r] -= w[r] * theta;
+      if (x_b[r] < 0.0 && x_b[r] > -1e-11) x_b[r] = 0.0;
+    }
+    x_b[leave] = theta;
+    slot_of[basis[leave]] = -1;
+    slot_of[enter] = static_cast<std::int32_t>(leave);
+    basis[leave] = enter;
+    if (lu.eta_count() >= opt.refactor_interval) {
+      return refactorize();
+    }
+    lu.push_eta(leave, w);
+    note_memory();
+    return true;
+  }
+};
+
+enum class StepOutcome { Pivoted, Optimal, Unbounded, NumericalFailure };
+
+StepOutcome revised_step(RevisedContext& ctx, const std::vector<double>& costs,
+                         bool bland, double eps) {
+  ctx.compute_y(costs);
+  const std::size_t cols = ctx.sf.cols;
+  auto reduced = [&](std::size_t c) {
+    return costs[c] - ctx.col_dot(c, ctx.y);
+  };
+
+  // Entering column: most negative reduced cost (Dantzig) or first
+  // negative (Bland), lowest index on ties — the dense engine's rule.
+  std::size_t enter = cols;
+  double best = -eps;
+  if (bland) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (!ctx.allowed[c] || ctx.slot_of[c] >= 0) continue;
+      if (reduced(c) < -eps) {
+        enter = c;
+        break;
+      }
+    }
+  } else if (ctx.use_partial) {
+    // Candidate-list pricing: scan the cached list, dropping entries
+    // whose reduced cost is no longer attractive; refill with a full
+    // pass when the list runs dry. Deterministic: the list is filled by
+    // (reduced cost, column) order and scanned in full each pivot.
+    bool refreshed = false;
+    while (true) {
+      if (!ctx.candidates_valid) {
+        ctx.scratch.clear();
+        for (std::size_t c = 0; c < cols; ++c) {
+          if (!ctx.allowed[c] || ctx.slot_of[c] >= 0) continue;
+          const double d = reduced(c);
+          if (d < -eps) {
+            ctx.scratch.emplace_back(d, static_cast<std::int32_t>(c));
+          }
+        }
+        const std::size_t keep =
+            std::min<std::size_t>(ctx.opt.candidate_list_size, ctx.scratch.size());
+        std::partial_sort(ctx.scratch.begin(), ctx.scratch.begin() + keep,
+                          ctx.scratch.end());
+        ctx.candidates.clear();
+        for (std::size_t i = 0; i < keep; ++i) {
+          ctx.candidates.push_back(ctx.scratch[i].second);
+        }
+        ctx.candidates_valid = true;
+        refreshed = true;
+      }
+      std::size_t write = 0;
+      for (const std::int32_t c : ctx.candidates) {
+        if (!ctx.allowed[c] || ctx.slot_of[c] >= 0) continue;
+        const double d = reduced(c);
+        if (d >= -eps) continue;  // no longer attractive; drop
+        ctx.candidates[write++] = c;
+        if (d < best) {
+          best = d;
+          enter = c;
+        }
+      }
+      ctx.candidates.resize(write);
+      if (enter != cols) break;
+      ctx.candidates_valid = false;
+      if (refreshed) break;  // full pass found nothing: optimal
+    }
+  } else {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (!ctx.allowed[c] || ctx.slot_of[c] >= 0) continue;
+      const double d = reduced(c);
+      if (d < best) {
+        best = d;
+        enter = c;
+      }
+    }
+  }
+  if (enter == cols) return StepOutcome::Optimal;
+
+  // Ratio test over w = B^{-1} a_enter; tie-break on smallest basis
+  // column, exactly as the dense engine.
+  ctx.scatter_col(enter, ctx.w);
+  ctx.lu.ftran(ctx.w);
+  const std::size_t m = ctx.sf.rows;
+  std::size_t leave = m;
+  double best_ratio = std::numeric_limits<double>::max();
+  for (std::size_t r = 0; r < m; ++r) {
+    const double arc = ctx.w[r];
+    if (arc <= eps) continue;
+    const double ratio = ctx.x_b[r] / arc;
+    if (ratio < best_ratio - eps ||
+        (ratio < best_ratio + eps && leave < m &&
+         ctx.basis[r] < ctx.basis[leave])) {
+      best_ratio = ratio;
+      leave = r;
+    }
+  }
+  if (leave == m) return StepOutcome::Unbounded;
+  if (!ctx.change_basis(leave, enter)) return StepOutcome::NumericalFailure;
+  return StepOutcome::Pivoted;
+}
+
+SolveStatus run_phase_revised(RevisedContext& ctx,
+                              const std::vector<double>& costs,
+                              std::size_t max_iter, double eps,
+                              std::size_t bland_after,
+                              std::size_t& iterations) {
+  auto z_now = [&] {
+    double z = 0.0;
+    for (std::size_t r = 0; r < ctx.sf.rows; ++r) {
+      z += costs[ctx.basis[r]] * ctx.x_b[r];
+    }
+    return z;
+  };
+  ctx.candidates_valid = false;  // phase costs changed
+  std::size_t stall = 0;
+  double last_z = z_now();
+  while (iterations < max_iter) {
+    const bool bland = stall >= bland_after;
+    const StepOutcome outcome = revised_step(ctx, costs, bland, eps);
+    if (outcome == StepOutcome::Optimal) return SolveStatus::Optimal;
+    if (outcome == StepOutcome::Unbounded) return SolveStatus::Unbounded;
+    if (outcome == StepOutcome::NumericalFailure) {
+      return SolveStatus::IterationLimit;
+    }
+    ++iterations;
+    const double z = z_now();
+    if (z < last_z - eps) {
+      stall = 0;
+      last_z = z;
+    } else {
+      ++stall;
+    }
+  }
+  return SolveStatus::IterationLimit;
+}
+
+LpSolution solve_revised(const LpProblem& problem, const StandardForm& sf,
+                         const SimplexOptions& options,
+                         const Basis* warm_start) {
+  const std::size_t n = sf.n_struct;
+  const std::size_t m = sf.rows;
+  LpSolution solution;
+  solution.values.assign(n, 0.0);
+
+  RevisedContext ctx(sf, options);
+  ctx.use_partial = options.partial_pricing_threshold > 0 &&
+                    sf.cols >= options.partial_pricing_threshold;
+  ctx.x_b.assign(m, 0.0);
+  ctx.y.assign(m, 0.0);
+  ctx.w.assign(m, 0.0);
+  ctx.allowed.assign(sf.cols, 1);
+  ctx.slot_of.assign(sf.cols, -1);
+
+  // Warm start: accept the previous basis iff it is structurally valid
+  // and still primal feasible after refactorization; otherwise cold.
+  bool warm_ok = false;
+  if (warm_start != nullptr && warm_start->basic.size() == m && m > 0) {
+    bool valid = true;
+    for (std::size_t slot = 0; slot < m && valid; ++slot) {
+      const std::size_t c = warm_start->basic[slot];
+      if (c >= sf.cols || ctx.slot_of[c] >= 0) {
+        valid = false;
+      } else {
+        ctx.slot_of[c] = static_cast<std::int32_t>(slot);
+      }
+    }
+    if (valid) {
+      ctx.basis = warm_start->basic;
+      if (ctx.refactorize()) {
+        double min_v = 0.0;
+        for (const double v : ctx.x_b) min_v = std::min(min_v, v);
+        if (min_v >= -1e-7) {
+          for (double& v : ctx.x_b) {
+            if (v < 0.0) v = 0.0;
+          }
+          warm_ok = true;
+        }
+      }
+    }
+    if (!warm_ok) std::fill(ctx.slot_of.begin(), ctx.slot_of.end(), -1);
+  }
+  if (!warm_ok) {
+    ctx.basis = sf.initial_basis;
+    for (std::size_t slot = 0; slot < m; ++slot) {
+      ctx.slot_of[ctx.basis[slot]] = static_cast<std::int32_t>(slot);
+    }
+    // The initial basis is the identity (unit slack/artificial columns),
+    // so this factorization cannot fail.
+    BOHR_CHECK(ctx.refactorize());
+  }
+  solution.warm_started = warm_ok;
+
+  const std::size_t max_iter = auto_max_iterations(options, m, sf.cols);
+
+  // ---- Phase 1: minimize sum of artificials -----------------------------
+  // A cold start needs phase 1 whenever artificials exist (mirroring the
+  // dense engine); a warm start only when a basic artificial carries a
+  // nonzero value (i.e. the inherited basis is not feasible for the
+  // original rows).
+  bool need_phase1 = false;
+  if (warm_ok) {
+    double art_sum = 0.0;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (sf.is_artificial[ctx.basis[r]]) art_sum += ctx.x_b[r];
+    }
+    need_phase1 = art_sum > 1e-7;
+  } else {
+    need_phase1 = sf.n_art > 0;
+  }
+  if (need_phase1) {
+    std::vector<double> phase1_costs(sf.cols, 0.0);
+    for (std::size_t c = 0; c < sf.cols; ++c) {
+      if (sf.is_artificial[c]) phase1_costs[c] = 1.0;
+    }
+    const SolveStatus st =
+        run_phase_revised(ctx, phase1_costs, max_iter, options.epsilon,
+                          options.bland_after, solution.iterations);
+    if (st != SolveStatus::Optimal) {
+      solution.status = st;
+      solution.peak_bytes = ctx.peak_bytes;
+      return solution;
+    }
+    double z1 = 0.0;
+    for (std::size_t r = 0; r < m; ++r) {
+      z1 += phase1_costs[ctx.basis[r]] * ctx.x_b[r];
+    }
+    if (z1 > 1e-7) {
+      solution.status = SolveStatus::Infeasible;
+      solution.peak_bytes = ctx.peak_bytes;
+      return solution;
+    }
+    // Drive remaining artificials out of the basis where possible: the
+    // first structural/slack column with a nonzero tableau entry in the
+    // row, exactly as the dense engine (pivots not counted).
+    for (std::size_t r = 0; r < m; ++r) {
+      if (!sf.is_artificial[ctx.basis[r]]) continue;
+      std::fill(ctx.y.begin(), ctx.y.end(), 0.0);
+      ctx.y[r] = 1.0;
+      ctx.lu.btran(ctx.y);  // rho = B^{-T} e_r; tableau row r = rho' A
+      std::size_t pcol = sf.cols;
+      for (std::size_t c = 0; c < n + sf.n_slack; ++c) {
+        if (ctx.slot_of[c] >= 0) continue;
+        if (std::abs(ctx.col_dot(c, ctx.y)) > 1e-8) {
+          pcol = c;
+          break;
+        }
+      }
+      if (pcol < sf.cols) {
+        ctx.scatter_col(pcol, ctx.w);
+        ctx.lu.ftran(ctx.w);
+        if (!ctx.change_basis(r, pcol)) {
+          solution.status = SolveStatus::IterationLimit;
+          solution.peak_bytes = ctx.peak_bytes;
+          return solution;
+        }
+      }
+      // else: redundant row; the artificial stays basic at value 0.
+    }
+  }
+  for (std::size_t c = 0; c < sf.cols; ++c) {
+    if (sf.is_artificial[c]) ctx.allowed[c] = 0;
+  }
+
+  // ---- Phase 2: minimize the real objective -----------------------------
+  const SolveStatus st =
+      run_phase_revised(ctx, sf.cost, max_iter, options.epsilon,
+                        options.bland_after, solution.iterations);
+  solution.peak_bytes = ctx.peak_bytes;
+  if (st != SolveStatus::Optimal) {
+    solution.status = st;
+    return solution;
+  }
+
+  for (std::size_t r = 0; r < m; ++r) {
+    if (ctx.basis[r] < n) solution.values[ctx.basis[r]] = ctx.x_b[r];
+  }
+  // Dual extraction: with y = B^{-T} c_B, the reduced cost of a row's
+  // designated slack/surplus/artificial column encodes y_r up to a sign
+  // (and the rhs-negation flip), matching the dense engine.
+  ctx.compute_y(sf.cost);
+  solution.duals.assign(m, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    const std::size_t c = sf.dual_col[r];
+    const double d = sf.cost[c] - ctx.col_dot(c, ctx.y);
+    double yv = sf.dual_sign[r] * d;
+    if (sf.rhs_negated[r]) yv = -yv;
+    solution.duals[r] = yv;
+  }
+  double z = 0.0;
+  for (VarId v = 0; v < n; ++v) {
+    z += problem.objective_coeff(v) * solution.values[v];
+  }
+  solution.objective = z;
+  solution.basis.basic = ctx.basis;
+  solution.status = SolveStatus::Optimal;
+  return solution;
+}
+
+}  // namespace
+
+LpSolution solve(const LpProblem& problem, const SimplexOptions& options) {
+  return solve(problem, options, nullptr);
+}
+
+LpSolution solve(const LpProblem& problem, const SimplexOptions& options,
+                 const Basis* warm_start) {
+  const StandardForm sf = standardize(problem);
+  if (resolve_engine(options.engine) == Engine::Dense) {
+    return solve_dense(problem, sf, options);
+  }
+  return solve_revised(problem, sf, options, warm_start);
 }
 
 std::string to_string(SolveStatus status) {

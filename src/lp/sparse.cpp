@@ -1,0 +1,137 @@
+#include "lp/sparse.h"
+
+#include <algorithm>
+
+namespace bohr::lp {
+
+StandardForm standardize(const LpProblem& problem) {
+  const std::size_t n = problem.variable_count();
+  const std::size_t m = problem.constraint_count();
+
+  StandardForm sf;
+  sf.n_struct = n;
+  sf.rows = m;
+
+  // Normalize rows to rhs >= 0 (flip the row and swap <= / >=), merging
+  // duplicate variables — the same preprocessing the dense tableau does
+  // implicitly by summing into a dense row.
+  struct NormRow {
+    std::vector<Term> terms;  // sorted by var, duplicates merged
+    Relation rel = Relation::LessEq;
+    double rhs = 0.0;
+  };
+  std::vector<NormRow> norm(m);
+  sf.rhs_negated.assign(m, false);
+  for (std::size_t r = 0; r < m; ++r) {
+    const ConstraintRow& row = problem.rows()[r];
+    NormRow& out = norm[r];
+    out.terms = row.terms;
+    out.rel = row.relation;
+    out.rhs = row.rhs;
+    std::sort(out.terms.begin(), out.terms.end(),
+              [](const Term& a, const Term& b) { return a.var < b.var; });
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < out.terms.size();) {
+      Term merged = out.terms[i];
+      for (++i; i < out.terms.size() && out.terms[i].var == merged.var; ++i) {
+        merged.coeff += out.terms[i].coeff;
+      }
+      out.terms[w++] = merged;
+    }
+    out.terms.resize(w);
+    if (out.rhs < 0.0) {
+      sf.rhs_negated[r] = true;
+      for (Term& t : out.terms) t.coeff = -t.coeff;
+      out.rhs = -out.rhs;
+      if (out.rel == Relation::LessEq) {
+        out.rel = Relation::GreaterEq;
+      } else if (out.rel == Relation::GreaterEq) {
+        out.rel = Relation::LessEq;
+      }
+    }
+  }
+
+  for (std::size_t r = 0; r < m; ++r) {
+    if (norm[r].rel != Relation::Equal) ++sf.n_slack;
+    if (norm[r].rel != Relation::LessEq) ++sf.n_art;
+  }
+  sf.cols = n + sf.n_slack + sf.n_art;
+
+  // CSC for the structural block: count per column, prefix-sum, then
+  // fill row-major so row indices come out ascending within each column.
+  CscMatrix& a = sf.a;
+  a.rows = m;
+  a.cols = sf.cols;
+  a.col_start.assign(sf.cols + 1, 0);
+  std::size_t struct_nnz = 0;
+  for (const NormRow& row : norm) {
+    for (const Term& t : row.terms) {
+      if (t.coeff != 0.0) {
+        ++a.col_start[t.var + 1];
+        ++struct_nnz;
+      }
+    }
+  }
+  const std::size_t total_nnz = struct_nnz + sf.n_slack + sf.n_art;
+  // Slack/surplus and artificial columns are singletons appended after
+  // the structural block.
+  for (std::size_t c = n; c < sf.cols; ++c) a.col_start[c + 1] = 1;
+  for (std::size_t c = 0; c < sf.cols; ++c) a.col_start[c + 1] += a.col_start[c];
+  a.row_index.resize(total_nnz);
+  a.value.resize(total_nnz);
+  std::vector<std::size_t> cursor(a.col_start.begin(), a.col_start.end() - 1);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (const Term& t : norm[r].terms) {
+      if (t.coeff == 0.0) continue;
+      const std::size_t pos = cursor[t.var]++;
+      a.row_index[pos] = static_cast<std::int32_t>(r);
+      a.value[pos] = t.coeff;
+    }
+  }
+
+  sf.rhs.assign(m, 0.0);
+  sf.initial_basis.assign(m, 0);
+  sf.is_artificial.assign(sf.cols, false);
+  sf.dual_col.assign(m, 0);
+  sf.dual_sign.assign(m, 0.0);
+  std::size_t slack_at = n;
+  std::size_t art_at = n + sf.n_slack;
+  for (std::size_t r = 0; r < m; ++r) {
+    sf.rhs[r] = norm[r].rhs;
+    auto put = [&](std::size_t col, double v) {
+      const std::size_t pos = cursor[col]++;
+      a.row_index[pos] = static_cast<std::int32_t>(r);
+      a.value[pos] = v;
+    };
+    switch (norm[r].rel) {
+      case Relation::LessEq:
+        put(slack_at, 1.0);
+        sf.dual_col[r] = slack_at;
+        sf.dual_sign[r] = -1.0;  // d_slack = -y_r
+        sf.initial_basis[r] = slack_at++;
+        break;
+      case Relation::GreaterEq:
+        put(slack_at, -1.0);
+        sf.dual_col[r] = slack_at;
+        sf.dual_sign[r] = 1.0;  // d_surplus = +y_r
+        ++slack_at;
+        put(art_at, 1.0);
+        sf.is_artificial[art_at] = true;
+        sf.initial_basis[r] = art_at++;
+        break;
+      case Relation::Equal:
+        put(art_at, 1.0);
+        sf.is_artificial[art_at] = true;
+        sf.dual_col[r] = art_at;
+        sf.dual_sign[r] = -1.0;  // artificial behaves like a slack: d = -y_r
+        sf.initial_basis[r] = art_at++;
+        break;
+    }
+  }
+
+  sf.cost.assign(sf.cols, 0.0);
+  for (VarId v = 0; v < n; ++v) sf.cost[v] = problem.objective_coeff(v);
+  return sf;
+}
+
+}  // namespace bohr::lp

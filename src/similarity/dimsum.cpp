@@ -24,9 +24,12 @@ DimsumResult dimsum_jaccard(
   // Deduplicated sizes and signatures, one pass per partition. Each
   // partition is independent, and the batched constructor keeps a
   // per-slot minimum, so neither key order nor thread count affects the
-  // output (bit-identical to the streaming add() path).
+  // output (bit-identical to the streaming add() path). The exact path
+  // keeps the sorted deduped keys so pairs can be scored by linear merge
+  // instead of rebuilding two hash sets per pair.
   std::vector<std::size_t> set_sizes(n);
   std::vector<MinHashSignature> sigs(n, MinHashSignature(params.num_hashes));
+  std::vector<std::vector<std::uint64_t>> sorted_keys(params.exact ? n : 0);
   {
     ScopedPhase phase("dimsum.signatures");
     parallel_for_chunks(n, 1, [&](const ChunkRange& range) {
@@ -37,6 +40,7 @@ DimsumResult dimsum_jaccard(
         keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
         set_sizes[i] = keys.size();
         sigs[i] = MinHashSignature::of(keys, params.num_hashes);
+        if (params.exact) sorted_keys[i] = keys;
       }
     });
   }
@@ -73,7 +77,7 @@ DimsumResult dimsum_jaccard(
     parallel_for(examined.size(), [&](std::size_t p) {
       const auto [i, j] = examined[p];
       const double sim = params.exact
-                             ? jaccard(partitions[i], partitions[j])
+                             ? jaccard_sorted(sorted_keys[i], sorted_keys[j])
                              : sigs[i].estimate_jaccard(sigs[j]);
       result.matrix.set(i, j, sim);
     });

@@ -8,6 +8,7 @@
 #include "common/parallel.h"
 #include "common/phase_timer.h"
 #include "common/rng.h"
+#include "common/simd.h"
 
 namespace bohr::similarity {
 
@@ -89,10 +90,45 @@ DimsumCosineResult dimsum_cosine(std::span<const SparseRow> rows,
 
 SimilarityMatrix exact_column_cosine(std::span<const SparseRow> rows,
                                      std::size_t n_columns) {
-  DimsumCosineParams exact;
-  exact.gamma = std::numeric_limits<double>::infinity();
-  // gamma = inf makes every sampling probability 1 (exact dot products).
-  return dimsum_cosine(rows, n_columns, exact).matrix;
+  BOHR_EXPECTS(n_columns > 0);
+  // Densify the columns and hand each pair to the fused dot+norms SIMD
+  // kernel: one streaming pass per pair, no per-entry branching, and the
+  // pairs score in parallel. Only worth it (and only affordable) when the
+  // densified matrix is modest; otherwise fall back to the sparse sampled
+  // path with every probability forced to 1.
+  constexpr std::size_t kDenseByteCap = std::size_t{1} << 28;  // 256 MiB
+  const std::size_t n_rows = rows.size();
+  if (n_rows == 0 || n_columns < 2 ||
+      n_rows * n_columns * sizeof(double) > kDenseByteCap) {
+    DimsumCosineParams exact;
+    exact.gamma = std::numeric_limits<double>::infinity();
+    // gamma = inf makes every sampling probability 1 (exact dot products).
+    return dimsum_cosine(rows, n_columns, exact).matrix;
+  }
+
+  // Column-major buffer: column c occupies [c * n_rows, (c+1) * n_rows).
+  std::vector<double> cols(n_columns * n_rows, 0.0);
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    for (const auto& [col, value] : rows[r].entries) {
+      BOHR_EXPECTS(col < n_columns);
+      cols[col * n_rows + r] += value;
+    }
+  }
+
+  SimilarityMatrix matrix(n_columns);
+  ScopedPhase phase("dimsum_cosine.exact_simd");
+  parallel_for(n_columns, [&](std::size_t i) {
+    const double* ci = cols.data() + i * n_rows;
+    for (std::size_t j = i + 1; j < n_columns; ++j) {
+      const simd::DotNorms dn =
+          simd::dot_and_norms(ci, cols.data() + j * n_rows, n_rows);
+      if (dn.norm_a == 0.0 || dn.norm_b == 0.0) continue;
+      const double cosine =
+          dn.dot / (std::sqrt(dn.norm_a) * std::sqrt(dn.norm_b));
+      matrix.set(i, j, std::clamp(cosine, -1.0, 1.0));
+    }
+  });
+  return matrix;
 }
 
 }  // namespace bohr::similarity

@@ -13,6 +13,13 @@ namespace bohr::similarity {
 double jaccard(std::span<const std::uint64_t> xs,
                std::span<const std::uint64_t> ys);
 
+/// Exact Jaccard over PRE-SORTED, DEDUPLICATED key spans: a single linear
+/// merge with no hashing or allocation. Same value as jaccard() on the
+/// equivalent sets — the fast path for callers that already hold sorted
+/// unique keys (e.g. DIMSUM's all-pairs scoring).
+double jaccard_sorted(std::span<const std::uint64_t> xs,
+                      std::span<const std::uint64_t> ys);
+
 /// Weighted (multiset) Jaccard over histograms: sum(min) / sum(max).
 double weighted_jaccard(
     const std::unordered_map<std::uint64_t, std::uint64_t>& xs,

@@ -227,6 +227,25 @@ TEST(JointLpTest, ReportsSolveTime) {
   EXPECT_GT(d.lp_iterations, 0u);
 }
 
+TEST(JointLpTest, ReportsAlternationStatsAndSolverFootprint) {
+  const auto p = paper_scale_problem(3);
+  const auto d = joint_lp_placement(p);
+  ASSERT_FALSE(d.alternation_rounds.empty());
+  // Round 1 of the winning run starts from scratch by definition.
+  EXPECT_FALSE(d.alternation_rounds.front().x_warm_started);
+  // A warm-started later round may converge in zero pivots, but the
+  // winning run as a whole must have done real work.
+  std::size_t summed = 0;
+  for (const auto& round : d.alternation_rounds) {
+    summed += round.x_iterations + round.r_iterations;
+  }
+  EXPECT_GT(summed, 0u);
+  // The winning run's pivots are part of the reported total (which also
+  // counts the other multi-start seeds).
+  EXPECT_LE(summed, d.lp_iterations);
+  EXPECT_GT(d.lp_peak_bytes, 0u);
+}
+
 TEST(PlacementTest, InvalidProblemThrows) {
   PlacementProblem p;
   p.topology = net::make_paper_topology();

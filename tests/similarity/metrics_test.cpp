@@ -156,6 +156,23 @@ TEST(SimHashTest, CosineEstimateForSimilarVectors) {
   EXPECT_GT(simhash_cosine_estimate(sa, sb, 64), 0.8);
 }
 
+TEST(JaccardSortedTest, MatchesHashedJaccardOnRandomSets) {
+  Rng rng(21);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<std::uint64_t> xs;
+    std::vector<std::uint64_t> ys;
+    for (std::uint64_t k = 0; k < 200; ++k) {
+      if (rng.bernoulli(0.3)) xs.push_back(k);
+      if (rng.bernoulli(0.3)) ys.push_back(k);
+    }
+    // Inputs are sorted and unique by construction.
+    EXPECT_DOUBLE_EQ(jaccard_sorted(xs, ys), jaccard(xs, ys));
+  }
+  EXPECT_DOUBLE_EQ(jaccard_sorted({}, {}), 0.0);
+  const std::vector<std::uint64_t> only{1, 2, 3};
+  EXPECT_DOUBLE_EQ(jaccard_sorted(only, {}), 0.0);
+}
+
 TEST(SimHashTest, OppositeVectorsEstimateNegative) {
   std::vector<double> a(32);
   Rng rng(5);

@@ -1,20 +1,24 @@
 #!/usr/bin/env python3
-"""Perf smoke gate for the similarity checking hot path.
+"""Perf smoke gate for single-thread hot paths.
 
-Compares a fresh BENCH_bench_tab3_checking_time.json (written by
-bench/bench_tab3_checking_time, which must run with --threads=1 so the
-gate measures per-core speed, not parallelism) against a checked-in
-baseline, and fails if the total checking time regresses more than the
-threshold.
+Compares a fresh BENCH_<name>.json (written by a bench binary that must
+run with --threads=1 so the gate measures per-core speed, not
+parallelism) against a checked-in baseline, and fails if the summed time
+regresses more than the threshold.
 
-The checked-in baseline (bench/baselines/) holds the PRE-columnar/SIMD
-numbers, so the gate enforces "the rewrite's win never quietly erodes":
+The checked-in baselines (bench/baselines/) hold PRE-optimization
+numbers, so each gate enforces "the rewrite's win never quietly erodes":
 even on a CI machine ~2x slower than the box that recorded the baseline,
-a healthy build clears it, while losing the batched kernels or the
-columnar probe path trips it.
+a healthy build clears it, while losing the optimized path trips it.
+
+Gated series (selected with --key):
+  checking_seconds_by_k  (default) — Table 3 similarity checking, vs the
+                         pre-columnar/SIMD baseline
+  lp_seconds_by_case     — Table 5 joint-LP solve time, vs the
+                         dense-tableau baseline
 
 Usage:
-  perf_smoke.py CURRENT_JSON BASELINE_JSON [--threshold 0.20]
+  perf_smoke.py CURRENT_JSON BASELINE_JSON [--threshold 0.20] [--key KEY]
 
 Exit status: 0 pass, 1 regression, 2 usage/malformed input.
 """
@@ -24,19 +28,26 @@ import json
 import sys
 
 
-def load_rows(path):
+def load_rows(path, key):
     try:
         with open(path, "r", encoding="utf-8") as fh:
             doc = json.load(fh)
     except (OSError, json.JSONDecodeError) as exc:
         print(f"perf_smoke: cannot read {path}: {exc}", file=sys.stderr)
         sys.exit(2)
-    rows = doc.get("checking_seconds_by_k")
+    rows = doc.get(key)
     if not isinstance(rows, dict) or not rows:
-        print(f"perf_smoke: {path} has no checking_seconds_by_k rows",
-              file=sys.stderr)
+        print(f"perf_smoke: {path} has no {key} rows", file=sys.stderr)
         sys.exit(2)
     return doc, {str(k): float(v) for k, v in rows.items()}
+
+
+def sort_keys(keys):
+    """Numeric order when every key parses as an int, else lexicographic."""
+    try:
+        return sorted(keys, key=int)
+    except ValueError:
+        return sorted(keys)
 
 
 def main():
@@ -45,10 +56,12 @@ def main():
     parser.add_argument("baseline")
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="allowed fractional regression (default 0.20)")
+    parser.add_argument("--key", default="checking_seconds_by_k",
+                        help="JSON field holding the case -> seconds map")
     args = parser.parse_args()
 
-    current_doc, current = load_rows(args.current)
-    _, baseline = load_rows(args.baseline)
+    current_doc, current = load_rows(args.current, args.key)
+    _, baseline = load_rows(args.baseline, args.key)
 
     threads = current_doc.get("threads")
     if threads != 1:
@@ -56,16 +69,18 @@ def main():
               "requires a --threads=1 run", file=sys.stderr)
         sys.exit(2)
 
-    shared = sorted(set(current) & set(baseline), key=int)
+    shared = sort_keys(set(current) & set(baseline))
     if not shared:
-        print("perf_smoke: no common probe sizes between current and "
-              "baseline", file=sys.stderr)
+        print("perf_smoke: no common cases between current and baseline",
+              file=sys.stderr)
         sys.exit(2)
 
-    print(f"{'k':>6} {'baseline (s)':>14} {'current (s)':>14} {'ratio':>8}")
+    width = max(len(k) for k in shared)
+    print(f"{'case':>{width}} {'baseline (s)':>14} {'current (s)':>14} "
+          f"{'ratio':>8}")
     for k in shared:
         ratio = current[k] / baseline[k] if baseline[k] > 0 else float("inf")
-        print(f"{k:>6} {baseline[k]:>14.6f} {current[k]:>14.6f} "
+        print(f"{k:>{width}} {baseline[k]:>14.6f} {current[k]:>14.6f} "
               f"{ratio:>8.2f}")
 
     base_total = sum(baseline[k] for k in shared)
@@ -75,7 +90,7 @@ def main():
           f"limit={limit:.6f}s (threshold {args.threshold:.0%})")
 
     if cur_total > limit:
-        print("perf_smoke: FAIL — single-thread checking time regressed "
+        print(f"perf_smoke: FAIL — single-thread {args.key} regressed "
               f"{cur_total / base_total - 1.0:+.1%} vs baseline",
               file=sys.stderr)
         sys.exit(1)
