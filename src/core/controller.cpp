@@ -438,13 +438,143 @@ std::vector<QueryExecution> Controller::run_query_round(
       exec.query_type_spec = t;
       exec.kind = spec.kind;
       exec.recurrences = recurrences;
-      exec.result = engine::run_job(topology_, inputs,
-                                    prep.decision.reduce_fractions, spec,
-                                    dataset_job, rng_);
+      if (round.degrade == nullptr) {
+        exec.result = engine::run_job(topology_, inputs,
+                                      prep.decision.reduce_fractions, spec,
+                                      dataset_job, rng_);
+      } else {
+        run_degraded_query(round, a, t, inputs, spec, dataset_job, exec);
+      }
       executions.push_back(std::move(exec));
     }
   }
   return executions;
+}
+
+void Controller::run_degraded_query(
+    const QueryRound& round, std::size_t a, std::size_t t,
+    const std::vector<engine::RecordStream>& inputs,
+    const engine::QuerySpec& spec, const engine::JobConfig& dataset_job,
+    QueryExecution& exec) {
+  const PrepareReport& prep = *prepared_;
+  const DegradationService& degrade = *round.degrade;
+  const DegradeOptions& opts = degrade.options();
+  const std::size_t n = topology_.site_count();
+
+  const auto shuffle_makespan = [](const engine::JobResult& jr) {
+    double makespan = 0.0;
+    for (const auto& s : jr.sites) {
+      makespan = std::max(makespan, s.shuffle_finish_seconds);
+    }
+    return makespan;
+  };
+
+  DeadlineBudget budget(opts.deadline);
+  // Probe phase: the modeled health sweep that establishes which sites
+  // answer at all (control-plane cost, cheap by construction).
+  budget.run_phase(QueryPhase::kProbe, [&](std::size_t, double) {
+    return 5e-4 * static_cast<double>(n);
+  });
+
+  // Shuffle phase: run the job; a timed-out attempt retries against the
+  // fault plan re-based to the time already spent, modeling waiting out
+  // a fault window. With an empty plan the first attempt always fits,
+  // so exactly one run_job call happens — the pristine path bit for bit.
+  engine::JobResult jr;
+  net::FaultPlan shifted_storage;
+  const net::FaultPlan* used_plan = round.faults;
+  const PhaseOutcome& sh = budget.run_phase(
+      QueryPhase::kShuffle, [&](std::size_t attempt, double offset) {
+        if (attempt > 0 && round.faults != nullptr) {
+          shifted_storage = round.faults->shifted_by(offset);
+          used_plan = &shifted_storage;
+        }
+        engine::JobConfig jc = dataset_job;
+        jc.faults = used_plan;
+        jr = engine::run_job(topology_, inputs,
+                             prep.decision.reduce_fractions, spec, jc,
+                             rng_);
+        return shuffle_makespan(jr);
+      });
+  const double makespan = std::min(shuffle_makespan(jr), sh.window_seconds);
+
+  // Reduce phase: charge the reduce tail of the last attempt.
+  const PhaseOutcome& rd = budget.run_phase(
+      QueryPhase::kReduce, [&](std::size_t, double) {
+        return std::max(0.0, jr.qct_seconds - shuffle_makespan(jr));
+      });
+
+  if (budget.escalated()) {
+    // The budget is gone: close the round at the deadline. Re-run the
+    // last attempt with a finite reduce deadline so the engine drops
+    // the buckets/shares that cannot finish — QCT is bounded by the
+    // budget instead of the fault horizon.
+    engine::JobConfig jc = dataset_job;
+    jc.faults = used_plan;
+    jc.reduce_deadline_seconds =
+        std::max(1e-9, makespan + rd.window_seconds);
+    jr = engine::run_job(topology_, inputs, prep.decision.reduce_fractions,
+                         spec, jc, rng_);
+    jr.qct_seconds = std::min(jr.qct_seconds, budget.spent_seconds());
+  }
+  exec.result = jr;
+
+  // Value plane: which sites' data is reachable this round.
+  std::vector<bool> all_ok;
+  const std::vector<bool>* ok = round.site_usable;
+  if (ok == nullptr) {
+    all_ok.assign(n, true);
+    ok = &all_ok;
+  }
+  DegradedAnswer ans = degrade.answer(a, t, *ok);
+  ans.round = round.round_index;
+
+  // Fold the engine's partial close-out into the answer: an "exact"
+  // answer whose reduce dropped work is only coverage-exact.
+  const std::size_t total_partitions =
+      round.reduce_buckets != nullptr
+          ? round.reduce_buckets->bucket_count()
+          : n;
+  const double dropped = std::min(1.0, jr.reduce_dropped_fraction);
+  const std::size_t dropped_parts = std::min(
+      total_partitions,
+      static_cast<std::size_t>(dropped * static_cast<double>(
+                                             total_partitions) +
+                               0.5));
+  if (ans.mode == AnswerMode::kSubstituted ||
+      ans.mode == AnswerMode::kPrior) {
+    ans.partitions_substituted =
+        static_cast<std::uint32_t>(total_partitions);
+  } else {
+    ans.partitions_dropped = static_cast<std::uint32_t>(dropped_parts);
+    ans.partitions_exact =
+        static_cast<std::uint32_t>(total_partitions - dropped_parts);
+    if (jr.reduce_partial && dropped > 0.0 &&
+        ans.mode == AnswerMode::kExact) {
+      // The surviving buckets are an unbiased sample, so the value
+      // keeps its rescaled estimate, but certainty is gone.
+      ans.mode = AnswerMode::kPartial;
+      ans.coverage = std::min(ans.coverage, 1.0 - dropped);
+      ans.error_estimate = std::min(
+          1.0, opts.error_floor +
+                   dropped * (1.0 - opts.partial_skew_weight));
+    }
+  }
+
+  std::size_t attempts_total = 0;
+  for (const PhaseOutcome& o : budget.outcomes()) {
+    attempts_total += o.attempts;
+  }
+  ans.retries =
+      static_cast<std::uint32_t>(attempts_total - budget.outcomes().size());
+  for (const PhaseOutcome& o : budget.outcomes()) {
+    if (o.verdict == PhaseVerdict::kEscalated) {
+      ans.escalated_phase = static_cast<std::uint8_t>(o.phase);
+      break;
+    }
+  }
+  ans.qct_seconds = exec.result.qct_seconds;
+  exec.degraded = ans;
 }
 
 }  // namespace bohr::core

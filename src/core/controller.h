@@ -10,6 +10,7 @@
 
 #include "net/faults.h"
 #include "net/transfer.h"
+#include "core/degrade.h"
 #include "core/placement.h"
 #include "core/similarity_service.h"
 #include "core/state.h"
@@ -94,6 +95,10 @@ struct QueryExecution {
   engine::QueryKind kind = engine::QueryKind::Aggregation;
   std::size_t recurrences = 0;  ///< how many queries of this type recur
   engine::JobResult result;
+  /// Degradation-ladder answer for this query (set iff the round ran
+  /// with a DegradationService; always set then — exact answers are
+  /// recorded as mode kExact with error 0).
+  std::optional<DegradedAnswer> degraded;
 };
 
 class Controller {
@@ -147,6 +152,15 @@ class Controller {
     const engine::ReduceBucketMap* reduce_buckets = nullptr;
     bool bucket_speculation = false;
     double bucket_speculation_cap = 1.5;
+    /// Degradation ladder (null = off, historical path bit for bit).
+    /// When set, every query runs under the service's deadline budget —
+    /// timed-out shuffles retry against a re-based fault plan, an
+    /// exhausted budget closes the reduce partially — and gets a
+    /// DegradedAnswer whose value plane uses `site_usable` (health
+    /// monitor + outage mask; null = all sites usable).
+    const DegradationService* degrade = nullptr;
+    const std::vector<bool>* site_usable = nullptr;
+    std::uint64_t round_index = 0;
   };
   std::vector<QueryExecution> run_query_round(const QueryRound& round);
 
@@ -169,6 +183,15 @@ class Controller {
   PlacementProblem build_placement_problem() const;
 
  private:
+  /// One query under the degradation ladder: deadline-budgeted engine
+  /// run (retries, partial close-out) plus the value-plane answer.
+  void run_degraded_query(const QueryRound& round, std::size_t a,
+                          std::size_t t,
+                          const std::vector<engine::RecordStream>& inputs,
+                          const engine::QuerySpec& spec,
+                          const engine::JobConfig& dataset_job,
+                          QueryExecution& exec);
+
   engine::QuerySpec query_spec_for(const DatasetState& dataset,
                                    std::size_t type_spec) const;
   std::vector<double> vanilla_reduce_fractions(

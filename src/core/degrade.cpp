@@ -1,0 +1,482 @@
+#include "core/degrade.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/crc32.h"
+#include "olap/cube_algebra.h"
+
+namespace bohr::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'B', 'D', 'G', 'R'};
+constexpr std::uint32_t kVersion = 1;
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+struct Reader {
+  const std::string& bytes;
+  std::size_t pos = 0;
+
+  void need(std::size_t n) const {
+    if (pos + n > bytes.size()) {
+      throw ContractViolation("degraded report image truncated");
+    }
+  }
+  std::uint8_t take_u8() {
+    need(1);
+    return static_cast<std::uint8_t>(bytes[pos++]);
+  }
+  std::uint32_t take_u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(bytes[pos++]))
+           << (8 * i);
+    }
+    return v;
+  }
+  std::uint64_t take_u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(bytes[pos++]))
+           << (8 * i);
+    }
+    return v;
+  }
+  double take_f64() {
+    const std::uint64_t bits = take_u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+};
+
+double clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
+
+void require(bool ok, const char* field, const char* what) {
+  if (!ok) {
+    throw ContractViolation(std::string("DegradeOptions.") + field + " " +
+                            what);
+  }
+}
+
+}  // namespace
+
+const char* to_string(AnswerMode mode) {
+  switch (mode) {
+    case AnswerMode::kExact:
+      return "exact";
+    case AnswerMode::kPartial:
+      return "partial";
+    case AnswerMode::kSubstituted:
+      return "substituted";
+    case AnswerMode::kPrior:
+      return "prior";
+  }
+  return "unknown";
+}
+
+void DegradeOptions::validate() const {
+  deadline.validate();
+  require(min_similarity >= 0.0 && min_similarity <= 1.0, "min_similarity",
+          "must be in [0, 1]");
+  require(error_floor >= 0.0 && error_floor <= 1.0, "error_floor",
+          "must be in [0, 1]");
+  require(partial_skew_weight >= 0.0 && partial_skew_weight <= 1.0,
+          "partial_skew_weight", "must be in [0, 1]");
+  require(sub_floor >= 0.0 && sub_floor <= 1.0, "sub_floor",
+          "must be in [0, 1]");
+  require(sub_overlap_coeff >= 0.0, "sub_overlap_coeff", "must be >= 0");
+  require(sub_containment_coeff >= 0.0, "sub_containment_coeff",
+          "must be >= 0");
+}
+
+void DegradedReport::add(const DegradedAnswer& answer) {
+  answers.push_back(answer);
+  ++queries_total;
+  switch (answer.mode) {
+    case AnswerMode::kExact:
+      ++exact;
+      break;
+    case AnswerMode::kPartial:
+      ++partial;
+      break;
+    case AnswerMode::kSubstituted:
+      ++substituted;
+      break;
+    case AnswerMode::kPrior:
+      ++prior;
+      break;
+  }
+  if (answer.escalated_phase != DegradedAnswer::kNoEscalation) {
+    ++escalations;
+  }
+  retries += answer.retries;
+}
+
+void DegradedReport::append(const DegradedReport& other) {
+  answers.insert(answers.end(), other.answers.begin(), other.answers.end());
+  queries_total += other.queries_total;
+  exact += other.exact;
+  partial += other.partial;
+  substituted += other.substituted;
+  prior += other.prior;
+  escalations += other.escalations;
+  retries += other.retries;
+}
+
+std::string DegradedReport::serialize() const {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  put_u32(out, kVersion);
+  put_u64(out, queries_total);
+  put_u64(out, exact);
+  put_u64(out, partial);
+  put_u64(out, substituted);
+  put_u64(out, prior);
+  put_u64(out, escalations);
+  put_u64(out, retries);
+  put_u64(out, answers.size());
+  for (const DegradedAnswer& a : answers) {
+    put_u64(out, a.round);
+    put_u32(out, a.dataset);
+    put_u32(out, a.spec);
+    put_u8(out, static_cast<std::uint8_t>(a.mode));
+    put_u8(out, a.escalated_phase);
+    put_f64(out, a.value);
+    put_f64(out, a.exact_value);
+    put_f64(out, a.error_estimate);
+    put_f64(out, a.coverage);
+    put_f64(out, a.similarity);
+    put_u32(out, a.substitute_dataset);
+    put_u32(out, a.sites_usable);
+    put_u32(out, a.sites_lost);
+    put_u32(out, a.partitions_exact);
+    put_u32(out, a.partitions_substituted);
+    put_u32(out, a.partitions_dropped);
+    put_u32(out, a.retries);
+    put_f64(out, a.qct_seconds);
+  }
+  return out;
+}
+
+DegradedReport DegradedReport::deserialize(const std::string& bytes) {
+  Reader r{bytes};
+  r.need(sizeof(kMagic));
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw ContractViolation("degraded report image: bad magic");
+  }
+  r.pos = sizeof(kMagic);
+  if (r.take_u32() != kVersion) {
+    throw ContractViolation("degraded report image: unsupported version");
+  }
+  DegradedReport report;
+  report.queries_total = r.take_u64();
+  report.exact = r.take_u64();
+  report.partial = r.take_u64();
+  report.substituted = r.take_u64();
+  report.prior = r.take_u64();
+  report.escalations = r.take_u64();
+  report.retries = r.take_u64();
+  const std::uint64_t count = r.take_u64();
+  report.answers.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    DegradedAnswer a;
+    a.round = r.take_u64();
+    a.dataset = r.take_u32();
+    a.spec = r.take_u32();
+    a.mode = static_cast<AnswerMode>(r.take_u8());
+    a.escalated_phase = r.take_u8();
+    a.value = r.take_f64();
+    a.exact_value = r.take_f64();
+    a.error_estimate = r.take_f64();
+    a.coverage = r.take_f64();
+    a.similarity = r.take_f64();
+    a.substitute_dataset = r.take_u32();
+    a.sites_usable = r.take_u32();
+    a.sites_lost = r.take_u32();
+    a.partitions_exact = r.take_u32();
+    a.partitions_substituted = r.take_u32();
+    a.partitions_dropped = r.take_u32();
+    a.retries = r.take_u32();
+    a.qct_seconds = r.take_f64();
+    report.answers.push_back(a);
+  }
+  if (r.pos != bytes.size()) {
+    throw ContractViolation("degraded report image: trailing bytes");
+  }
+  return report;
+}
+
+std::uint32_t DegradedReport::digest() const {
+  const std::string bytes = serialize();
+  return crc32(bytes.data(), bytes.size());
+}
+
+DegradationService::DegradationService(
+    const std::vector<DatasetState>& datasets,
+    const std::vector<DatasetSimilarity>& similarity,
+    const DegradeOptions& options)
+    : datasets_(datasets), similarity_(similarity), options_(options) {
+  options_.validate();
+  info_.resize(datasets_.size());
+  for (std::size_t a = 0; a < datasets_.size(); ++a) {
+    const DatasetState& d = datasets_[a];
+    DatasetInfo& info = info_[a];
+    info.has_cubes = d.has_cubes();
+    if (a == 0) {
+      site_count_ = d.site_count();
+    }
+    const std::size_t spec_count = d.bundle().query_types.size();
+    info.specs.resize(spec_count);
+    for (std::size_t t = 0; t < spec_count; ++t) {
+      SpecStats& st = info.specs[t];
+      st.qt = d.has_cubes() ? d.cube_query_type(t) : 0;
+      st.site_value.assign(d.site_count(), 0.0);
+      st.site_records.assign(d.site_count(), 0);
+      for (std::size_t s = 0; s < d.site_count(); ++s) {
+        if (d.has_cubes()) {
+          // Read the base cube, not the dimension cube: dimension cubes
+          // are rebuilt from the base on checkpoint recovery, so their
+          // float sums can drift by ULPs from the incrementally built
+          // originals. The base cube round-trips bit-exactly, and cube
+          // totals are projection-invariant anyway.
+          const olap::CubeTotals totals =
+              olap::cube_totals(d.cubes_at(s).base_cube());
+          st.site_value[s] = totals.sum;
+          st.site_records[s] = totals.records;
+        } else {
+          // No cubes (plain-Iridium strategies): totals straight from
+          // the raw rows; substitution stays unavailable.
+          const olap::CubeBuilder builder(d.bundle().cube_spec);
+          double sum = 0.0;
+          const auto& rows = d.rows_at(s);
+          for (const olap::Row& row : rows) sum += builder.measure_for(row);
+          st.site_value[s] = sum;
+          st.site_records[s] = rows.size();
+        }
+        st.total_value += st.site_value[s];
+        st.total_records += st.site_records[s];
+      }
+    }
+    if (d.has_cubes()) {
+      // Prepare-time sketch: the global dimension cube per query type,
+      // the reference a substitution candidate is scored against.
+      const std::size_t type_count = d.cubes_at(0).query_type_count();
+      info.type_dims.resize(type_count);
+      for (std::size_t qt = 0; qt < type_count; ++qt) {
+        info.type_dims[qt] = d.cubes_at(0).query_type_dims(qt);
+      }
+      // Derived from the per-site base cubes (bit-stable across
+      // recovery), projected onto each query type's dims.
+      olap::OlapCube merged_base = d.cubes_at(0).base_cube();
+      for (std::size_t s = 1; s < d.site_count(); ++s) {
+        merged_base.merge(d.cubes_at(s).base_cube());
+      }
+      info.global_cubes.reserve(type_count);
+      for (std::size_t qt = 0; qt < type_count; ++qt) {
+        info.global_cubes.push_back(merged_base.project(info.type_dims[qt]));
+      }
+    }
+  }
+}
+
+DegradedAnswer DegradationService::answer(
+    std::size_t a, std::size_t t, const std::vector<bool>& site_ok) const {
+  const DatasetInfo& info = info_[a];
+  const SpecStats& st = info.specs[t];
+  DegradedAnswer ans;
+  ans.dataset = static_cast<std::uint32_t>(a);
+  ans.spec = static_cast<std::uint32_t>(t);
+  ans.exact_value = st.total_value;
+
+  double usable_value = 0.0;
+  std::uint64_t usable_records = 0;
+  std::vector<std::size_t> lost_homes;
+  std::vector<std::size_t> usable_homes;
+  for (std::size_t s = 0; s < st.site_records.size(); ++s) {
+    if (st.site_records[s] == 0) continue;  // not a home site
+    const bool ok = s < site_ok.size() && site_ok[s];
+    if (ok) {
+      usable_value += st.site_value[s];
+      usable_records += st.site_records[s];
+      usable_homes.push_back(s);
+    } else {
+      lost_homes.push_back(s);
+    }
+  }
+  ans.sites_usable = static_cast<std::uint32_t>(usable_homes.size());
+  ans.sites_lost = static_cast<std::uint32_t>(lost_homes.size());
+  ans.coverage = st.total_records > 0
+                     ? static_cast<double>(usable_records) /
+                           static_cast<double>(st.total_records)
+                     : 1.0;
+
+  if (lost_homes.empty()) {
+    ans.mode = AnswerMode::kExact;
+    ans.value = st.total_value;
+    ans.error_estimate = 0.0;
+    return ans;
+  }
+
+  if (usable_records > 0) {
+    // Partial: rescale the surviving mass by coverage; the error bound
+    // widens with the lost fraction and with how dissimilar the lost
+    // sites' data was to the survivors (prepare-time probe pairs).
+    ans.mode = AnswerMode::kPartial;
+    ans.value = usable_value / ans.coverage;
+    double skew = 1.0;
+    if (a < similarity_.size() && !similarity_[a].pair.empty()) {
+      const auto& pair = similarity_[a].pair;
+      double total = 0.0;
+      for (const std::size_t s : lost_homes) {
+        double best = 0.0;
+        for (const std::size_t j : usable_homes) {
+          if (s < pair.size() && j < pair[s].size()) {
+            best = std::max(best, clamp01(pair[s][j]));
+          }
+        }
+        total += 1.0 - best;
+      }
+      skew = total / static_cast<double>(lost_homes.size());
+    }
+    const double w = options_.partial_skew_weight;
+    ans.error_estimate = clamp01(options_.error_floor +
+                                 (1.0 - ans.coverage) *
+                                     ((1.0 - w) + w * skew));
+    return ans;
+  }
+
+  substitute(a, t, site_ok, ans);
+  return ans;
+}
+
+void DegradationService::substitute(std::size_t a, std::size_t t,
+                                    const std::vector<bool>& site_ok,
+                                    DegradedAnswer& out) const {
+  const DatasetInfo& info = info_[a];
+  const SpecStats& st = info.specs[t];
+
+  double best_overlap = -1.0;
+  double best_containment = -1.0;
+  std::size_t best_dataset = 0;
+  double best_value = 0.0;
+
+  if (info.has_cubes && st.qt < info.global_cubes.size()) {
+    const olap::OlapCube& reference = info.global_cubes[st.qt];
+    const std::vector<std::size_t>& ref_dims = info.type_dims[st.qt];
+    for (std::size_t b = 0; b < datasets_.size(); ++b) {
+      if (b == a || !info_[b].has_cubes) continue;
+      const DatasetState& db = datasets_[b];
+      // The candidate must maintain a dimension cube covering the
+      // reference dims — substitution only reads what sites already
+      // keep for their own queries.
+      bool covered = false;
+      for (const std::vector<std::size_t>& cand_dims : info_[b].type_dims) {
+        if (olap::covers_group_by(cand_dims, ref_dims)) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) continue;
+      // Merge the candidate's surviving base cubes only — the
+      // substitution must be computable without the dead sites, and the
+      // base cube is the representation that round-trips bit-exactly
+      // through checkpoint recovery.
+      olap::OlapCube merged;
+      bool seeded = false;
+      for (std::size_t s = 0; s < db.site_count(); ++s) {
+        if (s >= site_ok.size() || !site_ok[s]) continue;
+        const olap::OlapCube& cube = db.cubes_at(s).base_cube();
+        if (!seeded) {
+          merged = cube;
+          seeded = true;
+        } else {
+          merged.merge(cube);
+        }
+      }
+      if (!seeded || merged.total_records() == 0) continue;
+      bool projectable = true;
+      for (const std::size_t g : ref_dims) {
+        if (g >= merged.dimension_count()) projectable = false;
+      }
+      if (!projectable) continue;
+      const olap::OlapCube projected = merged.project(ref_dims);
+      const olap::CubeRelation rel = olap::relate(reference, projected);
+      if (rel.overlap < options_.min_similarity) continue;
+      const bool better =
+          rel.overlap > best_overlap ||
+          (rel.overlap == best_overlap &&
+           (rel.containment_ab > best_containment ||
+            (rel.containment_ab == best_containment &&
+             b < best_dataset)));
+      if (!better) continue;
+      const olap::CubeTotals totals = olap::cube_totals(projected);
+      best_overlap = rel.overlap;
+      best_containment = rel.containment_ab;
+      best_dataset = b;
+      best_value = totals.sum *
+                   (static_cast<double>(st.total_records) /
+                    static_cast<double>(totals.records));
+    }
+  }
+
+  if (best_overlap >= 0.0) {
+    out.mode = AnswerMode::kSubstituted;
+    out.value = best_value;
+    out.similarity = best_overlap;
+    out.substitute_dataset = static_cast<std::uint32_t>(best_dataset);
+    out.error_estimate = clamp01(
+        options_.sub_floor +
+        options_.sub_overlap_coeff * (1.0 - best_overlap) +
+        options_.sub_containment_coeff * (1.0 - best_containment));
+    return;
+  }
+
+  // Prior: catalog record count x mean measure over every surviving
+  // site of every other dataset. The weakest rung; error estimate 1.
+  out.mode = AnswerMode::kPrior;
+  double sum_value = 0.0;
+  std::uint64_t sum_records = 0;
+  for (std::size_t b = 0; b < info_.size(); ++b) {
+    if (b == a || info_[b].specs.empty()) continue;
+    const SpecStats& sb = info_[b].specs[0];
+    for (std::size_t s = 0; s < sb.site_records.size(); ++s) {
+      if (s < site_ok.size() && site_ok[s]) {
+        sum_value += sb.site_value[s];
+        sum_records += sb.site_records[s];
+      }
+    }
+  }
+  const double mean =
+      sum_records > 0 ? sum_value / static_cast<double>(sum_records) : 0.0;
+  out.value = static_cast<double>(st.total_records) * mean;
+  out.similarity = 0.0;
+  out.error_estimate = 1.0;
+}
+
+}  // namespace bohr::core

@@ -419,7 +419,9 @@ namespace {
 // The churn image rides in the snapshot's migration.bin: round
 // bookkeeping first, then the MigrationController's own image.
 constexpr char kChurnMagic[4] = {'B', 'C', 'H', 'N'};
-constexpr std::uint32_t kChurnVersion = 1;
+// v2: optional degradation section (DegradedReport + standalone health
+// monitor image) appended after the migration image.
+constexpr std::uint32_t kChurnVersion = 2;
 
 void churn_put_u64(std::string& out, std::uint64_t v) {
   char buf[8];
@@ -445,7 +447,9 @@ double churn_take_f64(const std::string& in, std::size_t& at) {
 
 std::string encode_churn_image(const ChurnRunResult& out,
                                double qct_weighted_sum,
-                               const MigrationController* migctl) {
+                               const MigrationController* migctl,
+                               bool degrade,
+                               const net::SiteHealthMonitor* own_health) {
   std::string image(kChurnMagic, sizeof(kChurnMagic));
   churn_put_u64(image, kChurnVersion);
   churn_put_u64(image, out.rounds_run);
@@ -461,13 +465,27 @@ std::string encode_churn_image(const ChurnRunResult& out,
     churn_put_u64(image, mig.size());
     image += mig;
   }
+  churn_put_u64(image, degrade ? 1 : 0);
+  if (degrade) {
+    const std::string report = out.degraded.serialize();
+    churn_put_u64(image, report.size());
+    image += report;
+    churn_put_u64(image, own_health != nullptr ? 1 : 0);
+    if (own_health != nullptr) {
+      const std::string health = own_health->serialize();
+      churn_put_u64(image, health.size());
+      image += health;
+    }
+  }
   return image;
 }
 
 /// Inverse of encode_churn_image; restores `out` and (when present) the
 /// controller. Returns the resumed qct sum.
 double decode_churn_image(const std::string& image, ChurnRunResult& out,
-                          std::optional<MigrationController>& migctl) {
+                          std::optional<MigrationController>& migctl,
+                          bool degrade,
+                          std::optional<net::SiteHealthMonitor>& own_health) {
   std::size_t at = 0;
   BOHR_CHECK(image.size() >= sizeof(kChurnMagic));
   BOHR_CHECK(std::memcmp(image.data(), kChurnMagic, sizeof(kChurnMagic)) == 0);
@@ -487,6 +505,22 @@ double decode_churn_image(const std::string& image, ChurnRunResult& out,
     BOHR_CHECK(at + size <= image.size());
     migctl->restore(image.substr(at, size));
     at += size;
+  }
+  const bool has_degrade = churn_take_u64(image, at) != 0;
+  BOHR_CHECK(has_degrade == degrade);
+  if (has_degrade) {
+    const std::uint64_t report_size = churn_take_u64(image, at);
+    BOHR_CHECK(at + report_size <= image.size());
+    out.degraded = DegradedReport::deserialize(image.substr(at, report_size));
+    at += report_size;
+    const bool has_health = churn_take_u64(image, at) != 0;
+    BOHR_CHECK(has_health == own_health.has_value());
+    if (has_health) {
+      const std::uint64_t size = churn_take_u64(image, at);
+      BOHR_CHECK(at + size <= image.size());
+      own_health->restore(image.substr(at, size));
+      at += size;
+    }
   }
   BOHR_CHECK(at == image.size());
   return qct_weighted_sum;
@@ -561,8 +595,22 @@ ChurnRunResult run_churn_experiment(const ExperimentConfig& config,
     migctl.emplace(controller.topology(), prep->decision.reduce_fractions,
                    churn.migration_options);
   }
+  // Degradation ladder: built on the prepared controller's cubes and
+  // probe similarities. With migration off, a standalone health monitor
+  // supplies the usable-site mask the migration controller would have.
+  std::optional<DegradationService> degrade_service;
+  std::optional<net::SiteHealthMonitor> own_health;
+  if (churn.degrade) {
+    degrade_service.emplace(controller.datasets(), controller.similarity(),
+                            churn.degrade_options);
+    if (!churn.migration) {
+      own_health.emplace(controller.topology().site_count(),
+                         churn.migration_options.health);
+    }
+  }
   if (recovered_image) {
-    qct_weighted_sum = decode_churn_image(*recovered_image, out, migctl);
+    qct_weighted_sum = decode_churn_image(*recovered_image, out, migctl,
+                                          churn.degrade, own_health);
     start_round = out.rounds_run;
   }
   // Migration-off control: the SAME quantization, frozen — migration is
@@ -581,12 +629,41 @@ ChurnRunResult run_churn_experiment(const ExperimentConfig& config,
         config.lag_seconds + spacing * static_cast<double>(r);
     if (migctl) migctl->step(config.faults, now);
 
+    if (own_health) own_health->observe(config.faults, now);
+
     const net::FaultPlan round_plan = query_template.shifted_by(now);
     Controller::QueryRound qr;
     qr.faults = &round_plan;
     qr.reduce_buckets = migctl ? &migctl->buckets() : &frozen;
     qr.bucket_speculation = churn.bucket_speculation;
     qr.bucket_speculation_cap = churn.bucket_speculation_cap;
+
+    std::vector<bool> site_ok;
+    if (degrade_service) {
+      // A site's data is unreachable this round if the health monitor
+      // rules it out or the round's (phase-local) plan darkens it
+      // anywhere inside the query's deadline horizon.
+      const net::SiteHealthMonitor* monitor =
+          migctl ? &migctl->health() : &*own_health;
+      const std::size_t n = controller.topology().site_count();
+      const double horizon = churn.degrade_options.deadline.total_seconds;
+      site_ok.assign(n, true);
+      for (std::size_t s = 0; s < n; ++s) {
+        bool ok = monitor->usable(s);
+        if (ok) {
+          for (const net::OutageWindow& o : round_plan.outages) {
+            if (o.site == s && o.start < horizon && o.end > 0.0) {
+              ok = false;
+              break;
+            }
+          }
+        }
+        site_ok[s] = ok;
+      }
+      qr.degrade = &*degrade_service;
+      qr.site_usable = &site_ok;
+      qr.round_index = r;
+    }
 
     double sum = 0.0;
     std::size_t count = 0;
@@ -597,6 +674,7 @@ ChurnRunResult run_churn_experiment(const ExperimentConfig& config,
       out.speculations += exec.result.reduce_speculations;
       out.max_reduce_slowdown =
           std::max(out.max_reduce_slowdown, exec.result.max_reduce_slowdown);
+      if (exec.degraded) out.degraded.add(*exec.degraded);
     }
     qct_weighted_sum += sum;
     out.queries_run += count;
@@ -606,7 +684,8 @@ ChurnRunResult run_churn_experiment(const ExperimentConfig& config,
 
     if (ckpt) {
       const std::string image = encode_churn_image(
-          out, qct_weighted_sum, migctl ? &*migctl : nullptr);
+          out, qct_weighted_sum, migctl ? &*migctl : nullptr,
+          churn.degrade, own_health ? &*own_health : nullptr);
       ckpt->snapshot(controller, snapshot_progress, nullptr, &image);
       ++out.snapshots_written;
     }

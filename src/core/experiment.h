@@ -153,6 +153,14 @@ struct ChurnOptions {
   /// Recover from checkpoint_dir before running (resumes a crashed
   /// churn run; falls back to a fresh run when no snapshot is intact).
   bool recover = false;
+  /// Degradation ladder: run every query under a per-query deadline
+  /// budget and record a DegradedAnswer for it (exact / partial /
+  /// substituted / prior). Sites the health monitor rules out or the
+  /// round's fault plan darkens are answered from similar surviving
+  /// cubes with an explicit error estimate. Off = historical path bit
+  /// for bit.
+  bool degrade = false;
+  DegradeOptions degrade_options;
 };
 
 struct ChurnRunResult {
@@ -171,6 +179,10 @@ struct ChurnRunResult {
   std::size_t snapshots_written = 0;
   bool crashed = false;    ///< stopped at the injected crash point
   bool recovered = false;  ///< resumed from an intact snapshot
+  /// Degradation-ladder answers for every query of every round (empty
+  /// unless ChurnOptions::degrade). Serialization is byte-exact, so
+  /// same-seed runs and crash/recovery resumes compare by digest().
+  DegradedReport degraded;
 };
 
 ChurnRunResult run_churn_experiment(const ExperimentConfig& config,

@@ -117,6 +117,9 @@ JobResult run_job(const net::WanTopology& topo,
           std::max(result.max_reduce_slowdown, slowdown[j]);
     }
   }
+  const double deadline = config.reduce_deadline_seconds;
+  BOHR_EXPECTS(deadline > 0.0);
+  const bool deadlined = std::isfinite(deadline);
   double qct = 0.0;
   double slowest_map = 0.0;
   if (config.reduce_buckets == nullptr) {
@@ -127,8 +130,22 @@ JobResult run_job(const net::WanTopology& topo,
                                     fractions[j];
       const double reduce_t =
           reduce_records / config.reduce_records_per_sec * slowdown[j];
-      result.sites[j].reduce_finish_seconds = shuffle_finish[j] + reduce_t;
-      qct = std::max(qct, result.sites[j].reduce_finish_seconds);
+      double finish = shuffle_finish[j] + reduce_t;
+      if (deadlined && finish > deadline + 1e-12) {
+        // Close the round at the deadline; the share of this site's
+        // records not processed by then is dropped (shuffle input that
+        // never arrived counts as unprocessed in full).
+        const double done =
+            reduce_t > 0.0
+                ? std::clamp((deadline - shuffle_finish[j]) / reduce_t,
+                             0.0, 1.0)
+                : 0.0;
+        result.reduce_dropped_fraction += fractions[j] * (1.0 - done);
+        result.reduce_partial = true;
+        finish = deadline;
+      }
+      result.sites[j].reduce_finish_seconds = finish;
+      qct = std::max(qct, finish);
       slowest_map = std::max(slowest_map, result.sites[j].map_finish_seconds);
     }
   } else {
@@ -164,7 +181,22 @@ JobResult run_job(const net::WanTopology& topo,
       double finish = t;
       for (std::size_t b = 0; b < owned[j]; ++b) {
         const double native = t + bucket_t * slowdown[j];
+        double bucket_finish;
+        bool speculated = false;
         if (native > bucket_cap + 1e-12) {
+          bucket_finish = bucket_cap;
+          speculated = true;
+        } else {
+          bucket_finish = native;
+        }
+        if (deadlined && bucket_finish > deadline + 1e-12) {
+          // This bucket (and, since buckets run in sequence, every
+          // later one at this site) cannot close by the deadline: drop
+          // it rather than speculate past the round's end.
+          ++result.reduce_buckets_dropped;
+          continue;
+        }
+        if (speculated) {
           finish = std::max(finish, bucket_cap);
           ++result.reduce_speculations;
         } else {
@@ -172,9 +204,16 @@ JobResult run_job(const net::WanTopology& topo,
           finish = std::max(finish, t);
         }
       }
+      if (deadlined) finish = std::min(finish, deadline);
       result.sites[j].reduce_finish_seconds = finish;
       qct = std::max(qct, finish);
       slowest_map = std::max(slowest_map, result.sites[j].map_finish_seconds);
+    }
+    if (result.reduce_buckets_dropped > 0) {
+      result.reduce_partial = true;
+      result.reduce_dropped_fraction =
+          static_cast<double>(result.reduce_buckets_dropped) /
+          total_buckets;
     }
   }
   result.shuffle_seconds = std::max(0.0, qct - slowest_map);

@@ -3,6 +3,7 @@
 // query completion time and per-site shuffle volumes.
 #pragma once
 
+#include <limits>
 #include <vector>
 
 #include "common/rng.h"
@@ -45,6 +46,14 @@ struct JobConfig {
   /// that bucket is re-launched there and capped at the estimate.
   bool bucket_speculation = false;
   double bucket_speculation_cap = 1.5;
+  /// Phase-local reduce deadline (seconds on the job clock). When
+  /// finite, the reduce round CLOSES at the deadline: buckets (bucket
+  /// mode) or per-site record shares (fraction mode) that cannot finish
+  /// by then are dropped — counted in JobResult, never silently — and
+  /// every site's reduce finish is capped at the deadline, bounding
+  /// QCT. The default (infinity) keeps the historical path bit for bit.
+  double reduce_deadline_seconds =
+      std::numeric_limits<double>::infinity();
 };
 
 struct SiteJobMetrics {
@@ -77,6 +86,13 @@ struct JobResult {
   std::size_t reduce_speculations = 0;
   /// Largest compute slowdown any reduce site ran under (1 = none).
   double max_reduce_slowdown = 1.0;
+  /// Partial close-out bookkeeping (reduce_deadline_seconds finite
+  /// only): whether the round closed with work left, how many whole
+  /// buckets were dropped (bucket mode), and the record-weighted share
+  /// of reduce work not done by the deadline.
+  bool reduce_partial = false;
+  std::size_t reduce_buckets_dropped = 0;
+  double reduce_dropped_fraction = 0.0;
 };
 
 /// `site_inputs[i]` holds the already-mapped key/value stream at site i

@@ -1,0 +1,152 @@
+#include "core/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace bohr::core {
+namespace {
+
+DeadlineOptions small_budget() {
+  DeadlineOptions opts;
+  opts.total_seconds = 10.0;
+  opts.probe_share = 0.1;
+  opts.shuffle_share = 0.6;
+  opts.reduce_share = 0.3;
+  opts.max_retries = 2;
+  opts.backoff_base_seconds = 0.25;
+  opts.backoff_cap_seconds = 2.0;
+  return opts;
+}
+
+TEST(DeadlineOptionsTest, ValidateRejectsBadFields) {
+  DeadlineOptions opts = small_budget();
+  opts.total_seconds = 0.0;
+  EXPECT_THROW(opts.validate(), bohr::ContractViolation);
+  opts = small_budget();
+  opts.probe_share = -0.1;
+  EXPECT_THROW(opts.validate(), bohr::ContractViolation);
+  opts = small_budget();
+  opts.probe_share = opts.shuffle_share = opts.reduce_share = 0.0;
+  EXPECT_THROW(opts.validate(), bohr::ContractViolation);
+  opts = small_budget();
+  opts.backoff_base_seconds = -1.0;
+  EXPECT_THROW(opts.validate(), bohr::ContractViolation);
+}
+
+TEST(DeadlineOptionsTest, PhaseBudgetsAreNormalizedShares) {
+  DeadlineOptions opts = small_budget();
+  EXPECT_DOUBLE_EQ(opts.phase_budget(QueryPhase::kProbe), 1.0);
+  EXPECT_DOUBLE_EQ(opts.phase_budget(QueryPhase::kShuffle), 6.0);
+  EXPECT_DOUBLE_EQ(opts.phase_budget(QueryPhase::kReduce), 3.0);
+  // Un-normalized shares normalize to the same split.
+  opts.probe_share = 2.0;
+  opts.shuffle_share = 12.0;
+  opts.reduce_share = 6.0;
+  EXPECT_DOUBLE_EQ(opts.phase_budget(QueryPhase::kShuffle), 6.0);
+}
+
+TEST(DeadlineOptionsTest, BackoffDoublesAndSaturates) {
+  const DeadlineOptions opts = small_budget();
+  EXPECT_DOUBLE_EQ(opts.backoff(1), 0.25);
+  EXPECT_DOUBLE_EQ(opts.backoff(2), 0.5);
+  EXPECT_DOUBLE_EQ(opts.backoff(3), 1.0);
+  EXPECT_DOUBLE_EQ(opts.backoff(4), 2.0);   // hits the cap
+  EXPECT_DOUBLE_EQ(opts.backoff(10), 2.0);  // stays at the cap
+  // Huge attempt counts must not overflow the shift (same idiom as
+  // SiteHealthMonitor: exponent capped before shifting).
+  EXPECT_DOUBLE_EQ(opts.backoff(100000), 2.0);
+}
+
+TEST(DeadlineBudgetTest, FirstAttemptFitsMeetsPhase) {
+  DeadlineBudget budget(small_budget());
+  const PhaseOutcome& out = budget.run_phase(
+      QueryPhase::kShuffle, [](std::size_t, double) { return 4.0; });
+  EXPECT_EQ(out.verdict, PhaseVerdict::kMet);
+  EXPECT_EQ(out.attempts, 1u);
+  EXPECT_DOUBLE_EQ(out.spent_seconds, 4.0);
+  EXPECT_DOUBLE_EQ(budget.spent_seconds(), 4.0);
+  EXPECT_FALSE(budget.escalated());
+}
+
+TEST(DeadlineBudgetTest, UnspentBudgetRollsForward) {
+  DeadlineBudget budget(small_budget());
+  // Probe nominal window is 1s; spend 0.2s, leaving 0.8s of rollover.
+  budget.run_phase(QueryPhase::kProbe, [](std::size_t, double) { return 0.2; });
+  // Shuffle nominal is 6s; with rollover the window is 6.8s, so a 6.5s
+  // attempt fits first try.
+  const PhaseOutcome& out = budget.run_phase(
+      QueryPhase::kShuffle, [](std::size_t, double) { return 6.5; });
+  EXPECT_EQ(out.verdict, PhaseVerdict::kMet);
+  EXPECT_EQ(out.attempts, 1u);
+}
+
+TEST(DeadlineBudgetTest, TimeoutRetriesWithBackoffOffsets) {
+  DeadlineBudget budget(small_budget());
+  std::vector<double> offsets;
+  const PhaseOutcome& out = budget.run_phase(
+      QueryPhase::kShuffle, [&offsets](std::size_t attempt, double offset) {
+        offsets.push_back(offset);
+        return attempt == 0 ? 100.0 : 1.0;  // first attempt times out
+      });
+  EXPECT_EQ(out.verdict, PhaseVerdict::kMetAfterRetry);
+  EXPECT_EQ(out.attempts, 2u);
+  ASSERT_EQ(offsets.size(), 2u);
+  EXPECT_DOUBLE_EQ(offsets[0], 0.0);
+  // Retry offset = full timed-out window + backoff(1).
+  EXPECT_GT(offsets[1], offsets[0]);
+  // Timed-out attempt charges its whole window plus the backoff wait.
+  EXPECT_GT(out.spent_seconds, 6.0);
+}
+
+TEST(DeadlineBudgetTest, ExhaustedRetriesEscalate) {
+  DeadlineOptions opts = small_budget();
+  opts.max_retries = 1;
+  DeadlineBudget budget(opts);
+  std::size_t calls = 0;
+  const PhaseOutcome& out = budget.run_phase(
+      QueryPhase::kShuffle, [&calls](std::size_t, double) {
+        ++calls;
+        return 1e9;  // never fits
+      });
+  EXPECT_EQ(out.verdict, PhaseVerdict::kEscalated);
+  EXPECT_EQ(calls, 2u);  // initial attempt + 1 retry
+  EXPECT_TRUE(budget.escalated());
+}
+
+TEST(DeadlineBudgetTest, SpentNeverExceedsTotal) {
+  DeadlineBudget budget(small_budget());
+  for (const QueryPhase phase :
+       {QueryPhase::kProbe, QueryPhase::kShuffle, QueryPhase::kReduce}) {
+    budget.run_phase(phase, [](std::size_t, double) { return 1e9; });
+  }
+  EXPECT_TRUE(budget.escalated());
+  EXPECT_LE(budget.spent_seconds(), small_budget().total_seconds + 1e-9);
+  EXPECT_GE(budget.remaining_seconds(), 0.0);
+}
+
+TEST(DeadlineBudgetTest, OutcomesRecordEveryPhaseInOrder) {
+  DeadlineBudget budget(small_budget());
+  budget.run_phase(QueryPhase::kProbe, [](std::size_t, double) { return 0.1; });
+  budget.run_phase(QueryPhase::kShuffle,
+                   [](std::size_t, double) { return 2.0; });
+  budget.run_phase(QueryPhase::kReduce,
+                   [](std::size_t, double) { return 1.0; });
+  const auto& outs = budget.outcomes();
+  ASSERT_EQ(outs.size(), 3u);
+  EXPECT_EQ(outs[0].phase, QueryPhase::kProbe);
+  EXPECT_EQ(outs[1].phase, QueryPhase::kShuffle);
+  EXPECT_EQ(outs[2].phase, QueryPhase::kReduce);
+  EXPECT_DOUBLE_EQ(budget.spent_seconds(), 3.1);
+}
+
+TEST(DeadlineBudgetTest, ZeroDurationAttemptIsFree) {
+  DeadlineBudget budget(small_budget());
+  const PhaseOutcome& out = budget.run_phase(
+      QueryPhase::kReduce, [](std::size_t, double) { return 0.0; });
+  EXPECT_EQ(out.verdict, PhaseVerdict::kMet);
+  EXPECT_DOUBLE_EQ(budget.spent_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace bohr::core

@@ -311,6 +311,45 @@ TEST(ChurnExperimentTest, CrashMidMigrationRecoversToSameFinalState) {
   EXPECT_EQ(recovered.migration_log_crc32, clean.migration_log_crc32);
 }
 
+TEST(MigrationControllerTest, DeadAliveDeadCycleEvacuatesBothTimes) {
+  // A site dies, is evacuated, recovers (buckets rebalance back over
+  // time), then dies again: the controller must evacuate again on the
+  // relapse — a site's earlier recovery must not leave it trusted while
+  // dark. Stretches are longer than the flap window so quarantine never
+  // masks the cycle.
+  const auto topo = uniform_topo(3);
+  MigrationOptions opts;
+  opts.buckets = 6;
+  opts.health.flap_window_seconds = 50.0;
+  MigrationController ctl(topo, uniform_fractions(3), opts);
+
+  net::FaultPlan first_death;
+  first_death.outages.push_back(net::OutageWindow{1, 0.0, 200.0});
+  ctl.step(first_death, 0.0);
+  ctl.step(first_death, 1.0);
+  EXPECT_EQ(ctl.health().health(1), net::SiteHealth::kDead);
+  const std::size_t after_first = ctl.total_evacuations();
+  EXPECT_GT(after_first, 0u);
+  EXPECT_EQ(owned_counts(ctl)[1], 0u);
+
+  // Alive stretch, past the flap window: the monitor re-trusts site 1.
+  for (double t = 210.0; t < 400.0; t += 10.0) ctl.step(net::FaultPlan{}, t);
+  EXPECT_EQ(ctl.health().health(1), net::SiteHealth::kHealthy);
+  EXPECT_TRUE(ctl.health().usable(1));
+
+  // Second death, again longer than the flap window.
+  const std::size_t repatriated = owned_counts(ctl)[1];
+  net::FaultPlan second_death;
+  second_death.outages.push_back(net::OutageWindow{1, 400.0, 800.0});
+  ctl.step(second_death, 400.0);
+  const MigrationRound& relapse = ctl.step(second_death, 401.0);
+  EXPECT_EQ(ctl.health().health(1), net::SiteHealth::kDead);
+  // Whatever drifted back onto site 1 while it was trusted is evacuated
+  // again; the site must end the round owning no buckets either way.
+  EXPECT_EQ(relapse.evacuations, repatriated);
+  EXPECT_EQ(owned_counts(ctl)[1], 0u);
+}
+
 TEST(ChurnExperimentTest, RecoverWithEmptyDirFallsBackToFreshRun) {
   const ExperimentConfig cfg = churn_config();
   const std::string dir = fresh_dir("churn_no_snapshots");

@@ -270,5 +270,84 @@ TEST(JobRunnerTest, SpeculationIsIdleWithoutSlowdowns) {
   EXPECT_DOUBLE_EQ(with_spec.max_reduce_slowdown, 1.0);
 }
 
+TEST(JobRunnerTest, InfiniteReduceDeadlineIsInert) {
+  const auto topo = two_site_topo();
+  const std::vector<RecordStream> inputs{unique_records(0, 40),
+                                         unique_records(1000, 40)};
+  Rng rng(1);
+  const auto result =
+      run_job(topo, inputs, {0.5, 0.5}, sum_spec(), fast_config(), rng);
+  EXPECT_FALSE(result.reduce_partial);
+  EXPECT_EQ(result.reduce_buckets_dropped, 0u);
+  EXPECT_DOUBLE_EQ(result.reduce_dropped_fraction, 0.0);
+}
+
+TEST(JobRunnerTest, LooseReduceDeadlineMatchesUnbounded) {
+  const auto topo = two_site_topo();
+  const std::vector<RecordStream> inputs{unique_records(0, 40),
+                                         unique_records(1000, 40)};
+  Rng rng_a(1);
+  const auto unbounded =
+      run_job(topo, inputs, {0.5, 0.5}, sum_spec(), fast_config(), rng_a);
+  JobConfig loose = fast_config();
+  loose.reduce_deadline_seconds = unbounded.qct_seconds * 10.0;
+  Rng rng_b(1);
+  const auto bounded =
+      run_job(topo, inputs, {0.5, 0.5}, sum_spec(), loose, rng_b);
+  EXPECT_FALSE(bounded.reduce_partial);
+  EXPECT_DOUBLE_EQ(bounded.qct_seconds, unbounded.qct_seconds);
+}
+
+TEST(JobRunnerTest, TightReduceDeadlineClosesPartial) {
+  const auto topo = two_site_topo();
+  const std::vector<RecordStream> inputs{unique_records(0, 40),
+                                         unique_records(1000, 40)};
+  Rng rng_a(1);
+  const auto unbounded =
+      run_job(topo, inputs, {0.5, 0.5}, sum_spec(), fast_config(), rng_a);
+  JobConfig tight = fast_config();
+  tight.reduce_deadline_seconds = unbounded.qct_seconds * 0.5;
+  Rng rng_b(1);
+  const auto bounded =
+      run_job(topo, inputs, {0.5, 0.5}, sum_spec(), tight, rng_b);
+  EXPECT_TRUE(bounded.reduce_partial);
+  EXPECT_GT(bounded.reduce_dropped_fraction, 0.0);
+  EXPECT_LE(bounded.reduce_dropped_fraction, 1.0);
+  EXPECT_LE(bounded.qct_seconds, tight.reduce_deadline_seconds + 1e-9);
+}
+
+TEST(JobRunnerTest, BucketPathDropsLateBucketsUnderDeadline) {
+  const auto topo = two_site_topo();
+  const std::vector<RecordStream> inputs{unique_records(0, 40),
+                                         unique_records(1000, 40)};
+  const auto buckets = ReduceBucketMap::from_fractions({0.5, 0.5}, 8);
+  JobConfig cfg = fast_config();
+  cfg.reduce_buckets = &buckets;
+  Rng rng_a(1);
+  const auto unbounded =
+      run_job(topo, inputs, {0.5, 0.5}, sum_spec(), cfg, rng_a);
+  JobConfig tight = cfg;
+  tight.reduce_deadline_seconds = unbounded.qct_seconds * 0.5;
+  Rng rng_b(1);
+  const auto bounded =
+      run_job(topo, inputs, {0.5, 0.5}, sum_spec(), tight, rng_b);
+  EXPECT_TRUE(bounded.reduce_partial);
+  EXPECT_GT(bounded.reduce_buckets_dropped, 0u);
+  EXPECT_LE(bounded.reduce_buckets_dropped, 8u);
+  EXPECT_DOUBLE_EQ(bounded.reduce_dropped_fraction,
+                   static_cast<double>(bounded.reduce_buckets_dropped) / 8.0);
+  EXPECT_LE(bounded.qct_seconds, tight.reduce_deadline_seconds + 1e-9);
+}
+
+TEST(JobRunnerTest, NonPositiveReduceDeadlineThrows) {
+  const auto topo = two_site_topo();
+  const std::vector<RecordStream> inputs{unique_records(0, 8), {}};
+  JobConfig cfg = fast_config();
+  cfg.reduce_deadline_seconds = 0.0;
+  Rng rng(1);
+  EXPECT_THROW(run_job(topo, inputs, {0.5, 0.5}, sum_spec(), cfg, rng),
+               bohr::ContractViolation);
+}
+
 }  // namespace
 }  // namespace bohr::engine

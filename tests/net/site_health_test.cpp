@@ -169,5 +169,117 @@ TEST(SiteHealthTest, RestoreRejectsWrongShape) {
                bohr::ContractViolation);
 }
 
+TEST(SiteHealthLongHorizonTest, BackoffSaturatesOverThousandsOfRounds) {
+  // A site dark for the whole run: after the exponential ramp, probes
+  // settle at exactly the backoff cap. Over thousands of rounds the
+  // monitor must neither overflow the backoff exponent nor resume
+  // hammering the dead site — the probe cadence stays pinned at the cap.
+  HealthOptions opts;
+  opts.probe_backoff_base_seconds = 0.5;
+  opts.probe_backoff_cap_seconds = 8.0;
+  opts.dead_after_misses = 2;
+  SiteHealthMonitor monitor(2, opts);
+  const FaultPlan plan = dark(1, 0.0, 1e12);
+  double now = 0.0;
+  for (std::size_t round = 0; round < 5000; ++round) {
+    monitor.observe(plan, now);
+    now += 1.0;
+  }
+  EXPECT_EQ(monitor.health(1), SiteHealth::kDead);
+  EXPECT_FALSE(monitor.usable(1));
+  EXPECT_TRUE(monitor.usable(0));
+  // Saturated state is a fixed point: thousands more rounds leave the
+  // verdicts unchanged, and the description never flaps.
+  const std::string settled = monitor.describe();
+  for (std::size_t round = 0; round < 2000; ++round) {
+    monitor.observe(plan, now);
+    now += 1.0;
+    EXPECT_EQ(monitor.describe(), settled);
+  }
+  EXPECT_EQ(monitor.health(1), SiteHealth::kDead);
+  EXPECT_TRUE(monitor.usable(0));
+}
+
+TEST(SiteHealthLongHorizonTest, QuarantineReentryAfterCleanThenRelapse) {
+  // A site flaps into quarantine, serves its full quarantine cleanly,
+  // is trusted again — then relapses. The monitor must re-quarantine on
+  // the relapse flaps rather than grandfathering the old clean record.
+  HealthOptions opts;
+  opts.probe_backoff_base_seconds = 0.5;
+  opts.probe_backoff_cap_seconds = 1.0;
+  opts.dead_after_misses = 1;
+  opts.flap_limit = 2;
+  opts.flap_window_seconds = 1000.0;
+  opts.quarantine_seconds = 20.0;
+  SiteHealthMonitor monitor(1, opts);
+
+  // Phase 1: flap (die/recover) until quarantined.
+  double now = 0.0;
+  std::size_t guard = 0;
+  while (monitor.health(0) != SiteHealth::kQuarantined && guard++ < 200) {
+    FaultPlan flap = dark(0, now, now + 2.0);
+    monitor.observe(flap, now);        // dark -> miss -> dead
+    monitor.observe(flap, now + 1.0);  // still dark
+    monitor.observe(FaultPlan{}, now + 3.0);  // recovered
+    now += 4.0;
+  }
+  ASSERT_EQ(monitor.health(0), SiteHealth::kQuarantined);
+  EXPECT_FALSE(monitor.usable(0));
+
+  // Phase 2: hold still for the full quarantine -> trusted again.
+  const double clean_until = now + opts.quarantine_seconds + 5.0;
+  while (now < clean_until) {
+    monitor.observe(FaultPlan{}, now);
+    now += 1.0;
+  }
+  EXPECT_EQ(monitor.health(0), SiteHealth::kHealthy);
+  EXPECT_TRUE(monitor.usable(0));
+
+  // Phase 3: relapse — flap again; quarantine must re-engage.
+  guard = 0;
+  while (monitor.health(0) != SiteHealth::kQuarantined && guard++ < 200) {
+    FaultPlan flap = dark(0, now, now + 2.0);
+    monitor.observe(flap, now);
+    monitor.observe(flap, now + 1.0);
+    monitor.observe(FaultPlan{}, now + 3.0);
+    now += 4.0;
+  }
+  EXPECT_EQ(monitor.health(0), SiteHealth::kQuarantined);
+  EXPECT_FALSE(monitor.usable(0));
+}
+
+TEST(SiteHealthLongHorizonTest, DeadAliveDeadCyclesStayConsistent) {
+  // Long alternation of dark and clean stretches (each longer than the
+  // flap window, so no quarantine): the monitor must track every edge —
+  // dead during dark stretches, healthy during clean ones — without
+  // state leaking across thousands of rounds.
+  HealthOptions opts;
+  opts.probe_backoff_base_seconds = 0.5;
+  opts.probe_backoff_cap_seconds = 2.0;
+  opts.dead_after_misses = 2;
+  opts.flap_window_seconds = 50.0;
+  opts.flap_limit = 3;
+  SiteHealthMonitor monitor(2, opts);
+  const double stretch = 200.0;  // >> flap window
+  double now = 0.0;
+  for (std::size_t cycle = 0; cycle < 50; ++cycle) {
+    const FaultPlan plan = dark(0, now, now + stretch);
+    while (now < stretch * (2 * cycle + 1)) {
+      monitor.observe(plan, now);
+      now += 1.0;
+    }
+    EXPECT_EQ(monitor.health(0), SiteHealth::kDead) << "cycle " << cycle;
+    EXPECT_FALSE(monitor.usable(0));
+    while (now < stretch * (2 * cycle + 2)) {
+      monitor.observe(FaultPlan{}, now);
+      now += 1.0;
+    }
+    EXPECT_EQ(monitor.health(0), SiteHealth::kHealthy) << "cycle " << cycle;
+    EXPECT_TRUE(monitor.usable(0));
+    // The untouched site never wavers.
+    EXPECT_EQ(monitor.health(1), SiteHealth::kHealthy);
+  }
+}
+
 }  // namespace
 }  // namespace bohr::net

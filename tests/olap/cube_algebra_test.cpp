@@ -1,0 +1,131 @@
+#include "olap/cube_algebra.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "olap/cube.h"
+
+namespace bohr::olap {
+namespace {
+
+OlapCube two_dim(std::initializer_list<std::pair<CellCoords, double>> cells) {
+  OlapCube cube({Dimension("x"), Dimension("y")});
+  for (const auto& [coords, value] : cells) cube.insert(coords, value);
+  return cube;
+}
+
+TEST(CubeAlgebraTest, IdenticalCubesFullyOverlap) {
+  const OlapCube a = two_dim({{{1, 1}, 2.0}, {{1, 2}, 3.0}, {{2, 1}, 5.0}});
+  const CubeRelation r = relate(a, a);
+  EXPECT_DOUBLE_EQ(r.containment_ab, 1.0);
+  EXPECT_DOUBLE_EQ(r.containment_ba, 1.0);
+  EXPECT_DOUBLE_EQ(r.overlap, 1.0);
+  EXPECT_DOUBLE_EQ(r.distance, 0.0);
+}
+
+TEST(CubeAlgebraTest, DisjointCubesDoNotOverlap) {
+  const OlapCube a = two_dim({{{1, 1}, 2.0}});
+  const OlapCube b = two_dim({{{9, 9}, 2.0}});
+  const CubeRelation r = relate(a, b);
+  EXPECT_DOUBLE_EQ(r.containment_ab, 0.0);
+  EXPECT_DOUBLE_EQ(r.containment_ba, 0.0);
+  EXPECT_DOUBLE_EQ(r.overlap, 0.0);
+  EXPECT_DOUBLE_EQ(r.distance, 1.0);
+}
+
+TEST(CubeAlgebraTest, ContainmentIsRecordWeighted) {
+  // a: 3 records in cell (1,1), 1 record in cell (2,2).
+  OlapCube a({Dimension("x"), Dimension("y")});
+  a.insert({1, 1}, 1.0);
+  a.insert({1, 1}, 1.0);
+  a.insert({1, 1}, 1.0);
+  a.insert({2, 2}, 1.0);
+  // b populates only (1,1): 3 of a's 4 records land in b's cells.
+  const OlapCube b = two_dim({{{1, 1}, 7.0}});
+  const CubeRelation r = relate(a, b);
+  EXPECT_DOUBLE_EQ(r.containment_ab, 0.75);
+  EXPECT_DOUBLE_EQ(r.containment_ba, 1.0);
+}
+
+TEST(CubeAlgebraTest, OverlapIsWeightedJaccardOnCounts) {
+  // Cell (1,1): a has 2 records, b has 1 -> min 1, max 2.
+  // Cell (2,2): a only, 1 record -> min 0, max 1.
+  // Cell (3,3): b only, 3 records -> min 0, max 3.
+  OlapCube a({Dimension("x"), Dimension("y")});
+  a.insert({1, 1}, 1.0);
+  a.insert({1, 1}, 1.0);
+  a.insert({2, 2}, 1.0);
+  OlapCube b({Dimension("x"), Dimension("y")});
+  b.insert({1, 1}, 1.0);
+  b.insert({3, 3}, 1.0);
+  b.insert({3, 3}, 1.0);
+  b.insert({3, 3}, 1.0);
+  const CubeRelation r = relate(a, b);
+  EXPECT_DOUBLE_EQ(r.overlap, 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(r.distance, 1.0 - 1.0 / 6.0);
+}
+
+TEST(CubeAlgebraTest, RelateIsSymmetricUpToContainmentSwap) {
+  const OlapCube a = two_dim({{{1, 1}, 2.0}, {{2, 2}, 3.0}});
+  const OlapCube b = two_dim({{{1, 1}, 5.0}, {{3, 3}, 1.0}});
+  const CubeRelation ab = relate(a, b);
+  const CubeRelation ba = relate(b, a);
+  EXPECT_DOUBLE_EQ(ab.overlap, ba.overlap);
+  EXPECT_DOUBLE_EQ(ab.containment_ab, ba.containment_ba);
+  EXPECT_DOUBLE_EQ(ab.containment_ba, ba.containment_ab);
+}
+
+TEST(CubeAlgebraTest, IncompatibleDimsRelateAsZero) {
+  // No measurable overlap across incompatible schemas: relate() returns
+  // the zero relation so substitution ranking skips the candidate
+  // instead of aborting the whole ladder.
+  const OlapCube a = two_dim({{{1, 1}, 2.0}});
+  OlapCube b({Dimension("x")});
+  b.insert({1}, 1.0);
+  EXPECT_FALSE(dims_compatible(a, b));
+  const CubeRelation r = relate(a, b);
+  EXPECT_DOUBLE_EQ(r.overlap, 0.0);
+  EXPECT_DOUBLE_EQ(r.containment_ab, 0.0);
+  EXPECT_DOUBLE_EQ(r.distance, 1.0);
+}
+
+TEST(CubeAlgebraTest, EmptyCubeRelatesAsZero) {
+  const OlapCube a = two_dim({{{1, 1}, 2.0}});
+  const OlapCube empty({Dimension("x"), Dimension("y")});
+  const CubeRelation r = relate(a, empty);
+  EXPECT_DOUBLE_EQ(r.containment_ab, 0.0);
+  EXPECT_DOUBLE_EQ(r.overlap, 0.0);
+}
+
+TEST(CubeAlgebraTest, CoversGroupByIsSubsetTest) {
+  EXPECT_TRUE(covers_group_by({0, 1, 2}, {1}));
+  EXPECT_TRUE(covers_group_by({0, 1, 2}, {0, 2}));
+  EXPECT_TRUE(covers_group_by({0, 1, 2}, {}));
+  EXPECT_FALSE(covers_group_by({0, 1}, {2}));
+  EXPECT_FALSE(covers_group_by({}, {0}));
+}
+
+TEST(CubeAlgebraTest, CubeTotalsSumRecordsAndMeasure) {
+  OlapCube a({Dimension("x"), Dimension("y")});
+  a.insert({1, 1}, 2.0);
+  a.insert({1, 1}, 3.0);
+  a.insert({2, 2}, 5.0);
+  const CubeTotals t = cube_totals(a);
+  EXPECT_EQ(t.records, 3u);
+  EXPECT_DOUBLE_EQ(t.sum, 10.0);
+}
+
+TEST(CubeAlgebraTest, TotalsAreProjectionInvariant) {
+  OlapCube a({Dimension("x"), Dimension("y")});
+  a.insert({1, 1}, 2.0);
+  a.insert({1, 2}, 3.0);
+  a.insert({2, 1}, 5.0);
+  const OlapCube proj = a.project({0});
+  const CubeTotals full = cube_totals(a);
+  const CubeTotals projected = cube_totals(proj);
+  EXPECT_EQ(full.records, projected.records);
+  EXPECT_DOUBLE_EQ(full.sum, projected.sum);
+}
+
+}  // namespace
+}  // namespace bohr::olap

@@ -72,6 +72,21 @@ Churn mode (site churn under the elastic migration controller):
   --checkpoint-dir       with --churn: also snapshot after every round;
                          combine with --recover to resume a crashed run
   --crash-after-round=N  stop (exit 3) after N rounds' snapshots commit
+
+Degraded mode (similarity-backed graceful degradation):
+  --degrade              never fail a query: each one runs under a
+                         deadline budget (bounded retries, partial
+                         reduce close-out), and a query whose home
+                         sites are dead or dark is answered from the
+                         most similar surviving cube with an explicit
+                         error estimate. Prints one line per query
+                         (mode, value, error estimate) plus a summary
+                         with the DegradedReport digest. Implies
+                         --churn=1 when --churn is absent
+  --degrade-budget=SEC   per-query QCT budget in modeled seconds  [60]
+
+Exit codes: 0 = success; 1 = runtime error; 2 = usage error (this
+text); 3 = injected crash (--crash-after-phase, --crash-after-round).
 )";
 
 /// Flag/spec validation error: print usage, exit 2 (vs runtime errors,
@@ -176,8 +191,12 @@ int main(int argc, char** argv) {
     const std::string checkpoint_dir = flags.get("checkpoint-dir", "");
     const std::string crash_phase = flags.get("crash-after-phase", "");
     const bool recover = flags.get_bool("recover", false);
-    const std::int64_t churn_rounds = flags.get_int("churn", 0);
+    std::int64_t churn_rounds = flags.get_int("churn", 0);
     require(churn_rounds >= 0, "--churn must be non-negative");
+    const bool degrade = flags.get_bool("degrade", false);
+    const double degrade_budget = flags.get_double("degrade-budget", 60.0);
+    require(degrade_budget > 0.0, "--degrade-budget must be positive");
+    if (degrade && churn_rounds == 0) churn_rounds = 1;
     const std::string migration = flags.get("migration", "on");
     require(migration == "on" || migration == "off",
             "--migration must be on|off");
@@ -215,6 +234,8 @@ int main(int argc, char** argv) {
       churn.checkpoint_dir = checkpoint_dir;
       churn.crash_after_round = static_cast<std::size_t>(crash_round);
       churn.recover = recover;
+      churn.degrade = degrade;
+      churn.degrade_options.deadline.total_seconds = degrade_budget;
       const core::ChurnRunResult result =
           core::run_churn_experiment(cfg, churn);
       if (result.recovered) {
@@ -228,6 +249,34 @@ int main(int argc, char** argv) {
           result.migrations, result.evacuations, result.speculations,
           result.max_reduce_slowdown, result.snapshots_written,
           result.migration_log_crc32);
+      if (degrade) {
+        for (const core::DegradedAnswer& a : result.degraded.answers) {
+          std::printf(
+              "degraded: round=%llu dataset=%u spec=%u mode=%s "
+              "value=%.6g exact=%.6g err_est=%.4f coverage=%.4f "
+              "sim=%.4f sub=%d parts=%u/%u/%u retries=%u qct=%.3f\n",
+              static_cast<unsigned long long>(a.round), a.dataset, a.spec,
+              core::to_string(a.mode), a.value, a.exact_value,
+              a.error_estimate, a.coverage, a.similarity,
+              a.substitute_dataset == core::DegradedAnswer::kNoSubstitute
+                  ? -1
+                  : static_cast<int>(a.substitute_dataset),
+              a.partitions_exact, a.partitions_substituted,
+              a.partitions_dropped, a.retries, a.qct_seconds);
+        }
+        const core::DegradedReport& rep = result.degraded;
+        std::printf(
+            "degrade: queries=%llu exact=%llu partial=%llu "
+            "substituted=%llu prior=%llu escalations=%llu retries=%llu "
+            "report_crc32=%08x\n",
+            static_cast<unsigned long long>(rep.queries_total),
+            static_cast<unsigned long long>(rep.exact),
+            static_cast<unsigned long long>(rep.partial),
+            static_cast<unsigned long long>(rep.substituted),
+            static_cast<unsigned long long>(rep.prior),
+            static_cast<unsigned long long>(rep.escalations),
+            static_cast<unsigned long long>(rep.retries), rep.digest());
+      }
       if (result.crashed) {
         std::fprintf(stderr, "bohr_sim: injected crash after round %zu\n",
                      result.rounds_run);
