@@ -32,7 +32,8 @@ class ZipfSampler {
   double pmf(std::size_t rank) const;
 
  private:
-  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r)
+  std::vector<double> pmf_;  // pmf_[r] = P(rank = r), from the raw weights
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r), for sampling only
   double skew_ = 0.0;
 };
 

@@ -451,6 +451,38 @@ std::vector<QueryExecution> Controller::run_query_round(
   return executions;
 }
 
+engine::JobResult Controller::run_single_query(
+    std::size_t dataset, std::size_t type_spec,
+    const engine::ReduceBucketMap* reduce_buckets, Rng& rng) const {
+  BOHR_EXPECTS(prepared_.has_value());
+  BOHR_EXPECTS(dataset < datasets_.size());
+  const PrepareReport& prep = *prepared_;
+  const StrategyTraits traits = traits_of(options_.strategy);
+  const DatasetState& d = datasets_[dataset];
+  BOHR_EXPECTS(type_spec < d.bundle().query_types.size());
+
+  engine::JobConfig job = options_.job;
+  job.partition_policy = traits.cubes ? engine::PartitionPolicy::CubeSorted
+                                      : engine::PartitionPolicy::ArrivalOrder;
+  job.executor_assignment = traits.rdd_similarity
+                                ? engine::ExecutorAssignment::SimilarityKMeans
+                                : engine::ExecutorAssignment::RoundRobin;
+  job.controller_overhead_seconds = 0.0;
+  job.reduce_buckets = reduce_buckets;
+  job.machine.record_scale = std::max(
+      1.0, d.bundle().bytes_per_row / options_.physical_record_bytes);
+
+  const engine::QuerySpec spec = query_spec_for(d, type_spec);
+  const std::uint64_t salt =
+      hash_combine(d.dataset_id(), hash_combine(type_spec, 0xABCD));
+  std::vector<engine::RecordStream> inputs(d.site_count());
+  for (std::size_t i = 0; i < d.site_count(); ++i) {
+    inputs[i] = d.map_rows(i, type_spec, spec.selectivity, salt);
+  }
+  return engine::run_job(topology_, inputs, prep.decision.reduce_fractions,
+                         spec, job, rng);
+}
+
 void Controller::run_degraded_query(
     const QueryRound& round, std::size_t a, std::size_t t,
     const std::vector<engine::RecordStream>& inputs,

@@ -164,6 +164,27 @@ class Controller {
   };
   std::vector<QueryExecution> run_query_round(const QueryRound& round);
 
+  /// One (dataset, query-type) execution for the online serving loop:
+  /// the same per-dataset job config as run_query_round, but const and
+  /// re-entrant — concurrent serving batches call this on shared
+  /// controller state, each thread with its own caller-owned Rng
+  /// stream. `reduce_buckets` (nullable) stands in for the prepared LP
+  /// fractions exactly like the churn rounds, so the serving loop can
+  /// hand each batch the bucket map of its admission epoch. prepare()
+  /// must have completed. No fault plan and no degradation ladder: the
+  /// serving path models a healthy steady state.
+  engine::JobResult run_single_query(
+      std::size_t dataset, std::size_t type_spec,
+      const engine::ReduceBucketMap* reduce_buckets, Rng& rng) const;
+
+  /// The finished prepare() report. Requires prepare() to have run;
+  /// const so read-only consumers (the serving loop) can reach the
+  /// placement decision without the idempotent-rerun entry point.
+  const PrepareReport& prepare_report() const {
+    BOHR_EXPECTS(prepared_.has_value());
+    return *prepared_;
+  }
+
   const net::WanTopology& topology() const { return topology_; }
   const std::vector<DatasetState>& datasets() const { return datasets_; }
   const ControllerOptions& options() const { return options_; }

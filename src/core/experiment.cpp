@@ -155,11 +155,10 @@ WorkloadRun run_workload(const ExperimentConfig& config,
     outcome.prep = controller.prepare();
     outcome.site_shuffle_bytes.assign(topo.site_count(), 0.0);
 
-    RunningStats qct_all;
     std::map<engine::QueryKind, RunningStats> qct_kind;
     for (const QueryExecution& exec : controller.run_all_queries()) {
       for (std::size_t rep = 0; rep < exec.recurrences; ++rep) {
-        qct_all.add(exec.result.qct_seconds);
+        outcome.qct.add(exec.result.qct_seconds);
         qct_kind[exec.kind].add(exec.result.qct_seconds);
       }
       for (std::size_t i = 0; i < topo.site_count(); ++i) {
@@ -174,7 +173,7 @@ WorkloadRun run_workload(const ExperimentConfig& config,
       outcome.shuffle_flows_failed +=
           exec.result.shuffle_flows_failed * exec.recurrences;
     }
-    outcome.avg_qct_seconds = qct_all.mean();
+    outcome.avg_qct_seconds = outcome.qct.mean();
     for (const auto& [kind, stats] : qct_kind) {
       outcome.qct_by_kind[kind] = stats.mean();
     }
@@ -187,23 +186,31 @@ std::vector<RepeatedOutcome> run_workload_repeated(
     const ExperimentConfig& config, const std::vector<Strategy>& strategies,
     std::size_t n_runs) {
   BOHR_EXPECTS(n_runs >= 1);
-  std::vector<RunningStats> qct(strategies.size());
+  // QCT pools the per-query samples of every run: averaging per-run
+  // means would weight a 10-query run equally with a 1000-query one.
+  std::vector<LatencyRecorder> qct(strategies.size());
   std::vector<RunningStats> reduction(strategies.size());
   for (std::size_t run_idx = 0; run_idx < n_runs; ++run_idx) {
     ExperimentConfig cfg = config;
     cfg.seed = hash_combine(config.seed, 0xF00D + run_idx);
     const WorkloadRun run = run_workload(cfg, strategies);
     for (std::size_t s = 0; s < strategies.size(); ++s) {
-      qct[s].add(run.outcome(strategies[s]).avg_qct_seconds);
+      qct[s].merge(run.outcome(strategies[s]).qct);
       reduction[s].add(run.mean_data_reduction_percent(strategies[s]));
     }
   }
   std::vector<RepeatedOutcome> out;
   out.reserve(strategies.size());
   for (std::size_t s = 0; s < strategies.size(); ++s) {
-    out.push_back(RepeatedOutcome{strategies[s], qct[s].mean(),
-                                  qct[s].stddev(), reduction[s].mean(),
-                                  reduction[s].stddev()});
+    RepeatedOutcome o;
+    o.strategy = strategies[s];
+    o.mean_qct_seconds = qct[s].mean();
+    o.stddev_qct_seconds = qct[s].stats().stddev();
+    o.mean_reduction_percent = reduction[s].mean();
+    o.stddev_reduction_percent = reduction[s].stddev();
+    o.qct_summary = qct[s].summarize(0.0);
+    o.total_queries = qct[s].count();
+    out.push_back(std::move(o));
   }
   return out;
 }
@@ -421,7 +428,9 @@ namespace {
 constexpr char kChurnMagic[4] = {'B', 'C', 'H', 'N'};
 // v2: optional degradation section (DegradedReport + standalone health
 // monitor image) appended after the migration image.
-constexpr std::uint32_t kChurnVersion = 2;
+// v3: per-query LatencyRecorder image appended after round_qct_seconds
+// (percentile reporting survives crash/recovery).
+constexpr std::uint32_t kChurnVersion = 3;
 
 void churn_put_u64(std::string& out, std::uint64_t v) {
   char buf[8];
@@ -459,6 +468,9 @@ std::string encode_churn_image(const ChurnRunResult& out,
   churn_put_f64(image, out.max_reduce_slowdown);
   churn_put_u64(image, out.round_qct_seconds.size());
   for (const double q : out.round_qct_seconds) churn_put_f64(image, q);
+  const std::string qct = out.qct.serialize();
+  churn_put_u64(image, qct.size());
+  image += qct;
   churn_put_u64(image, migctl != nullptr ? 1 : 0);
   if (migctl != nullptr) {
     const std::string mig = migctl->serialize();
@@ -498,6 +510,10 @@ double decode_churn_image(const std::string& image, ChurnRunResult& out,
   out.max_reduce_slowdown = churn_take_f64(image, at);
   out.round_qct_seconds.resize(churn_take_u64(image, at));
   for (double& q : out.round_qct_seconds) q = churn_take_f64(image, at);
+  const std::uint64_t qct_size = churn_take_u64(image, at);
+  BOHR_CHECK(at + qct_size <= image.size());
+  out.qct = LatencyRecorder::deserialize(image.substr(at, qct_size));
+  at += qct_size;
   const bool has_migctl = churn_take_u64(image, at) != 0;
   BOHR_CHECK(has_migctl == migctl.has_value());
   if (has_migctl) {
@@ -671,6 +687,9 @@ ChurnRunResult run_churn_experiment(const ExperimentConfig& config,
       const auto reps = static_cast<double>(exec.recurrences);
       sum += exec.result.qct_seconds * reps;
       count += exec.recurrences;
+      for (std::size_t rep = 0; rep < exec.recurrences; ++rep) {
+        out.qct.add(exec.result.qct_seconds);
+      }
       out.speculations += exec.result.reduce_speculations;
       out.max_reduce_slowdown =
           std::max(out.max_reduce_slowdown, exec.result.max_reduce_slowdown);

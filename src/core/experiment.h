@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/latency.h"
 #include "core/controller.h"
 #include "core/migration.h"
 #include "workload/dataset.h"
@@ -39,7 +40,12 @@ struct ExperimentConfig {
 /// Aggregated measurements for one scheme on one workload.
 struct StrategyOutcome {
   Strategy strategy = Strategy::Bohr;
-  /// Mean QCT over all queries (weighted by recurrence counts).
+  /// Per-query QCT samples (recurrence-weighted, canonical dataset /
+  /// query-type order). Percentiles, throughput, and cross-run pooling
+  /// all read from here — never from per-run means.
+  LatencyRecorder qct;
+  /// Mean QCT over all queries (weighted by recurrence counts);
+  /// equal to qct.mean(), kept for the tables that report means.
   double avg_qct_seconds = 0.0;
   /// Mean QCT split by query kind (scan / UDF / aggregation / ...).
   std::map<engine::QueryKind, double> qct_by_kind;
@@ -85,14 +91,22 @@ Controller make_controller(const ExperimentConfig& config, Strategy strategy);
 WorkloadRun run_workload(const ExperimentConfig& config,
                          const std::vector<Strategy>& strategies);
 
-/// Mean / stddev over repeated runs with different seeds (the paper
-/// repeats each experiment 5 times, §8.1).
+/// Pooled statistics over repeated runs with different seeds (the paper
+/// repeats each experiment 5 times, §8.1). QCT aggregates over the
+/// per-query samples of every run — a 1000-query run carries 100x the
+/// weight of a 10-query run — NOT over per-run means; stddev is the
+/// pooled per-query standard deviation on the same samples.
 struct RepeatedOutcome {
   Strategy strategy = Strategy::Bohr;
   double mean_qct_seconds = 0.0;
   double stddev_qct_seconds = 0.0;
   double mean_reduction_percent = 0.0;
   double stddev_reduction_percent = 0.0;
+  /// Percentile view of the pooled per-query samples (duration 0: the
+  /// repeated harness has no serving clock, so throughput stays 0).
+  LatencySummary qct_summary;
+  /// Total per-query samples pooled across the runs.
+  std::size_t total_queries = 0;
 };
 
 /// Runs the comparison `n_runs` times with derived seeds and aggregates.
@@ -167,6 +181,11 @@ struct ChurnRunResult {
   std::size_t rounds_run = 0;
   std::size_t queries_run = 0;   ///< recurrence-weighted query count
   double avg_qct_seconds = 0.0;  ///< recurrence-weighted mean QCT
+  /// Per-query QCT samples (recurrence-weighted, round order); carries
+  /// the percentile report and the same-seed byte-identity digest.
+  /// Serialized into the churn image, so crash/recovery resumes pool
+  /// the pre-crash samples too.
+  LatencyRecorder qct;
   std::vector<double> round_qct_seconds;
   std::size_t migrations = 0;    ///< headroom rebalance moves
   std::size_t evacuations = 0;   ///< buckets moved off dead sites

@@ -1,0 +1,59 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace bohr::serve {
+
+std::vector<QueryBatch> form_batches(const std::vector<QueryArrival>& arrivals,
+                                     std::size_t tenants,
+                                     const BatchingPolicy& policy) {
+  BOHR_EXPECTS(tenants > 0);
+  BOHR_EXPECTS(policy.max_batch > 0);
+  BOHR_EXPECTS(policy.max_delay_seconds >= 0.0);
+
+  std::vector<QueryBatch> out;
+  std::vector<QueryBatch> open(tenants);  // open[t].queries empty = closed
+  const auto close = [&](std::size_t tenant, double at) {
+    QueryBatch& b = open[tenant];
+    if (b.queries.empty()) return;
+    b.close_time = at;
+    out.push_back(std::move(b));
+    b = QueryBatch{};
+  };
+
+  // The trace is sorted by (time, tenant); a timeout that fires between
+  // two arrivals of a tenant is applied when the later arrival (of any
+  // tenant) or the end of the trace is reached, which never reorders
+  // close times within a tenant.
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const QueryArrival& q = arrivals[i];
+    QueryBatch& b = open[q.tenant];
+    const double deadline = b.open_time + policy.max_delay_seconds;
+    if (!b.queries.empty() && q.time > deadline) close(q.tenant, deadline);
+    if (open[q.tenant].queries.empty()) {
+      open[q.tenant].tenant = q.tenant;
+      open[q.tenant].open_time = q.time;
+    }
+    open[q.tenant].queries.push_back(i);
+    if (open[q.tenant].queries.size() >= policy.max_batch) {
+      close(q.tenant, q.time);
+    }
+  }
+  for (std::size_t t = 0; t < tenants; ++t) {
+    close(t, open[t].open_time + policy.max_delay_seconds);
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const QueryBatch& a, const QueryBatch& b) {
+              if (a.close_time != b.close_time)
+                return a.close_time < b.close_time;
+              if (a.tenant != b.tenant) return a.tenant < b.tenant;
+              return a.open_time < b.open_time;
+            });
+  for (std::size_t i = 0; i < out.size(); ++i) out[i].index = i;
+  return out;
+}
+
+}  // namespace bohr::serve

@@ -1,0 +1,44 @@
+// Per-tenant admission queues with a close-on-size-or-timeout batching
+// policy.
+//
+// Queries queue per tenant; a batch opens at its first query's arrival
+// and closes as soon as it holds `max_batch` queries or `max_delay`
+// elapses since it opened, whichever is earlier. Batching is a pure
+// function of the arrival trace — no scheduler state leaks in — so the
+// same trace always yields the same batches in the same canonical
+// (close_time, tenant) order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/arrival.h"
+
+namespace bohr::serve {
+
+struct BatchingPolicy {
+  /// A batch closes immediately when it reaches this many queries.
+  std::size_t max_batch = 8;
+  /// ... or when this much run-clock time passed since it opened.
+  double max_delay_seconds = 0.25;
+};
+
+/// One closed admission batch. `queries` holds indices into the arrival
+/// trace, in arrival order; `index` is the canonical batch number in
+/// merged (close_time, tenant) order.
+struct QueryBatch {
+  std::size_t tenant = 0;
+  double open_time = 0.0;
+  double close_time = 0.0;
+  std::vector<std::size_t> queries;
+  std::size_t index = 0;
+};
+
+/// Partitions the merged arrival trace into per-tenant batches under the
+/// policy. Returns all batches of all tenants merged into canonical
+/// (close_time, tenant, open_time) order with `index` assigned.
+std::vector<QueryBatch> form_batches(const std::vector<QueryArrival>& arrivals,
+                                     std::size_t tenants,
+                                     const BatchingPolicy& policy);
+
+}  // namespace bohr::serve

@@ -11,7 +11,52 @@ TEST(ZipfTest, PmfSumsToOne) {
   ZipfSampler zipf(100, 1.1);
   double total = 0.0;
   for (std::size_t r = 0; r < zipf.universe(); ++r) total += zipf.pmf(r);
-  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfTest, PmfSumsToOneAcrossSizesAndSkews) {
+  // The old implementation derived pmf from cdf differences with the
+  // last cdf entry pinned to 1.0, silently inflating pmf(n-1) by the
+  // accumulated floating-point slack. The pmf now comes from the raw
+  // weights, so the mass stays within 1e-12 even for large universes.
+  // (Kahan summation here — at n=1e5 a naive test-side sum would itself
+  // accumulate ~2e-12 of rounding and mask what is being measured.)
+  for (const std::size_t n : {2u, 17u, 1000u, 100000u}) {
+    for (const double s : {0.0, 0.5, 1.0, 1.7}) {
+      ZipfSampler zipf(n, s);
+      double total = 0.0;
+      double carry = 0.0;
+      for (std::size_t r = 0; r < n; ++r) {
+        const double y = zipf.pmf(r) - carry;
+        const double t = total + y;
+        carry = (t - total) - y;
+        total = t;
+      }
+      EXPECT_NEAR(total, 1.0, 1e-12) << "n=" << n << " s=" << s;
+    }
+  }
+}
+
+TEST(ZipfTest, PmfMatchesPowerLawRatios) {
+  // pmf(i)/pmf(j) must equal ((j+1)/(i+1))^s exactly up to rounding —
+  // in particular for the LAST rank, which the cdf-difference pmf got
+  // wrong by absorbing the rounding guard's slack.
+  const double s = 1.3;
+  ZipfSampler zipf(257, s);
+  for (const std::size_t r : {1u, 10u, 128u, 255u, 256u}) {
+    const double expected = std::pow(static_cast<double>(r + 1), s);
+    EXPECT_NEAR(zipf.pmf(0) / zipf.pmf(r), expected, expected * 1e-12)
+        << "rank " << r;
+  }
+}
+
+TEST(ZipfTest, LastRankNotInflatedByRoundingGuard) {
+  ZipfSampler zipf(5000, 1.0);
+  // Monotone at the very tail: the guard on cdf.back() must not leak
+  // into pmf(n-1).
+  EXPECT_GE(zipf.pmf(4998), zipf.pmf(4999));
+  const double ratio = zipf.pmf(4998) / zipf.pmf(4999);
+  EXPECT_NEAR(ratio, 5000.0 / 4999.0, 1e-9);
 }
 
 TEST(ZipfTest, PmfIsMonotoneDecreasing) {

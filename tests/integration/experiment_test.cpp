@@ -5,6 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
 namespace bohr::core {
 namespace {
 
@@ -137,6 +142,42 @@ TEST(ExperimentTest, DynamicDatasetsCloseToNormal) {
   EXPECT_GT(result.normal_avg_qct, 0.0);
   EXPECT_GT(result.dynamic_avg_qct, 0.0);
   EXPECT_LT(result.dynamic_avg_qct, result.normal_avg_qct * 1.6);
+}
+
+TEST(ExperimentTest, RepeatedRunsPoolPerQuerySamples) {
+  // Regression: the repeated harness used to average per-run means,
+  // weighting a small run equally with a large one. It must aggregate
+  // over the pooled per-query samples instead.
+  auto cfg = small_config(workload::WorkloadKind::BigData);
+  cfg.n_datasets = 4;
+  const std::size_t n_runs = 3;
+  const std::vector<Strategy> strategies = {Strategy::IridiumC};
+
+  LatencyRecorder pooled;
+  double mean_of_means = 0.0;
+  std::vector<std::size_t> run_sizes;
+  for (std::size_t i = 0; i < n_runs; ++i) {
+    ExperimentConfig run_cfg = cfg;
+    run_cfg.seed = hash_combine(cfg.seed, 0xF00D + i);
+    const WorkloadRun run = run_workload(run_cfg, strategies);
+    const StrategyOutcome& o = run.outcome(Strategy::IridiumC);
+    pooled.merge(o.qct);
+    mean_of_means += o.qct.mean() / static_cast<double>(n_runs);
+    run_sizes.push_back(o.qct.count());
+  }
+  // The query mix samples 2-10 queries per dataset from a seed-derived
+  // RNG, so the three runs really are unequal in size.
+  EXPECT_TRUE(run_sizes[0] != run_sizes[1] || run_sizes[1] != run_sizes[2])
+      << run_sizes[0] << " " << run_sizes[1] << " " << run_sizes[2];
+
+  const auto repeated = run_workload_repeated(cfg, strategies, n_runs);
+  ASSERT_EQ(repeated.size(), 1u);
+  EXPECT_EQ(repeated[0].total_queries, pooled.count());
+  EXPECT_DOUBLE_EQ(repeated[0].mean_qct_seconds, pooled.mean());
+  EXPECT_DOUBLE_EQ(repeated[0].qct_summary.p99_seconds,
+                   pooled.summarize(0.0).p99_seconds);
+  // With unequal run sizes the buggy aggregation lands elsewhere.
+  EXPECT_NE(repeated[0].mean_qct_seconds, mean_of_means);
 }
 
 TEST(ExperimentTest, DeterministicAcrossRuns) {

@@ -1,0 +1,129 @@
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "core/experiment.h"
+
+namespace bohr::serve {
+namespace {
+
+core::ExperimentConfig small_config() {
+  core::ExperimentConfig cfg;
+  cfg.workload = workload::WorkloadKind::BigData;
+  cfg.n_datasets = 2;
+  cfg.generator.sites = 10;
+  cfg.generator.rows_per_site = 120;
+  cfg.generator.gb_per_site = 40.0 / 12.0;
+  cfg.base_bandwidth = 125e6;
+  cfg.lag_seconds = 60.0;
+  cfg.job.partition_records = 24;
+  cfg.job.machine.executors = 4;
+  cfg.seed = 9;
+  return cfg;
+}
+
+ServeOptions small_options() {
+  ServeOptions opts;
+  opts.arrivals.tenants = 3;
+  opts.arrivals.arrival_rate_qps = 2.0;
+  opts.arrivals.duration_seconds = 15.0;
+  opts.arrivals.seed = 9;
+  opts.batching.max_batch = 4;
+  opts.batching.max_delay_seconds = 0.3;
+  opts.slots = 4;
+  opts.migration_period_seconds = 5.0;
+  return opts;
+}
+
+core::Controller prepared_controller() {
+  core::Controller controller =
+      core::make_controller(small_config(), core::Strategy::Bohr);
+  controller.prepare();
+  return controller;
+}
+
+TEST(ServerTest, ReportsTailLatenciesAndThroughput) {
+  const core::Controller controller = prepared_controller();
+  const ServeReport report = run_serving(controller, small_options());
+  EXPECT_GT(report.queries, 0u);
+  EXPECT_GT(report.batches, 0u);
+  EXPECT_EQ(report.qct.count(), report.queries);
+  EXPECT_GT(report.summary.p50_seconds, 0.0);
+  EXPECT_LE(report.summary.p50_seconds, report.summary.p95_seconds);
+  EXPECT_LE(report.summary.p95_seconds, report.summary.p99_seconds);
+  EXPECT_LE(report.summary.p99_seconds, report.summary.max_seconds);
+  EXPECT_GT(report.summary.throughput_qps, 0.0);
+  EXPECT_GT(report.makespan_seconds, 0.0);
+  ASSERT_EQ(report.tenant_summary.size(), 3u);
+  std::size_t tenant_total = 0;
+  for (const auto& t : report.tenant_summary) tenant_total += t.count;
+  EXPECT_EQ(tenant_total, report.queries);
+  EXPECT_GT(report.migration_epochs, 0u);
+}
+
+TEST(ServerTest, SameSeedSameDigest) {
+  const core::Controller controller = prepared_controller();
+  const ServeReport a = run_serving(controller, small_options());
+  const ServeReport b = run_serving(controller, small_options());
+  EXPECT_EQ(a.qct.digest(), b.qct.digest());
+  EXPECT_EQ(a.qct.samples(), b.qct.samples());
+  auto opts = small_options();
+  opts.arrivals.seed = 10;
+  const ServeReport c = run_serving(controller, opts);
+  EXPECT_NE(a.qct.digest(), c.qct.digest());
+}
+
+TEST(ServerTest, DigestInvariantAcrossThreadCounts) {
+  const core::Controller controller = prepared_controller();
+  const std::size_t before = thread_count();
+  set_thread_count(1);
+  const ServeReport serial = run_serving(controller, small_options());
+  set_thread_count(4);
+  const ServeReport pooled = run_serving(controller, small_options());
+  set_thread_count(before);
+  EXPECT_EQ(serial.qct.digest(), pooled.qct.digest());
+  EXPECT_EQ(serial.qct.samples(), pooled.qct.samples());
+  EXPECT_EQ(serial.makespan_seconds, pooled.makespan_seconds);
+}
+
+TEST(ServerTest, HigherLoadDoesNotShrinkTailLatency) {
+  const core::Controller controller = prepared_controller();
+  auto light = small_options();
+  light.arrivals.arrival_rate_qps = 0.5;
+  auto heavy = small_options();
+  heavy.arrivals.arrival_rate_qps = 6.0;
+  const ServeReport l = run_serving(controller, light);
+  const ServeReport h = run_serving(controller, heavy);
+  EXPECT_GT(h.queries, l.queries);
+  // More offered load onto the same slots cannot improve the tail.
+  EXPECT_GE(h.summary.p99_seconds, l.summary.p99_seconds);
+}
+
+TEST(ServerTest, MigrationCadenceStepsPerEpoch) {
+  const core::Controller controller = prepared_controller();
+  auto opts = small_options();
+  opts.migration_period_seconds = 2.0;
+  const ServeReport fine = run_serving(controller, opts);
+  opts.migration_period_seconds = 0.0;
+  const ServeReport off = run_serving(controller, opts);
+  EXPECT_GT(fine.migration_epochs, 1u);
+  EXPECT_EQ(off.migration_epochs, 0u);
+  EXPECT_EQ(off.migrations, 0u);
+  EXPECT_EQ(off.evacuations, 0u);
+}
+
+TEST(ServerTest, MoreSlotsDoNotHurtMakespan) {
+  const core::Controller controller = prepared_controller();
+  auto narrow = small_options();
+  narrow.slots = 1;
+  auto wide = small_options();
+  wide.slots = 8;
+  const ServeReport n = run_serving(controller, narrow);
+  const ServeReport w = run_serving(controller, wide);
+  EXPECT_LE(w.makespan_seconds, n.makespan_seconds);
+  EXPECT_LE(w.summary.p99_seconds, n.summary.p99_seconds);
+}
+
+}  // namespace
+}  // namespace bohr::serve

@@ -17,6 +17,7 @@
 #include "core/checkpoint.h"
 #include "core/experiment.h"
 #include "net/faults.h"
+#include "serve/server.h"
 
 namespace {
 
@@ -84,6 +85,26 @@ Degraded mode (similarity-backed graceful degradation):
                          with the DegradedReport digest. Implies
                          --churn=1 when --churn is absent
   --degrade-budget=SEC   per-query QCT budget in modeled seconds  [60]
+
+Serving mode (online multi-tenant stream; see DESIGN.md sec. 16):
+  --serve                run one prepared scheme as a long-lived server
+                         admitting a Poisson/Zipf/heavy-tail query
+                         stream; reports p50/p95/p99/max QCT, the
+                         offered-window throughput, per-tenant tails,
+                         and the canonical latency digest (two runs
+                         with the same seed produce byte-identical
+                         digests at ANY --threads). Requires exactly
+                         one scheme and --runs=1; conflicts with
+                         --churn, --degrade, --recover,
+                         --checkpoint-dir and --crash-after-phase
+  --tenants=N            concurrent tenants (> 0)             [4]
+  --arrival-rate=QPS     per-tenant mean arrival rate (> 0)   [2]
+  --duration=SEC         admission window length (> 0)        [60]
+  --batch-size=N         admission batch closes at N queries  [8]
+  --batch-delay=SEC      ... or after SEC since it opened     [0.25]
+  --slots=N              concurrent batch-execution slots     [4]
+  --migration-period=SEC elastic-migration cadence on the run
+                         clock; 0 disables the controller     [30]
 
 Exit codes: 0 = success; 1 = runtime error; 2 = usage error (this
 text); 3 = injected crash (--crash-after-phase, --crash-after-round).
@@ -220,8 +241,91 @@ int main(int argc, char** argv) {
       cfg.faults.crash_after_phase = crash_phase;
     }
 
+    // Serving-mode flags validate up front: a bad rate must exit 2 with
+    // usage before any expensive prepare work starts.
+    const bool serve = flags.get_bool("serve", false);
+    serve::ServeOptions serve_opts;
+    {
+      const std::int64_t tenants = flags.get_int("tenants", 4);
+      require(!serve || tenants > 0, "--tenants must be positive");
+      serve_opts.arrivals.tenants = static_cast<std::size_t>(
+          std::max<std::int64_t>(tenants, 1));
+      serve_opts.arrivals.arrival_rate_qps =
+          flags.get_double("arrival-rate", 2.0);
+      require(!serve || serve_opts.arrivals.arrival_rate_qps > 0.0,
+              "--arrival-rate must be positive");
+      serve_opts.arrivals.duration_seconds = flags.get_double("duration", 60.0);
+      require(!serve || serve_opts.arrivals.duration_seconds > 0.0,
+              "--duration must be positive");
+      const std::int64_t batch_size = flags.get_int("batch-size", 8);
+      require(!serve || batch_size > 0, "--batch-size must be positive");
+      serve_opts.batching.max_batch = static_cast<std::size_t>(
+          std::max<std::int64_t>(batch_size, 1));
+      serve_opts.batching.max_delay_seconds =
+          flags.get_double("batch-delay", 0.25);
+      require(!serve || serve_opts.batching.max_delay_seconds >= 0.0,
+              "--batch-delay must be non-negative");
+      const std::int64_t slots = flags.get_int("slots", 4);
+      require(!serve || slots > 0, "--slots must be positive");
+      serve_opts.slots =
+          static_cast<std::size_t>(std::max<std::int64_t>(slots, 1));
+      serve_opts.migration_period_seconds =
+          flags.get_double("migration-period", 30.0);
+      require(!serve || serve_opts.migration_period_seconds >= 0.0,
+              "--migration-period must be non-negative");
+      serve_opts.arrivals.seed = cfg.seed;
+      serve_opts.faults = cfg.faults;
+    }
+    require(!serve || churn_rounds == 0, "--serve conflicts with --churn");
+    require(!serve || !degrade, "--serve conflicts with --degrade");
+    require(!serve || crash_phase.empty(),
+            "--serve conflicts with --crash-after-phase");
+    require(!serve || crash_round == 0,
+            "--serve conflicts with --crash-after-round");
+    require(!serve || !recover, "--serve conflicts with --recover");
+    require(!serve || checkpoint_dir.empty(),
+            "--serve conflicts with --checkpoint-dir");
+    require(!serve || runs == 1, "--serve requires --runs=1");
+    require(!serve || schemes.size() == 1,
+            "--serve requires exactly one scheme");
+
     for (const auto& unknown : flags.unused()) {
       throw UsageError("unknown flag --" + unknown);
+    }
+
+    if (serve) {
+      core::Controller controller = core::make_controller(cfg, schemes[0]);
+      controller.prepare();
+      const serve::ServeReport report =
+          serve::run_serving(controller, serve_opts);
+      std::printf(
+          "serve: scheme=%s tenants=%zu rate=%.3f duration=%.1f "
+          "batch_size=%zu batch_delay=%.3f slots=%zu queries=%zu "
+          "batches=%zu\n",
+          core::to_string(schemes[0]).c_str(), serve_opts.arrivals.tenants,
+          serve_opts.arrivals.arrival_rate_qps,
+          serve_opts.arrivals.duration_seconds, serve_opts.batching.max_batch,
+          serve_opts.batching.max_delay_seconds, serve_opts.slots,
+          report.queries, report.batches);
+      std::printf(
+          "serve: qct_mean=%.6f p50=%.6f p95=%.6f p99=%.6f max=%.6f "
+          "throughput_qps=%.4f makespan=%.3f digest=%08x\n",
+          report.summary.mean_seconds, report.summary.p50_seconds,
+          report.summary.p95_seconds, report.summary.p99_seconds,
+          report.summary.max_seconds, report.summary.throughput_qps,
+          report.makespan_seconds, report.qct.digest());
+      std::printf("serve: epochs=%zu migrations=%zu evacuations=%zu\n",
+                  report.migration_epochs, report.migrations,
+                  report.evacuations);
+      for (std::size_t t = 0; t < report.tenant_summary.size(); ++t) {
+        const LatencySummary& s = report.tenant_summary[t];
+        std::printf(
+            "serve: tenant=%zu queries=%zu mean=%.6f p50=%.6f p95=%.6f "
+            "p99=%.6f\n",
+            t, s.count, s.mean_seconds, s.p50_seconds, s.p95_seconds,
+            s.p99_seconds);
+      }
+      return 0;
     }
 
     if (churn_rounds > 0) {
@@ -241,14 +345,17 @@ int main(int argc, char** argv) {
       if (result.recovered) {
         std::printf("churn: recovered from checkpoint\n");
       }
+      const LatencySummary qs = result.qct.summarize(0.0);
       std::printf(
-          "churn: rounds=%zu queries=%zu qct_mean=%.6f migrations=%zu "
-          "evacuations=%zu speculations=%zu max_slowdown=%.3f "
-          "snapshots=%zu log_crc32=%08x\n",
+          "churn: rounds=%zu queries=%zu qct_mean=%.6f qct_p50=%.6f "
+          "qct_p95=%.6f qct_p99=%.6f qct_max=%.6f qct_digest=%08x "
+          "migrations=%zu evacuations=%zu speculations=%zu "
+          "max_slowdown=%.3f snapshots=%zu log_crc32=%08x\n",
           result.rounds_run, result.queries_run, result.avg_qct_seconds,
-          result.migrations, result.evacuations, result.speculations,
-          result.max_reduce_slowdown, result.snapshots_written,
-          result.migration_log_crc32);
+          qs.p50_seconds, qs.p95_seconds, qs.p99_seconds, qs.max_seconds,
+          result.qct.digest(), result.migrations, result.evacuations,
+          result.speculations, result.max_reduce_slowdown,
+          result.snapshots_written, result.migration_log_crc32);
       if (degrade) {
         for (const core::DegradedAnswer& a : result.degraded.answers) {
           std::printf(

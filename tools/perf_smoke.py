@@ -16,6 +16,11 @@ Gated series (selected with --key):
                          pre-columnar/SIMD baseline
   lp_seconds_by_case     — Table 5 joint-LP solve time, vs the
                          dense-tableau baseline
+  p99_by_load            — serving-loop p99 QCT by offered load. These
+                         are modeled virtual-time seconds (host- and
+                         build-independent), so this gate is a model
+                         drift alarm: any change to the serving or
+                         engine model that moves the tail >20% trips it
 
 Usage:
   perf_smoke.py CURRENT_JSON BASELINE_JSON [--threshold 0.20] [--key KEY]
